@@ -1,0 +1,80 @@
+// Command butterfly dumps the read butterfly curves and noise margins of
+// the Table I cell (the paper's Fig. 5), optionally with per-transistor
+// threshold shifts.
+//
+//	butterfly                                  # nominal cell
+//	butterfly -shift D1=0.35 -shift A1=-0.2    # a defective cell
+//	butterfly -hold                            # hold (retention) butterfly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ecripse"
+)
+
+type shiftFlags []string
+
+func (s *shiftFlags) String() string     { return strings.Join(*s, ",") }
+func (s *shiftFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+var nameToIndex = map[string]int{
+	"L1": ecripse.L1, "L2": ecripse.L2,
+	"D1": ecripse.D1, "D2": ecripse.D2,
+	"A1": ecripse.A1, "A2": ecripse.A2,
+}
+
+func parseShifts(specs []string) (ecripse.Shifts, error) {
+	var sh ecripse.Shifts
+	for _, spec := range specs {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			return sh, fmt.Errorf("bad -shift %q (want NAME=VOLTS)", spec)
+		}
+		idx, ok := nameToIndex[strings.ToUpper(strings.TrimSpace(parts[0]))]
+		if !ok {
+			return sh, fmt.Errorf("unknown transistor %q (want L1,L2,D1,D2,A1,A2)", parts[0])
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return sh, fmt.Errorf("bad shift value %q: %v", parts[1], err)
+		}
+		sh[idx] = v
+	}
+	return sh, nil
+}
+
+func main() {
+	var shifts shiftFlags
+	vdd := flag.Float64("vdd", ecripse.VddNominal, "supply voltage [V]")
+	grid := flag.Int("grid", 128, "VTC sample points")
+	hold := flag.Bool("hold", false, "hold condition (word line off) instead of read")
+	flag.Var(&shifts, "shift", "threshold shift NAME=VOLTS (repeatable)")
+	flag.Parse()
+
+	sh, err := parseShifts(shifts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "butterfly:", err)
+		os.Exit(2)
+	}
+
+	cell := ecripse.NewCell(*vdd)
+	opt := &ecripse.SNMOptions{GridN: *grid, Hold: *hold}
+	a, b := cell.Butterfly(sh, opt)
+	res := cell.NoiseMargin(sh, opt)
+
+	mode := "read"
+	if *hold {
+		mode = "hold"
+	}
+	fmt.Printf("# %s butterfly, Vdd=%.2f V, shifts=%v\n", mode, *vdd, sh)
+	fmt.Printf("# lobe1=%.4f V lobe2=%.4f V SNM=%.4f V fails=%v\n", res.Lobe1, res.Lobe2, res.SNM(), res.Fails())
+	fmt.Println("# V1,V2_curveA,V1_curveB_at_same_index,V2_grid")
+	for i := range a.In {
+		fmt.Printf("%.4f,%.4f,%.4f,%.4f\n", a.In[i], a.Out[i], b.Out[i], b.In[i])
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseShifts(t *testing.T) {
+	sh, err := parseShifts([]string{"D1=0.35", "a1=-0.2", " L2 = 0.01"})
+	if err == nil {
+		// " L2 = 0.01" contains spaces around '='; SplitN on "=" gives
+		// " L2 " and " 0.01" — name is trimmed, value parse must cope or
+		// error cleanly. ParseFloat(" 0.01") errors, so err is expected.
+		t.Fatal("expected error for spaced assignment")
+	}
+	sh, err = parseShifts([]string{"D1=0.35", "a1=-0.2"})
+	if err != nil {
+		t.Fatalf("parseShifts: %v", err)
+	}
+	if sh[2] != 0.35 { // D1 index
+		t.Fatalf("D1 = %v", sh[2])
+	}
+	if sh[4] != -0.2 { // A1 index
+		t.Fatalf("A1 = %v", sh[4])
+	}
+}
+
+func TestParseShiftsErrors(t *testing.T) {
+	for _, bad := range []string{"D1", "X9=0.1", "D1=abc"} {
+		if _, err := parseShifts([]string{bad}); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command compare regenerates the paper's convergence comparisons:
+//
+//	compare -fig 6              # proposed vs conventional SIS, RDF-only, Vdd=0.7 (Fig. 6)
+//	compare -fig 7 -alpha 0.3   # proposed vs naive MC with RTN, Vdd=0.5 (Fig. 7a)
+//	compare -fig 7 -both        # both panels, sharing initialization (Fig. 7a+b)
+//
+// Output is CSV series (simulations, estimate, CI, relative error) plus the
+// headline speedup ratios.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecripse/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 6, "figure to regenerate: 6 or 7")
+	alpha := flag.Float64("alpha", 0.3, "duty ratio for -fig 7")
+	both := flag.Bool("both", false, "-fig 7: run both panels (alpha 0.3 then 0.5) with shared initialization")
+	seed := flag.Int64("seed", 1, "random seed")
+	scaleFlag := flag.String("scale", "default", "workload scale: smoke, default or full")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(2)
+	}
+
+	switch *fig {
+	case 6:
+		experiments.Fig6(*seed, scale).Write(os.Stdout)
+	case 7:
+		if *both {
+			r1, eng := experiments.Fig7(*seed, scale, 0.3, nil)
+			r1.Write(os.Stdout)
+			r2, _ := experiments.Fig7(*seed+1, scale, 0.5, eng)
+			r2.Write(os.Stdout)
+			fmt.Printf("# shared initialization: panel (b) used %d sims vs panel (a) %d\n",
+				r2.Proposed.Estimate.Sims, r1.Proposed.Estimate.Sims)
+		} else {
+			r, _ := experiments.Fig7(*seed, scale, *alpha, nil)
+			r.Write(os.Stdout)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "compare: -fig must be 6 or 7")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,26 @@
+// Command dutysweep regenerates the paper's Fig. 8: the RTN-aware failure
+// probability versus the storage duty ratio alpha, with initialization and
+// classifier shared across all bias points, plus the RDF-only reference
+// (the paper's 1.33e-4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecripse/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	scaleFlag := flag.String("scale", "default", "workload scale: smoke, default or full")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dutysweep:", err)
+		os.Exit(2)
+	}
+	experiments.Fig8(*seed, scale).Write(os.Stdout)
+}

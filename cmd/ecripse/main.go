@@ -1,0 +1,81 @@
+// Command ecripse estimates the read-failure probability of the paper's 6T
+// SRAM cell, RDF-only or RTN-aware, using the two-stage classifier-
+// accelerated flow.
+//
+// Usage examples:
+//
+//	ecripse -conditions                 # print Table I
+//	ecripse -vdd 0.7                    # RDF-only at nominal supply
+//	ecripse -vdd 0.7 -rtn -alpha 0.3    # RTN-aware at duty ratio 0.3
+//	ecripse -vdd 0.5 -nis 400000 -series convergence.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecripse"
+	"ecripse/internal/experiments"
+)
+
+func main() {
+	var (
+		vdd        = flag.Float64("vdd", ecripse.VddNominal, "supply voltage [V]")
+		withRTN    = flag.Bool("rtn", false, "include RTN-induced variability")
+		alpha      = flag.Float64("alpha", 0.5, "storage duty ratio (with -rtn)")
+		nis        = flag.Int("nis", 200000, "importance samples")
+		m          = flag.Int("m", 20, "RTN samples per RDF sample (with -rtn)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		noClass    = flag.Bool("noclassifier", false, "disable the SVM blockade (every sample simulated)")
+		mode       = flag.String("mode", "read", "failure criterion: read, write or hold")
+		conditions = flag.Bool("conditions", false, "print the Table I experimental conditions and exit")
+		seriesPath = flag.String("series", "", "write the convergence series CSV to this file")
+	)
+	flag.Parse()
+
+	if *conditions {
+		experiments.TableI(os.Stdout)
+		return
+	}
+
+	var failMode ecripse.FailureMode
+	switch *mode {
+	case "read":
+		failMode = ecripse.ReadFailure
+	case "write":
+		failMode = ecripse.WriteFailure
+	case "hold":
+		failMode = ecripse.HoldFailure
+	default:
+		fmt.Fprintf(os.Stderr, "ecripse: unknown -mode %q (want read, write or hold)\n", *mode)
+		os.Exit(2)
+	}
+
+	cell := ecripse.NewCell(*vdd)
+	est := ecripse.New(cell, ecripse.Options{NIS: *nis, M: *m, NoClassifier: *noClass, Mode: failMode})
+
+	var res ecripse.Result
+	if *withRTN {
+		cfg := ecripse.TableIRTN(cell)
+		res = est.FailureProbabilityRTN(*seed, cfg, *alpha)
+		fmt.Printf("RTN-aware failure probability (Vdd=%.2f V, alpha=%.2f):\n", *vdd, *alpha)
+	} else {
+		res = est.FailureProbability(*seed)
+		fmt.Printf("RDF-only %s-failure probability (Vdd=%.2f V):\n", failMode, *vdd)
+	}
+	fmt.Printf("  %v\n", res.Estimate)
+	fmt.Printf("  cost: init=%d warmup=%d stage1=%d stage2=%d transistor-level simulations\n",
+		res.InitSims, res.WarmupSims, res.Stage1Sims, res.Stage2Sims)
+
+	if *seriesPath != "" {
+		f, err := os.Create(*seriesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ecripse:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		experiments.WriteSeries(f, experiments.MethodSeries{Name: "ecripse", Series: res.Series, Estimate: res.Estimate})
+		fmt.Printf("  convergence series written to %s\n", *seriesPath)
+	}
+}

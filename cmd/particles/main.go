@@ -1,0 +1,18 @@
+// Command particles dumps the particle-filter tracking snapshots of the
+// paper's Fig. 4: boundary-search initialization, weighted candidates after
+// a prediction/measurement round, and the resampled cloud, on a 2-D slice
+// (ΔVth of D1 and A1) of the variability space.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"ecripse/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	experiments.Fig4(*seed).WriteCSV(os.Stdout)
+}

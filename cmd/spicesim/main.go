@@ -1,0 +1,90 @@
+// Command spicesim runs the built-in circuit simulator on a SPICE-style
+// netlist deck: a DC operating point by default, or a fixed-step transient.
+//
+//	spicesim cell.sp                     # DC operating point
+//	spicesim -tran 2e-9 -step 1e-12 cell.sp
+//	echo "V1 a 0 1\nR1 a 0 1k" | spicesim -
+//
+// Supported elements: R, C, V (DC or PULSE), I, M with the built-in
+// PTM-16HP-like models; see internal/spice/netlist.go for the grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ecripse/internal/spice"
+)
+
+func main() {
+	tran := flag.Float64("tran", 0, "transient stop time [s] (0 = DC operating point)")
+	step := flag.Float64("step", 0, "transient step size [s] (default tstop/1000)")
+	adaptive := flag.Bool("adaptive", false, "use error-controlled adaptive time steps")
+	tol := flag.Float64("tol", 1e-4, "adaptive per-step voltage error target [V]")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spicesim [-tran T -step h] <deck.sp | ->")
+		os.Exit(2)
+	}
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spicesim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	ckt, err := spice.ParseNetlist(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spicesim:", err)
+		os.Exit(1)
+	}
+
+	if *tran <= 0 {
+		sol, err := ckt.DCSolve(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spicesim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# DC operating point (%d Newton iterations)\n", sol.Iterations)
+		for i := 1; i < ckt.NumNodes(); i++ {
+			fmt.Printf("V(%s) = %.6g V\n", ckt.NodeName(i), sol.V[i])
+		}
+		return
+	}
+
+	var res *spice.TransientResult
+	if *adaptive {
+		res, err = ckt.TransientAdaptive(*tran, *tol, nil)
+	} else {
+		h := *step
+		if h <= 0 {
+			h = *tran / 1000
+		}
+		res, err = ckt.Transient(*tran, h, nil)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spicesim:", err)
+		os.Exit(1)
+	}
+	fmt.Print("# time")
+	for i := 1; i < ckt.NumNodes(); i++ {
+		fmt.Printf(",V(%s)", ckt.NodeName(i))
+	}
+	fmt.Println()
+	for k, t := range res.Times {
+		fmt.Printf("%.6g", t)
+		for i := 1; i < ckt.NumNodes(); i++ {
+			fmt.Printf(",%.6g", res.V[k][i])
+		}
+		fmt.Println()
+	}
+}

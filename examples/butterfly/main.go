@@ -1,0 +1,66 @@
+// Butterfly renders read butterfly curves as ASCII art — the picture of the
+// paper's Fig. 5 — for a healthy cell and for a cell whose driver/access
+// mismatch has closed one eye (negative read noise margin).
+//
+//	go run ./examples/butterfly
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"ecripse"
+)
+
+const plotN = 33 // character grid (plotN x plotN)
+
+func plot(cell *ecripse.Cell, sh ecripse.Shifts) string {
+	opt := &ecripse.SNMOptions{GridN: 256}
+	a, b := cell.Butterfly(sh, opt)
+	vdd := cell.Vdd
+
+	grid := make([][]byte, plotN)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotN))
+	}
+	put := func(x, y float64, ch byte) {
+		i := int(y / vdd * float64(plotN-1))
+		j := int(x / vdd * float64(plotN-1))
+		if i < 0 || i >= plotN || j < 0 || j >= plotN {
+			return
+		}
+		row := plotN - 1 - i
+		if grid[row][j] == ' ' || grid[row][j] != ch {
+			grid[row][j] = ch
+		}
+	}
+	for i := range a.In {
+		put(a.In[i], a.Out[i], '*') // curve A: V2 = fR(V1)
+	}
+	for i := range b.In {
+		put(b.Out[i], b.In[i], 'o') // curve B: V1 = fL(V2), transposed
+	}
+	var sb strings.Builder
+	sb.WriteString("V2\n")
+	for _, row := range grid {
+		sb.WriteString("|" + string(row) + "\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", plotN) + " V1\n")
+	return sb.String()
+}
+
+func main() {
+	cell := ecripse.NewCell(ecripse.VddNominal)
+
+	var nominal ecripse.Shifts
+	fmt.Println("Healthy cell (two eyes, positive RNM):")
+	fmt.Print(plot(cell, nominal))
+	fmt.Printf("read noise margin: %+.1f mV\n\n", 1000*cell.ReadSNM(nominal, nil))
+
+	defective := ecripse.Shifts{}
+	defective[ecripse.D1] = 0.35 // threshold shifts in volts
+	defective[ecripse.A1] = -0.20
+	fmt.Println("Defective cell (one eye closed, negative RNM => read failure):")
+	fmt.Print(plot(cell, defective))
+	fmt.Printf("read noise margin: %+.1f mV\n", 1000*cell.ReadSNM(defective, nil))
+}

@@ -1,0 +1,3 @@
+module ecripse
+
+go 1.22

@@ -1,0 +1,148 @@
+// Package blockade implements the statistical-blockade baseline of the
+// paper's reference [12] (Singhee & Rutenbar, TCAD 2009): a classifier
+// trained on an initial Monte Carlo batch filters the subsequent sample
+// stream so that only candidate failures reach the transistor-level
+// simulator.
+//
+// The paper's Section II-C discusses exactly this method and how ECRIPSE
+// differs: the blockade still samples from the *nominal* distribution, so
+// its cost to resolve a rare event is bounded below by the naive hit count;
+// combining the classifier with importance sampling (ECRIPSE) removes that
+// floor. This package exists to make that comparison runnable.
+package blockade
+
+import (
+	"math/rand"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/randx"
+	"ecripse/internal/stats"
+	"ecripse/internal/svm"
+)
+
+// Options configures the statistical-blockade estimator.
+type Options struct {
+	TrainN      int     // initial fully-simulated training batch (default 2000)
+	PolyDegree  int     // classifier feature degree (default 2, as in [12]-style blockades)
+	Lambda      float64 // SVM regularization (default 1e-4)
+	Band        float64 // conservative band: |score| < Band is simulated (default 1.0)
+	Epochs      int     // training epochs (default 25)
+	RecordEvery int     // series resolution (default n/50)
+}
+
+func (o *Options) fill() {
+	if o.TrainN == 0 {
+		o.TrainN = 2000
+	}
+	if o.PolyDegree == 0 {
+		o.PolyDegree = 2
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 1e-4
+	}
+	if o.Band == 0 {
+		o.Band = 1.0
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 25
+	}
+}
+
+// Result carries the estimate, its trace, and the filter statistics.
+type Result struct {
+	Series    stats.Series
+	Estimate  stats.Estimate
+	TrainSims int64 // simulations spent on the training batch
+	Passed    int64 // samples the filter let through to the simulator
+	Blocked   int64 // samples answered by the classifier alone
+}
+
+// Estimate runs statistical blockade: train on an initial batch, then
+// stream n nominal samples through the classifier, simulating only the
+// predicted-fail and in-band samples. dim is the variability-space
+// dimensionality; fails is the (counted) indicator.
+func Estimate(rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montecarlo.Counter, n int, opts *Options) Result {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+	if o.RecordEvery <= 0 {
+		o.RecordEvery = n/50 + 1
+	}
+
+	// Training batch: plain Monte Carlo, every sample simulated.
+	trainStart := c.Count()
+	cls := svm.NewClassifier(svm.NewPolyFeatures(dim, o.PolyDegree, 0), o.Lambda)
+	xs := make([]linalg.Vector, o.TrainN)
+	ys := make([]bool, o.TrainN)
+	positives := 0
+	for i := range xs {
+		xs[i] = randx.NormalVector(rng, dim)
+		ys[i] = fails(xs[i])
+		if ys[i] {
+			positives++
+		}
+	}
+	// Rare events leave the training set massively imbalanced; oversample
+	// the failures to roughly 1:2 so the hyper-plane does not collapse onto
+	// "always pass" (the class-weighting trick standard in blockade use).
+	trained := positives > 0
+	if trained {
+		bx, by := xs, ys
+		reps := (o.TrainN - positives) / (2 * positives)
+		for r := 0; r < reps; r++ {
+			for i := range xs {
+				if ys[i] {
+					bx = append(bx, xs[i])
+					by = append(by, true)
+				}
+			}
+		}
+		cls.Train(rng, bx, by, o.Epochs)
+	}
+	trainSims := c.Count() - trainStart
+
+	// Filtered stream. The training batch itself contributes to the
+	// estimate (its labels are exact).
+	var run stats.Running
+	for _, y := range ys {
+		v := 0.0
+		if y {
+			v = 1
+		}
+		run.Add(v)
+	}
+
+	res := Result{TrainSims: trainSims}
+	var series stats.Series
+	for k := 0; k < n; k++ {
+		x := randx.NormalVector(rng, dim)
+		var failed bool
+		if !trained || cls.Predict(x) || cls.Uncertain(x, o.Band) {
+			failed = fails(x) // candidate failure (or no filter): simulate
+			res.Passed++
+		} else {
+			failed = false // blockaded: trusted pass
+			res.Blocked++
+		}
+		v := 0.0
+		if failed {
+			v = 1
+		}
+		run.Add(v)
+		if (k+1)%o.RecordEvery == 0 || k == n-1 {
+			series = append(series, stats.Point{
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+			})
+		}
+	}
+	res.Series = series
+	fin := series.Final()
+	res.Estimate = stats.Estimate{
+		P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr,
+		N: o.TrainN + n, Sims: c.Count() - trainStart,
+	}
+	return res
+}

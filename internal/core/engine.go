@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math/rand"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/pfilter"
+	"ecripse/internal/randx"
+	"ecripse/internal/rtn"
+	"ecripse/internal/sram"
+	"ecripse/internal/stats"
+	"ecripse/internal/svm"
+)
+
+// Engine is a reusable ECRIPSE estimator bound to one cell. The boundary
+// particles and the trained classifier persist across Run calls, which is
+// how the paper amortizes cost over multiple gate-bias conditions (the
+// failure indicator depends only on the total threshold shift, not on the
+// duty ratio, so both artifacts stay valid when alpha changes).
+type Engine struct {
+	Cell    *sram.Cell
+	Counter *montecarlo.Counter
+	Opts    Options
+
+	sigma      linalg.Vector // per-transistor RDF sigma [V]
+	whiten     *linalg.Whitener
+	snmOpts    *sram.SNMOptions
+	classifier *svm.Classifier
+	initial    []linalg.Vector // shared boundary particles (normalized space)
+	trustR     float64         // classifier trust radius (normalized units)
+
+	// Cost accounting.
+	initSims   int64
+	warmupSims int64
+	classified int64 // labels answered by the classifier (free)
+}
+
+// NewEngine builds an estimator for the cell. The counter may be shared
+// with other estimators for joint accounting; pass nil for a private one.
+func NewEngine(cell *sram.Cell, counter *montecarlo.Counter, opts Options) *Engine {
+	opts.fill()
+	if counter == nil {
+		counter = &montecarlo.Counter{}
+	}
+	e := &Engine{
+		Cell:    cell,
+		Counter: counter,
+		Opts:    opts,
+		sigma:   cell.SigmaVth(),
+		snmOpts: &sram.SNMOptions{GridN: 24, BisectIter: 24},
+	}
+	if opts.Covariance != nil {
+		w, err := linalg.NewWhitener(linalg.NewVector(sram.NumTransistors), opts.Covariance)
+		if err != nil {
+			panic("core: invalid covariance: " + err.Error())
+		}
+		e.whiten = w
+	}
+	return e
+}
+
+// Sigma returns the per-transistor RDF standard deviations [V].
+func (e *Engine) Sigma() linalg.Vector { return e.sigma.Clone() }
+
+// simulate evaluates the true indicator at a *total* normalized shift
+// vector u (RDF + RTN combined, in units of the RDF sigma). One call is one
+// transistor-level simulation.
+func (e *Engine) simulate(u linalg.Vector) bool {
+	e.Counter.Add(1)
+	var sh sram.Shifts
+	if e.whiten != nil {
+		sh = sram.FromVector(e.whiten.Unwhiten(u))
+	} else {
+		for i := range sh {
+			sh[i] = u[i] * e.sigma[i]
+		}
+	}
+	switch e.Opts.Mode {
+	case WriteFailure:
+		return e.Cell.WriteFails(sh, e.snmOpts)
+	case HoldFailure:
+		return e.Cell.HoldSNM(sh, e.snmOpts) < 0
+	default:
+		return e.Cell.Fails(sh, e.snmOpts)
+	}
+}
+
+// label returns the indicator value at u, preferring the classifier.
+// Stage-1 semantics: a TrainFrac share of calls is simulated and fed back
+// as training data; everything else is classified for free.
+func (e *Engine) label(rng *rand.Rand, u linalg.Vector) bool {
+	if e.Opts.NoClassifier || !e.classifier.Trained() || rng.Float64() < e.Opts.TrainFrac {
+		failed := e.simulate(u)
+		if !e.Opts.NoClassifier {
+			e.classifier.Update(u, failed)
+		}
+		return failed
+	}
+	e.classified++
+	return e.classifier.Predict(u)
+}
+
+// labelStage2 is the stage-2 path: samples inside the uncertainty band —
+// or outside the classifier's trust radius, where a polynomial extrapolates
+// unreliably — are simulated (and used to incrementally retrain); confident
+// samples are classified.
+func (e *Engine) labelStage2(u linalg.Vector) bool {
+	if e.Opts.NoClassifier || !e.classifier.Trained() ||
+		(e.trustR > 0 && u.Norm() > e.trustR) ||
+		e.classifier.Uncertain(u, e.Opts.Band) {
+		failed := e.simulate(u)
+		if !e.Opts.NoClassifier {
+			e.classifier.Update(u, failed)
+		}
+		return failed
+	}
+	e.classified++
+	return e.classifier.Predict(u)
+}
+
+// Init performs the paper's step (1): boundary search along random
+// directions (plus classifier warm-up training around the boundary). It is
+// called implicitly by Run when needed; calling it explicitly lets several
+// bias conditions share one initialization, as in Fig. 7(b).
+func (e *Engine) Init(rng *rand.Rand) {
+	if e.initial != nil {
+		return
+	}
+	start := e.Counter.Count()
+	dim := sram.NumTransistors
+	e.initial = pfilter.BoundaryInit(rng, dim, e.Opts.Directions, e.Opts.RMax, e.Opts.RTol, e.simulate)
+	if len(e.initial) == 0 {
+		// Pathological cell: fall back to a ring at RMax so downstream code
+		// stays functional; the estimate will come out ~0.
+		for k := 0; k < e.Opts.Filters; k++ {
+			e.initial = append(e.initial, randx.SphereDirection(rng, dim).Scale(e.Opts.RMax))
+		}
+	}
+	e.initSims = e.Counter.Count() - start
+
+	// Trust the classifier only up to just beyond the farthest boundary
+	// point it will be trained around; the tail beyond carries little
+	// probability mass, so simulating it is cheap and removes the bias of
+	// polynomial extrapolation.
+	for _, p := range e.initial {
+		if r := p.Norm(); r > e.trustR {
+			e.trustR = r
+		}
+	}
+	e.trustR *= 1.1
+
+	if e.Opts.NoClassifier {
+		return
+	}
+	// Classifier warm-up: jittered boundary points (balanced labels), plus
+	// scaled-in pass points and scaled-out failure points so the polynomial
+	// does not wander far from the data.
+	start = e.Counter.Count()
+	e.classifier = svm.NewClassifier(svm.NewPolyFeatures(dim, e.Opts.PolyDegree, 0), e.Opts.Lambda)
+	var xs []linalg.Vector
+	var ys []bool
+	for i := 0; i < e.Opts.WarmupTrain; i++ {
+		base := e.initial[rng.Intn(len(e.initial))]
+		var u linalg.Vector
+		switch i % 4 {
+		case 0, 1: // near boundary
+			u = base.Add(randx.NormalVector(rng, dim).Scale(e.Opts.Kernel))
+		case 2: // interior (expected pass)
+			u = base.Scale(0.3 + 0.4*rng.Float64())
+		default: // exterior (expected fail)
+			u = base.Scale(1.2 + 0.5*rng.Float64())
+		}
+		xs = append(xs, u)
+		ys = append(ys, e.simulate(u))
+	}
+	e.classifier.Train(rng, xs, ys, e.Opts.Epochs)
+	e.warmupSims = e.Counter.Count() - start
+}
+
+// SetInitial installs boundary particles from another engine (shared
+// initialization across bias conditions). The classifier is not shared.
+func (e *Engine) SetInitial(initial []linalg.Vector) {
+	e.initial = make([]linalg.Vector, len(initial))
+	for i, p := range initial {
+		e.initial[i] = p.Clone()
+	}
+}
+
+// Initial returns the boundary particles found by Init (nil before Init).
+func (e *Engine) Initial() []linalg.Vector { return e.initial }
+
+// Run executes the full two-stage flow. sampler selects the RTN model
+// (nil = RDF-only, the Fig. 6 configuration).
+func (e *Engine) Run(rng *rand.Rand, sampler *rtn.Sampler) Result {
+	start := e.Counter.Count()
+	classifiedStart := e.classified
+	e.Init(rng)
+
+	m := 1
+	if sampler != nil {
+		m = e.Opts.M
+	}
+
+	// rtnValue computes Pfail_RTN(x) (eq. (17)) for an RDF point x using
+	// labeler lab for each of the m total-shift points.
+	rtnValue := func(rng *rand.Rand, x linalg.Vector, lab func(linalg.Vector) bool) float64 {
+		fails := 0
+		for k := 0; k < m; k++ {
+			u := x.Clone()
+			if sampler != nil {
+				sh := sampler.Sample(rng)
+				if e.whiten != nil {
+					// In the whitened space the additive physical shift
+					// maps through L⁻¹ (zero-mean Whiten).
+					u.AddInPlace(e.whiten.Whiten(sh.Vector()))
+				} else {
+					for i := range u {
+						u[i] += sh[i] / e.sigma[i]
+					}
+				}
+			}
+			if lab(u) {
+				fails++
+			}
+		}
+		return float64(fails) / float64(m)
+	}
+
+	// Stage 1: particle-filter estimation of the alternative distribution.
+	stage1Start := e.Counter.Count()
+	weight := func(x linalg.Vector) float64 {
+		v := rtnValue(rng, x, func(u linalg.Vector) bool { return e.label(rng, u) })
+		if v <= 0 {
+			return 0
+		}
+		return v * randx.StdNormalPDF(x)
+	}
+	ens := pfilter.New(rng, pfilter.Options{
+		Particles: e.Opts.Particles,
+		Filters:   e.Opts.Filters,
+		KernelStd: e.Opts.Kernel,
+	}, e.initial)
+	if e.Opts.PFIters > 0 {
+		ens.Run(rng, weight, e.Opts.PFIters)
+	}
+	stage1Sims := e.Counter.Count() - stage1Start
+
+	// Stage 2: importance sampling from the particle GMM (eqs. (18), (19)),
+	// defensively mixed with the nominal distribution to bound the weights.
+	stage2Start := e.Counter.Count()
+	q := ens.PoolGMM(nil, 600)
+	proposal := &montecarlo.DefensiveMixture{Q: q, Rho: e.Opts.Rho, Dim: sram.NumTransistors}
+	value := func(x linalg.Vector) float64 {
+		return rtnValue(rng, x, e.labelStage2)
+	}
+	series := montecarlo.ImportanceSample(rng, proposal, value, e.Opts.NIS, e.Counter, e.Opts.RecordEvery)
+	stage2Sims := e.Counter.Count() - stage2Start
+
+	fin := series.Final()
+	return Result{
+		Series: series,
+		Estimate: stats.Estimate{
+			P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr,
+			N: e.Opts.NIS, Sims: e.Counter.Count() - start,
+		},
+		InitSims:   e.initSims,
+		WarmupSims: e.warmupSims,
+		Stage1Sims: stage1Sims,
+		Stage2Sims: stage2Sims,
+		Classified: e.classified - classifiedStart,
+		Proposal:   q,
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/stats"
+)
+
+// Result is the outcome of one ECRIPSE run: the failure-probability
+// estimate, its convergence trace against the simulation counter, the cost
+// breakdown across the stages, and the alternative distribution (useful for
+// diagnostics and for seeding further runs).
+type Result struct {
+	Series   stats.Series
+	Estimate stats.Estimate
+
+	InitSims   int64 // boundary search (shared across bias conditions)
+	WarmupSims int64 // classifier warm-up labels
+	Stage1Sims int64 // particle-filter training labels
+	Stage2Sims int64 // stage-2 uncertain-band simulations
+	Classified int64 // labels answered by the classifier (no simulation)
+
+	Proposal *montecarlo.GMM
+}
+
+// String summarizes the run in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%v  (init=%d warmup=%d stage1=%d stage2=%d classified=%d)",
+		r.Estimate, r.InitSims, r.WarmupSims, r.Stage1Sims, r.Stage2Sims, r.Classified)
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math/rand"
+
+	"ecripse/internal/rtn"
+	"ecripse/internal/sram"
+)
+
+// SweepPoint is one duty-ratio sample of the Fig. 8 experiment.
+type SweepPoint struct {
+	Alpha  float64
+	Result Result
+}
+
+// DutySweep reproduces the workload of the paper's Fig. 8: the RTN-aware
+// failure probability at each duty ratio, with the boundary initialization
+// (and the trained classifier) shared across all bias conditions — the
+// optimization the paper highlights with Fig. 7(b).
+func DutySweep(rng *rand.Rand, cell *sram.Cell, cfg rtn.Config, alphas []float64, opts Options) []SweepPoint {
+	eng := NewEngine(cell, nil, opts)
+	eng.Init(rng)
+	out := make([]SweepPoint, 0, len(alphas))
+	for _, a := range alphas {
+		sampler := rtn.NewSampler(cell, cfg, a)
+		res := eng.Run(rng, sampler)
+		out = append(out, SweepPoint{Alpha: a, Result: res})
+	}
+	return out
+}
+
+// RDFOnly estimates the failure probability without RTN (the paper's
+// reference value 1.33e-4) using a fresh engine.
+func RDFOnly(rng *rand.Rand, cell *sram.Cell, opts Options) Result {
+	eng := NewEngine(cell, nil, opts)
+	return eng.Run(rng, nil)
+}

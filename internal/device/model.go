@@ -1,0 +1,204 @@
+// Package device implements the smooth EKV-style MOSFET compact model that
+// stands in for the paper's HSPICE + PTM 16 nm HP BSIM setup.
+//
+// The estimator layers only ever consume the DC drain current Ids(Vg,Vd,Vs,Vb)
+// of each transistor; the model below is continuous and continuously
+// differentiable across the subthreshold, triode and saturation regions,
+// which is what the Newton solver in internal/spice and the monotone
+// bisection in internal/sram require. The parameter set in params.go is
+// tuned to PTM-16HP-like magnitudes (|Vth0| ≈ 0.45–0.48 V, Vdd = 0.7 V
+// nominal) so that the SRAM read noise margin and its sensitivity to ΔVth
+// have realistic shape; see DESIGN.md §2 for the substitution rationale.
+package device
+
+import "math"
+
+// Thermal voltage kT/q at 300 K, in volts.
+const Ut = 0.02585
+
+// RoomTempK is the reference temperature for the parameter sets.
+const RoomTempK = 300.0
+
+// boltzmannOverQ is k_B/q in V/K.
+const boltzmannOverQ = 8.617333262e-5
+
+// Polarity selects NMOS or PMOS behaviour.
+type Polarity int
+
+const (
+	NMOS Polarity = iota
+	PMOS
+)
+
+// String implements fmt.Stringer.
+func (p Polarity) String() string {
+	if p == PMOS {
+		return "PMOS"
+	}
+	return "NMOS"
+}
+
+// Params is a technology parameter set for one device polarity.
+type Params struct {
+	Name   string   // e.g. "ptm16hp-nmos"
+	Pol    Polarity // NMOS or PMOS
+	VT0    float64  // zero-bias threshold magnitude [V] (positive for both polarities)
+	Slope  float64  // subthreshold slope factor n (dimensionless, > 1)
+	KP     float64  // transconductance μ·Cox [A/V²]
+	Lambda float64  // channel-length modulation [1/V]
+	Gamma  float64  // body-effect coefficient [√V]
+	Phi    float64  // surface potential 2φF [V]
+	DIBL   float64  // drain-induced barrier lowering [V/V]
+	Theta  float64  // mobility degradation / velocity saturation [1/V]
+	Tox    float64  // gate-oxide thickness [m]
+	// TempK is the junction temperature [K]; 0 means RoomTempK. The model
+	// applies the standard first-order dependences: the thermal voltage
+	// kT/q, a threshold decrease of TCV volts per kelvin above 300 K, and
+	// mobility reduction ∝ (T/300)^−1.5.
+	TempK float64
+	// TCV is the threshold temperature coefficient [V/K]; 0 means 0.8 mV/K.
+	TCV float64
+}
+
+// temp returns the effective junction temperature.
+func (p Params) temp() float64 {
+	if p.TempK <= 0 {
+		return RoomTempK
+	}
+	return p.TempK
+}
+
+// ut returns the thermal voltage kT/q at the device temperature [V].
+func (p Params) ut() float64 { return boltzmannOverQ * p.temp() }
+
+// tcv returns the threshold temperature coefficient [V/K].
+func (p Params) tcv() float64 {
+	if p.TCV == 0 {
+		return 0.8e-3
+	}
+	return p.TCV
+}
+
+// Cox returns the gate capacitance per unit area [F/m²].
+func (p Params) Cox() float64 {
+	const eps0 = 8.8541878128e-12 // F/m
+	const epsRelSiO2 = 3.9
+	return eps0 * epsRelSiO2 / p.Tox
+}
+
+// Device is a sized transistor instance with an optional threshold-voltage
+// shift. DVth is where both the RDF sample and the RTN sample enter the
+// simulation: the effective threshold is VT0 + DVth (magnitude, for either
+// polarity, so a positive DVth always weakens the device).
+type Device struct {
+	Params
+	W, L float64 // channel width and length [m]
+	DVth float64 // threshold shift magnitude [V]
+}
+
+// NewDevice builds a device from a parameter set and geometry in meters.
+func NewDevice(p Params, w, l float64) *Device {
+	if w <= 0 || l <= 0 {
+		panic("device: non-positive geometry")
+	}
+	return &Device{Params: p, W: w, L: l}
+}
+
+// ispec returns the EKV specific current 2·n·KP(T)·(W/L)·Ut(T)², with the
+// mobility scaled by (T/300)^−1.5.
+func (d *Device) ispec() float64 {
+	ut := d.ut()
+	kp := d.KP * math.Pow(d.temp()/RoomTempK, -1.5)
+	return 2 * d.Slope * kp * (d.W / d.L) * ut * ut
+}
+
+// softplus is ln(1+eˣ) with overflow/underflow guards.
+func softplus(x float64) float64 {
+	switch {
+	case x > 35:
+		return x
+	case x < -35:
+		return math.Exp(x)
+	default:
+		return math.Log1p(math.Exp(x))
+	}
+}
+
+// ekvF is the EKV interpolation function F(u) = ln(1+exp(u/2))², which is
+// ≈ exp(u) in weak inversion and ≈ (u/2)² in strong inversion.
+func ekvF(u float64) float64 {
+	s := softplus(u / 2)
+	return s * s
+}
+
+// Ids returns the DC drain current flowing into the drain terminal, given
+// absolute node voltages (Vg, Vd, Vs, Vb) against ground. For PMOS the sign
+// conventions follow SPICE: a conducting PMOS with Vd < Vs yields Ids < 0.
+func (d *Device) Ids(vg, vd, vs, vb float64) float64 {
+	if d.Pol == PMOS {
+		// A PMOS is an NMOS in the mirrored voltage space.
+		return -d.idsN(-vg, -vd, -vs, -vb)
+	}
+	return d.idsN(vg, vd, vs, vb)
+}
+
+// idsN evaluates the NMOS-space model. Source/drain symmetry is enforced
+// exactly by swap-and-negate, so the solvers may wire either diffusion node
+// as "drain".
+func (d *Device) idsN(vg, vd, vs, vb float64) float64 {
+	if vd < vs {
+		return -d.idsN(vg, vs, vd, vb)
+	}
+	vds := vd - vs
+
+	// Threshold with body effect and DIBL. The sqrt argument is clamped
+	// smoothly so forward body bias cannot produce a NaN.
+	vsb := vs - vb
+	arg := d.Phi + vsb
+	const argFloor = 0.05
+	if arg < argFloor {
+		// Smooth exponential floor: continuous value and derivative.
+		arg = argFloor * math.Exp((arg-argFloor)/argFloor)
+	}
+	vt := d.VT0 + d.DVth + d.Gamma*(math.Sqrt(arg)-math.Sqrt(d.Phi)) - d.DIBL*vds -
+		d.tcv()*(d.temp()-RoomTempK)
+
+	// EKV pinch-off voltage referenced to the bulk.
+	vp := (vg - vb - vt) / d.Slope
+
+	ut := d.ut()
+	fwd := ekvF((vp - (vs - vb)) / ut)
+	rev := ekvF((vp - (vd - vb)) / ut)
+	clm := 1 + d.Lambda*vds
+
+	// First-order mobility degradation / velocity saturation: the effective
+	// gate overdrive (smoothly clamped at zero) divides the current. This is
+	// what makes short-channel drive currents closer to linear than square
+	// in overdrive — and what breaks the disturb-vs-trip-point cancellation
+	// of the driver's ΔVth sensitivity in the SRAM read fight.
+	deg := 1.0
+	if d.Theta > 0 {
+		od := d.Slope * ut * softplus((vp-(vs-vb))/ut)
+		deg = 1 / (1 + d.Theta*od)
+	}
+	return d.ispec() * (fwd - rev) * clm * deg
+}
+
+// Gds returns the numerical output conductance dIds/dVd.
+func (d *Device) Gds(vg, vd, vs, vb float64) float64 {
+	const h = 1e-7
+	return (d.Ids(vg, vd+h, vs, vb) - d.Ids(vg, vd-h, vs, vb)) / (2 * h)
+}
+
+// Gm returns the numerical transconductance dIds/dVg.
+func (d *Device) Gm(vg, vd, vs, vb float64) float64 {
+	const h = 1e-7
+	return (d.Ids(vg+h, vd, vs, vb) - d.Ids(vg-h, vd, vs, vb)) / (2 * h)
+}
+
+// WithDVth returns a shallow copy of d with the given threshold shift.
+func (d *Device) WithDVth(dv float64) *Device {
+	out := *d
+	out.DVth = dv
+	return &out
+}

@@ -1,0 +1,263 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func nmos() *Device { return NewDevice(PTM16HPNMOS(), 30e-9, 16e-9) }
+func pmos() *Device { return NewDevice(PTM16HPPMOS(), 60e-9, 16e-9) }
+
+func TestZeroVdsZeroCurrent(t *testing.T) {
+	d := nmos()
+	for _, v := range []float64{0, 0.2, 0.5, 0.7} {
+		if got := d.Ids(0.7, v, v, 0); got != 0 {
+			t.Fatalf("Ids at Vds=0 (node %v) = %v", v, got)
+		}
+	}
+}
+
+func TestSourceDrainAntisymmetry(t *testing.T) {
+	d := nmos()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		vg := rng.Float64()
+		vd := rng.Float64()
+		vs := rng.Float64()
+		a := d.Ids(vg, vd, vs, 0)
+		b := d.Ids(vg, vs, vd, 0)
+		if math.Abs(a+b) > 1e-18+1e-12*math.Abs(a) {
+			t.Fatalf("Ids(%v,%v,%v) = %v, swapped = %v", vg, vd, vs, a, b)
+		}
+	}
+}
+
+func TestNMOSOnOffRatio(t *testing.T) {
+	d := nmos()
+	on := d.Ids(0.7, 0.7, 0, 0)
+	off := d.Ids(0, 0.7, 0, 0)
+	if on <= 0 || off <= 0 {
+		t.Fatalf("on=%v off=%v must be positive", on, off)
+	}
+	if on/off < 1e4 {
+		t.Fatalf("on/off ratio too small: %v", on/off)
+	}
+}
+
+func TestPMOSSigns(t *testing.T) {
+	d := pmos()
+	// Conducting PMOS: gate low, source at Vdd, drain low -> current out of drain (negative Ids).
+	i := d.Ids(0, 0, 0.7, 0.7)
+	if i >= 0 {
+		t.Fatalf("conducting PMOS Ids = %v, want negative", i)
+	}
+	// Off PMOS: gate at Vdd.
+	off := d.Ids(0.7, 0, 0.7, 0.7)
+	if math.Abs(off) >= math.Abs(i)/1e4 {
+		t.Fatalf("PMOS off current too large: on=%v off=%v", i, off)
+	}
+}
+
+func TestMonotoneInVg(t *testing.T) {
+	d := nmos()
+	prev := -math.MaxFloat64
+	for vg := 0.0; vg <= 0.9; vg += 0.01 {
+		i := d.Ids(vg, 0.7, 0, 0)
+		if i < prev {
+			t.Fatalf("Ids not monotone in Vg at %v: %v < %v", vg, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestMonotoneInVd(t *testing.T) {
+	d := nmos()
+	prev := -math.MaxFloat64
+	for vd := 0.0; vd <= 0.9; vd += 0.01 {
+		i := d.Ids(0.7, vd, 0, 0)
+		if i < prev-1e-15 {
+			t.Fatalf("Ids not monotone in Vd at %v: %v < %v", vd, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestDVthWeakensDevice(t *testing.T) {
+	d := nmos()
+	base := d.Ids(0.7, 0.7, 0, 0)
+	weak := d.WithDVth(0.05).Ids(0.7, 0.7, 0, 0)
+	strong := d.WithDVth(-0.05).Ids(0.7, 0.7, 0, 0)
+	if !(weak < base && base < strong) {
+		t.Fatalf("DVth ordering violated: %v %v %v", weak, base, strong)
+	}
+	// PMOS: positive DVth must also weaken (reduce |Ids|).
+	p := pmos()
+	pb := math.Abs(p.Ids(0, 0, 0.7, 0.7))
+	pw := math.Abs(p.WithDVth(0.05).Ids(0, 0, 0.7, 0.7))
+	if pw >= pb {
+		t.Fatalf("PMOS DVth did not weaken: %v vs %v", pw, pb)
+	}
+}
+
+func TestBodyEffectRaisesThreshold(t *testing.T) {
+	d := nmos()
+	// Same Vgs/Vds but with raised source-body voltage: current must drop.
+	base := d.Ids(0.7, 0.7, 0, 0)
+	withVsb := d.Ids(0.9, 0.9, 0.2, 0) // identical Vgs=0.7, Vds=0.7, Vsb=0.2
+	if withVsb >= base {
+		t.Fatalf("body effect missing: %v >= %v", withVsb, base)
+	}
+}
+
+func TestSubthresholdSlopeSanity(t *testing.T) {
+	// In weak inversion, current decays ~ exp(Vgs/(n·Ut)); a 60·n mV gate
+	// step must change current by close to 10x.
+	// Deep subthreshold: stay well below the DIBL-lowered threshold
+	// (VT0 − DIBL·Vds ≈ 0.30 V at Vds = 0.7 V).
+	d := nmos()
+	i1 := d.Ids(0.08, 0.7, 0, 0)
+	step := d.Slope * Ut * math.Ln10
+	i2 := d.Ids(0.08+step, 0.7, 0, 0)
+	ratio := i2 / i1
+	if ratio < 7 || ratio > 13 {
+		t.Fatalf("subthreshold decade ratio = %v", ratio)
+	}
+}
+
+func TestGmGdsPositiveInSaturation(t *testing.T) {
+	d := nmos()
+	if gm := d.Gm(0.7, 0.7, 0, 0); gm <= 0 {
+		t.Fatalf("gm = %v", gm)
+	}
+	if gds := d.Gds(0.7, 0.7, 0, 0); gds <= 0 {
+		t.Fatalf("gds = %v", gds)
+	}
+}
+
+func TestContinuityNoJumps(t *testing.T) {
+	// Fine sweep across all operating regions: relative jumps between
+	// adjacent points must be tiny (smooth model).
+	d := nmos()
+	const h = 1e-4
+	ion := d.Ids(0.8, 0.8, 0, 0)
+	tol := 100 * ion * h // bounded slope: no step may exceed ~100·Ion per volt
+	for vg := 0.0; vg <= 0.8; vg += 0.1 {
+		prev := d.Ids(vg, 0, 0, 0)
+		for vd := h; vd <= 0.8; vd += h {
+			cur := d.Ids(vg, vd, 0, 0)
+			if math.Abs(cur-prev) > tol {
+				t.Fatalf("jump at vg=%v vd=%v: %v -> %v", vg, vd, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestCoxMagnitude(t *testing.T) {
+	c := PTM16HPNMOS().Cox()
+	// eps0*3.9/0.95nm ≈ 0.03634 F/m²
+	if math.Abs(c-0.03634) > 0.001 {
+		t.Fatalf("Cox = %v", c)
+	}
+}
+
+func TestNewDevicePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDevice(PTM16HPNMOS(), 0, 16e-9)
+}
+
+func TestPolarityString(t *testing.T) {
+	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {
+		t.Fatal("Polarity.String broken")
+	}
+}
+
+func TestWidthScalesCurrent(t *testing.T) {
+	narrow := NewDevice(PTM16HPNMOS(), 30e-9, 16e-9)
+	wide := NewDevice(PTM16HPNMOS(), 60e-9, 16e-9)
+	in := narrow.Ids(0.7, 0.7, 0, 0)
+	iw := wide.Ids(0.7, 0.7, 0, 0)
+	if math.Abs(iw/in-2) > 1e-9 {
+		t.Fatalf("width scaling ratio = %v", iw/in)
+	}
+}
+
+// Property: current is finite and antisymmetric for random operating points,
+// including negative and above-rail voltages.
+func TestPropertyFiniteAntisymmetric(t *testing.T) {
+	d := nmos()
+	p := pmos()
+	f := func(g, a, b int16) bool {
+		vg := float64(g%2000) / 1000 // [-2, 2)
+		vd := float64(a%2000) / 1000
+		vs := float64(b%2000) / 1000
+		for _, dev := range []*Device{d, p} {
+			i1 := dev.Ids(vg, vd, vs, 0)
+			i2 := dev.Ids(vg, vs, vd, 0)
+			if math.IsNaN(i1) || math.IsInf(i1, 0) {
+				return false
+			}
+			if math.Abs(i1+i2) > 1e-15+1e-10*math.Abs(i1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a larger DVth never increases drive strength.
+func TestPropertyDVthMonotone(t *testing.T) {
+	d := nmos()
+	f := func(a, b uint8) bool {
+		dv1 := float64(a) / 1000 // 0..0.255 V
+		dv2 := float64(b) / 1000
+		if dv1 > dv2 {
+			dv1, dv2 = dv2, dv1
+		}
+		i1 := d.WithDVth(dv1).Ids(0.7, 0.7, 0, 0)
+		i2 := d.WithDVth(dv2).Ids(0.7, 0.7, 0, 0)
+		return i2 <= i1+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemperatureDependence(t *testing.T) {
+	cold := nmos()
+	hot := nmos()
+	hot.TempK = 400
+
+	// Subthreshold: higher T -> lower Vth and more diffusion current.
+	coldSub := cold.Ids(0.2, 0.7, 0, 0)
+	hotSub := hot.Ids(0.2, 0.7, 0, 0)
+	if hotSub <= coldSub {
+		t.Fatalf("subthreshold current did not rise with T: %v vs %v", hotSub, coldSub)
+	}
+
+	// Strong inversion at high overdrive: mobility loss dominates and the
+	// current drops (the classic temperature-inversion crossover).
+	coldOn := cold.Ids(1.2, 1.2, 0, 0)
+	hotOn := hot.Ids(1.2, 1.2, 0, 0)
+	if hotOn >= coldOn {
+		t.Fatalf("strong-inversion current did not drop with T: %v vs %v", hotOn, coldOn)
+	}
+}
+
+func TestTemperatureDefaultIsRoom(t *testing.T) {
+	a := nmos()
+	b := nmos()
+	b.TempK = RoomTempK
+	if a.Ids(0.5, 0.5, 0, 0) != b.Ids(0.5, 0.5, 0, 0) {
+		t.Fatal("explicit 300 K differs from default")
+	}
+}

@@ -1,0 +1,49 @@
+package device
+
+// PTM-16HP-inspired parameter sets. The paper simulates with the 16 nm
+// high-performance predictive technology model (PTM, ptm.asu.edu); the values
+// below reproduce its headline magnitudes (|Vth| near 0.45–0.5 V at a 0.7 V
+// nominal supply, tox = 0.95 nm as in the paper's Table I) inside the
+// simplified EKV equations of this package. Absolute currents therefore
+// differ from BSIM, but the SRAM-cell ratioed-fight behaviour that the
+// failure indicator depends on is preserved.
+
+// PTM16HPNMOS returns the NMOS parameter set.
+func PTM16HPNMOS() Params {
+	return Params{
+		Name:   "ptm16hp-nmos",
+		Pol:    NMOS,
+		VT0:    0.48,
+		Slope:  1.25,
+		KP:     5.0e-4,
+		Lambda: 0.15,
+		Gamma:  0.30,
+		Phi:    0.80,
+		DIBL:   0.25,
+		Tox:    0.95e-9,
+	}
+}
+
+// PTM16HPPMOS returns the PMOS parameter set. VT0 is a magnitude; the model
+// applies polarity internally.
+func PTM16HPPMOS() Params {
+	return Params{
+		Name:   "ptm16hp-pmos",
+		Pol:    PMOS,
+		VT0:    0.43,
+		Slope:  1.25,
+		KP:     2.2e-4,
+		Lambda: 0.17,
+		Gamma:  0.28,
+		Phi:    0.80,
+		DIBL:   0.25,
+		Tox:    0.95e-9,
+	}
+}
+
+// VddNominal is the nominal supply of the 16 nm HP node [V].
+const VddNominal = 0.7
+
+// VddLow is the lowered supply used in the paper's Fig. 7 so that naive
+// Monte Carlo converges [V].
+const VddLow = 0.5

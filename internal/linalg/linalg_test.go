@@ -1,0 +1,304 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorAddSubScale(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Add(w); !got.Equal(Vector{5, 7, 9}, 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(Vector{3, 3, 3}, 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(Vector{2, 4, 6}, 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestVectorDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Dot(v); got != 25 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := v.Norm2(); got != 25 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := v.Dist(Vector{0, 0}); got != 5 {
+		t.Fatalf("Dist = %v", got)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{0, 0, 7}
+	u := v.Normalize()
+	if !u.Equal(Vector{0, 0, 1}, 1e-15) {
+		t.Fatalf("Normalize = %v", u)
+	}
+	z := Vector{0, 0}
+	if got := z.Normalize(); !got.Equal(z, 0) {
+		t.Fatalf("Normalize(0) = %v", got)
+	}
+}
+
+func TestVectorMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Add(Vector{1, 2})
+}
+
+func TestVectorMaxAbs(t *testing.T) {
+	if got := (Vector{-3, 2, 1}).MaxAbs(); got != 3 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+	if got := (Vector{}).MaxAbs(); got != 0 {
+		t.Fatalf("MaxAbs(empty) = %v", got)
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 6; i++ {
+		m.Data[i] = float64(i + 1)
+	}
+	got := Identity(2).Mul(m)
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatalf("I*m mismatch at %d: %v vs %v", i, got.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 6; i++ {
+		m.Data[i] = float64(i)
+	}
+	tt := m.T()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got := m.MulVec(Vector{1, 1})
+	if !got.Equal(Vector{3, 7}, 0) {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	// Sigma = A*Aᵀ + n*I is SPD for any A.
+	rng := rand.New(rand.NewSource(1))
+	n := 5
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	sigma := a.Mul(a.T())
+	for i := 0; i < n; i++ {
+		sigma.Set(i, i, sigma.At(i, i)+float64(n))
+	}
+	l, err := sigma.Cholesky()
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	back := l.Mul(l.T())
+	for i := range sigma.Data {
+		if !almostEq(back.Data[i], sigma.Data[i], 1e-9) {
+			t.Fatalf("L*Lᵀ mismatch at %d: %v vs %v", i, back.Data[i], sigma.Data[i])
+		}
+	}
+	// Upper part of L must be zero.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if l.At(i, j) != 0 {
+				t.Fatalf("L not lower triangular at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 1) // eigenvalues 3, -1
+	if _, err := m.Cholesky(); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	m := NewMatrix(3, 3)
+	vals := []float64{4, 1, 0, 1, 3, 1, 0, 1, 2}
+	copy(m.Data, vals)
+	want := Vector{1, -2, 3}
+	b := m.MulVec(want)
+	got, err := m.SolveSPD(b)
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	if !got.Equal(want, 1e-10) {
+		t.Fatalf("SolveSPD = %v want %v", got, want)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		want := make(Vector, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := m.MulVec(want)
+		got, err := m.LUSolve(b)
+		if err != nil {
+			continue // singular random draw; acceptable
+		}
+		if !got.Equal(want, 1e-8) {
+			t.Fatalf("trial %d: LUSolve = %v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestLUSolveSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := m.LUSolve(Vector{1, 2}); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func TestWhitenRoundTrip(t *testing.T) {
+	mean := Vector{1, -2, 0.5}
+	sigma := NewMatrix(3, 3)
+	copy(sigma.Data, []float64{2, 0.3, 0.1, 0.3, 1.5, -0.2, 0.1, -0.2, 1.0})
+	w, err := NewWhitener(mean, sigma)
+	if err != nil {
+		t.Fatalf("NewWhitener: %v", err)
+	}
+	if w.Dim() != 3 {
+		t.Fatalf("Dim = %d", w.Dim())
+	}
+	x := Vector{0.7, 0.1, -1.2}
+	z := w.Whiten(x)
+	back := w.Unwhiten(z)
+	if !back.Equal(x, 1e-12) {
+		t.Fatalf("round trip %v -> %v -> %v", x, z, back)
+	}
+}
+
+func TestWhitenStatistics(t *testing.T) {
+	// Samples drawn with Unwhiten(z), z~N(0,I), must have covariance Sigma.
+	mean := Vector{0.5, -0.5}
+	sigma := NewMatrix(2, 2)
+	copy(sigma.Data, []float64{1.0, 0.6, 0.6, 2.0})
+	w, err := NewWhitener(mean, sigma)
+	if err != nil {
+		t.Fatalf("NewWhitener: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x := w.Unwhiten(Vector{rng.NormFloat64(), rng.NormFloat64()})
+		sx += x[0]
+		sy += x[1]
+		sxx += x[0] * x[0]
+		syy += x[1] * x[1]
+		sxy += x[0] * x[1]
+	}
+	mx, my := sx/n, sy/n
+	cxx := sxx/n - mx*mx
+	cyy := syy/n - my*my
+	cxy := sxy/n - mx*my
+	if !almostEq(mx, 0.5, 0.02) || !almostEq(my, -0.5, 0.02) {
+		t.Fatalf("mean = (%v,%v)", mx, my)
+	}
+	if !almostEq(cxx, 1.0, 0.05) || !almostEq(cyy, 2.0, 0.05) || !almostEq(cxy, 0.6, 0.05) {
+		t.Fatalf("cov = (%v,%v,%v)", cxx, cyy, cxy)
+	}
+}
+
+func TestWhitenerShapeMismatch(t *testing.T) {
+	if _, err := NewWhitener(Vector{1, 2}, Identity(3)); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+// Property: for any vectors, dot product is symmetric and Cauchy–Schwarz holds.
+func TestPropertyDotCauchySchwarz(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		v, w := Vector(a[:]), Vector(b[:])
+		for _, x := range append(v.Clone(), w...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		d1, d2 := v.Dot(w), w.Dot(v)
+		if d1 != d2 {
+			return false
+		}
+		return math.Abs(d1) <= v.Norm()*w.Norm()*(1+1e-9)+1e-300
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LUSolve(m, m*x) recovers x for well-conditioned random m.
+func TestPropertyLUSolveRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + int(seed&3)
+		m := Identity(n)
+		for i := range m.Data {
+			m.Data[i] += 0.3 * r.NormFloat64() // diagonally dominant-ish
+		}
+		x := make(Vector, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got, err := m.LUSolve(m.MulVec(x))
+		if err != nil {
+			return true
+		}
+		return got.Equal(x, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

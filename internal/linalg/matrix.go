@@ -1,0 +1,229 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on its diagonal.
+func Diag(d Vector) *Matrix {
+	m := NewMatrix(len(d), len(d))
+	for i, x := range d {
+		m.Set(i, i, x)
+	}
+	return m
+}
+
+// At returns the (i, j) element.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) element.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m in a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns m*b in a new matrix. It panics on shape mismatch.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: matmul shape mismatch (%dx%d)*(%dx%d)", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m*v in a new vector. It panics on shape mismatch.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: matvec shape mismatch (%dx%d)*%d", m.Rows, m.Cols, len(v)))
+	}
+	out := make(Vector, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Cholesky computes the lower-triangular factor L with m = L*Lᵀ. The input
+// must be symmetric positive definite; otherwise an error is returned.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		sum := m.At(j, j)
+		for k := 0; k < j; k++ {
+			sum -= l.At(j, k) * l.At(j, k)
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("linalg: matrix not positive definite (pivot %d: %g)", j, sum)
+		}
+		ljj := math.Sqrt(sum)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := m.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L*x = b for lower-triangular L by forward substitution.
+func (m *Matrix) SolveLower(b Vector) Vector {
+	n := m.Rows
+	checkLen(n, len(b))
+	x := make(Vector, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		d := m.At(i, i)
+		if d == 0 {
+			panic("linalg: singular triangular solve")
+		}
+		x[i] = s / d
+	}
+	return x
+}
+
+// SolveUpper solves U*x = b for upper-triangular U by back substitution.
+func (m *Matrix) SolveUpper(b Vector) Vector {
+	n := m.Rows
+	checkLen(n, len(b))
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		d := m.At(i, i)
+		if d == 0 {
+			panic("linalg: singular triangular solve")
+		}
+		x[i] = s / d
+	}
+	return x
+}
+
+// SolveSPD solves m*x = b for symmetric positive-definite m via Cholesky.
+func (m *Matrix) SolveSPD(b Vector) (Vector, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	y := l.SolveLower(b)
+	return l.T().SolveUpper(y), nil
+}
+
+// LUSolve solves m*x = b for a general square m using Gaussian elimination
+// with partial pivoting. m and b are left unmodified.
+func (m *Matrix) LUSolve(b Vector) (Vector, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: LUSolve of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	checkLen(n, len(b))
+	a := m.Clone()
+	x := b.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				p, best = r, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("linalg: singular matrix (column %d)", col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				a.Data[col*n+j], a.Data[p*n+j] = a.Data[p*n+j], a.Data[col*n+j]
+			}
+			x[col], x[p] = x[p], x[col]
+		}
+		piv := a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,131 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// rest of the library: vectors, column-major-free dense matrices, Cholesky
+// factorization and whitening transforms.
+//
+// The estimators in this repository operate in a low-dimensional variability
+// space (typically D = 6, one threshold-voltage shift per transistor of a 6T
+// SRAM cell), so the implementation favours clarity and zero external
+// dependencies over asymptotic cleverness.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w in a new vector. It panics when lengths differ.
+func (v Vector) Add(w Vector) Vector {
+	checkLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w in a new vector. It panics when lengths differ.
+func (v Vector) Sub(w Vector) Vector {
+	checkLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns a*v in a new vector.
+func (v Vector) Scale(a float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = a * v[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates w into v.
+func (v Vector) AddInPlace(w Vector) {
+	checkLen(len(v), len(w))
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Dot returns the inner product of v and w. It panics when lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	checkLen(len(v), len(w))
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean norm of v.
+func (v Vector) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vector) Dist(w Vector) float64 {
+	checkLen(len(v), len(w))
+	s := 0.0
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize returns v scaled to unit norm. A zero vector is returned
+// unchanged (as a copy).
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v.Clone()
+	}
+	return v.Scale(1 / n)
+}
+
+// MaxAbs returns the largest absolute entry of v, or 0 for an empty vector.
+func (v Vector) MaxAbs() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports whether v and w agree to within tol in every component.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("linalg: dimension mismatch %d vs %d", a, b))
+	}
+}

@@ -1,0 +1,40 @@
+package linalg
+
+import "fmt"
+
+// Whitener maps samples of a correlated Gaussian N(mu, Sigma) to the
+// standard normal N(0, I) and back. The paper (Section II-A) assumes the
+// variability space has been whitened; this type is how a user with a
+// correlated process-variation covariance gets there.
+type Whitener struct {
+	mean Vector
+	l    *Matrix // lower Cholesky factor of Sigma
+}
+
+// NewWhitener builds a Whitener for N(mean, sigma). sigma must be symmetric
+// positive definite.
+func NewWhitener(mean Vector, sigma *Matrix) (*Whitener, error) {
+	if sigma.Rows != len(mean) || sigma.Cols != len(mean) {
+		return nil, fmt.Errorf("linalg: covariance %dx%d does not match mean dimension %d", sigma.Rows, sigma.Cols, len(mean))
+	}
+	l, err := sigma.Cholesky()
+	if err != nil {
+		return nil, fmt.Errorf("linalg: whitening: %w", err)
+	}
+	return &Whitener{mean: mean.Clone(), l: l}, nil
+}
+
+// Dim returns the dimensionality of the space.
+func (w *Whitener) Dim() int { return len(w.mean) }
+
+// Whiten maps a physical-space sample x to the standard-normal space:
+// z = L⁻¹ (x − mean).
+func (w *Whitener) Whiten(x Vector) Vector {
+	return w.l.SolveLower(x.Sub(w.mean))
+}
+
+// Unwhiten maps a standard-normal sample z back to the physical space:
+// x = mean + L z.
+func (w *Whitener) Unwhiten(z Vector) Vector {
+	return w.l.MulVec(z).Add(w.mean)
+}

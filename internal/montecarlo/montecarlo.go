@@ -1,0 +1,267 @@
+// Package montecarlo provides the estimation engines shared by the baseline
+// and proposed methods: a simulation counter (the paper's x-axis is always
+// "number of transistor-level simulations"), naive Monte Carlo, and
+// importance sampling from Gaussian-mixture alternative distributions
+// (paper eqs. (2), (4), (18), (19)), all with convergence-series recording.
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
+	"ecripse/internal/stats"
+)
+
+// Counter tallies transistor-level simulations. Every estimator in this
+// repository routes its indicator evaluations through one Counter so that
+// method-to-method comparisons count work identically.
+type Counter struct {
+	n int64
+}
+
+// Add records k simulations.
+func (c *Counter) Add(k int64) { c.n += k }
+
+// Count returns the simulations so far.
+func (c *Counter) Count() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Value is a function giving the (conditional) failure value of a point in
+// the normalized variability space: either a 0/1 indicator or, for the
+// RTN-aware flow, the inner estimate Pfail_RTN(x) ∈ [0,1] of eq. (13).
+type Value func(x linalg.Vector) float64
+
+// Trial draws one sample from the nominal distribution and reports failure;
+// used by naive Monte Carlo where each trial costs one simulation.
+type Trial func(rng *rand.Rand) bool
+
+// Naive runs n naive Monte Carlo trials (paper eq. (2)), recording a
+// convergence point roughly every recordEvery simulations as counted by c.
+func Naive(rng *rand.Rand, trial Trial, n int, c *Counter, recordEvery int) stats.Series {
+	if recordEvery <= 0 {
+		recordEvery = n/50 + 1
+	}
+	var run stats.Running
+	var series stats.Series
+	nextRecord := c.Count() + int64(recordEvery)
+	for i := 0; i < n; i++ {
+		v := 0.0
+		if trial(rng) {
+			v = 1
+		}
+		run.Add(v)
+		if c.Count() >= nextRecord || i == n-1 {
+			series = append(series, stats.Point{
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+			})
+			nextRecord = c.Count() + int64(recordEvery)
+		}
+	}
+	return series
+}
+
+// Proposal is an alternative distribution Q(x) that can be sampled and
+// evaluated; importance sampling weighs draws by P(x)/Q(x).
+type Proposal interface {
+	Sample(rng *rand.Rand) linalg.Vector
+	LogPDF(x linalg.Vector) float64
+}
+
+// NaiveQMC is the quasi-Monte Carlo variant of the naive estimator: the
+// sample points come from a Halton sequence mapped to N(0, I) instead of a
+// pseudorandom stream. For *mean* estimation QMC improves the convergence
+// constant; for rare events it cannot beat the hit-count limit, which is
+// exactly the ablation this function supports. The reported confidence
+// interval uses the i.i.d. formula and is therefore only indicative (a
+// randomized QMC would be needed for rigorous intervals).
+func NaiveQMC(dim int, value Value, n int, c *Counter, recordEvery int) stats.Series {
+	if recordEvery <= 0 {
+		recordEvery = n/50 + 1
+	}
+	h := randx.NewHalton(dim)
+	var run stats.Running
+	var series stats.Series
+	for k := 0; k < n; k++ {
+		run.Add(value(h.NextNormal()))
+		if (k+1)%recordEvery == 0 || k == n-1 {
+			series = append(series, stats.Point{
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+			})
+		}
+	}
+	return series
+}
+
+// GMM is a Gaussian mixture with shared diagonal covariance — the
+// alternative-distribution family of eq. (18), whose component means are
+// particle positions. Weights are optional (nil means equal weights); a
+// weighted mixture lets the proposal use the final measurement round's
+// weights directly instead of losing diversity to resampling.
+type GMM struct {
+	Means   []linalg.Vector
+	Sigma   linalg.Vector // shared per-dimension standard deviations
+	Weights []float64     // optional; non-negative, need not be normalized
+
+	// Cached terms for the fast LogPDF path (built lazily).
+	invSigma  linalg.Vector
+	logCoeffs []float64 // per-component log(w_i/Σw) − Σ log σ_d − D/2·log 2π
+}
+
+// prepare builds the LogPDF caches once; Means/Sigma/Weights must not be
+// mutated afterwards.
+func (g *GMM) prepare() {
+	if g.invSigma != nil {
+		return
+	}
+	d := len(g.Sigma)
+	g.invSigma = make(linalg.Vector, d)
+	base := -0.5 * float64(d) * randx.Log2Pi
+	for i, s := range g.Sigma {
+		g.invSigma[i] = 1 / s
+		base -= math.Log(s)
+	}
+	totalW := 0.0
+	if g.Weights != nil {
+		for _, w := range g.Weights {
+			if w > 0 {
+				totalW += w
+			}
+		}
+	}
+	g.logCoeffs = make([]float64, len(g.Means))
+	for i := range g.Means {
+		c := base
+		switch {
+		case g.Weights == nil:
+			c -= math.Log(float64(len(g.Means)))
+		case g.Weights[i] > 0 && totalW > 0:
+			c += math.Log(g.Weights[i] / totalW)
+		default:
+			c = math.Inf(-1)
+		}
+		g.logCoeffs[i] = c
+	}
+}
+
+// Dim returns the dimensionality.
+func (g *GMM) Dim() int { return len(g.Sigma) }
+
+// Sample draws one point: a component chosen by weight plus diagonal
+// Gaussian noise.
+func (g *GMM) Sample(rng *rand.Rand) linalg.Vector {
+	var m linalg.Vector
+	if g.Weights == nil {
+		m = g.Means[rng.Intn(len(g.Means))]
+	} else {
+		m = g.Means[randx.Categorical(rng, g.Weights)]
+	}
+	x := make(linalg.Vector, len(m))
+	for i := range x {
+		x[i] = m[i] + g.Sigma[i]*rng.NormFloat64()
+	}
+	return x
+}
+
+// LogPDF returns log Q(x) via a numerically stable log-sum-exp over the
+// mixture components.
+func (g *GMM) LogPDF(x linalg.Vector) float64 {
+	g.prepare()
+	// Running log-sum-exp: rescale the accumulator whenever a new maximum
+	// appears, so no per-call buffer is needed.
+	maxLog := math.Inf(-1)
+	s := 0.0
+	for i, m := range g.Means {
+		c := g.logCoeffs[i]
+		if math.IsInf(c, -1) {
+			continue
+		}
+		q := 0.0
+		for d := range x {
+			z := (x[d] - m[d]) * g.invSigma[d]
+			q += z * z
+		}
+		l := c - 0.5*q
+		switch {
+		case l > maxLog:
+			if !math.IsInf(maxLog, -1) {
+				s *= math.Exp(maxLog - l)
+			}
+			maxLog = l
+			s++
+		case l-maxLog > -40:
+			s += math.Exp(l - maxLog)
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return math.Inf(-1)
+	}
+	return maxLog + math.Log(s)
+}
+
+// PDF returns Q(x).
+func (g *GMM) PDF(x linalg.Vector) float64 { return math.Exp(g.LogPDF(x)) }
+
+// DefensiveMixture blends a proposal with the nominal standard normal:
+// Q'(x) = rho·P(x) + (1−rho)·Q(x). The blend bounds the importance weight
+// P/Q' by 1/rho, taming the heavy weight tail that a narrow particle-cloud
+// proposal produces for failure-region points it does not cover (the
+// mixture-importance-sampling idea of Kanj et al., DAC 2006 — the paper's
+// reference [4]).
+type DefensiveMixture struct {
+	Q   Proposal
+	Rho float64 // weight of the nominal component, in (0,1)
+	Dim int
+}
+
+// Sample implements Proposal.
+func (d *DefensiveMixture) Sample(rng *rand.Rand) linalg.Vector {
+	if rng.Float64() < d.Rho {
+		return randx.NormalVector(rng, d.Dim)
+	}
+	return d.Q.Sample(rng)
+}
+
+// LogPDF implements Proposal.
+func (d *DefensiveMixture) LogPDF(x linalg.Vector) float64 {
+	lp := randx.StdNormalLogPDF(x) + math.Log(d.Rho)
+	lq := d.Q.LogPDF(x) + math.Log(1-d.Rho)
+	hi, lo := lp, lq
+	if lq > lp {
+		hi, lo = lq, lp
+	}
+	return hi + math.Log1p(math.Exp(lo-hi))
+}
+
+// ImportanceSample estimates E_P[value] with n draws from proposal q
+// (paper eq. (19)): the k-th term is value(x_k)·P(x_k)/Q(x_k) with
+// P the standard normal. Convergence points are recorded against c.
+func ImportanceSample(rng *rand.Rand, q Proposal, value Value, n int, c *Counter, recordEvery int) stats.Series {
+	if recordEvery <= 0 {
+		recordEvery = n/50 + 1
+	}
+	var run stats.Running
+	var series stats.Series
+	for k := 0; k < n; k++ {
+		x := q.Sample(rng)
+		v := value(x)
+		term := 0.0
+		if v > 0 {
+			logW := randx.StdNormalLogPDF(x) - q.LogPDF(x)
+			term = v * math.Exp(logW)
+		}
+		run.Add(term)
+		// Record every recordEvery samples; the x-coordinate is the
+		// simulation counter (the paper's cost axis), which advances only
+		// when the blockade lets a simulation through.
+		if (k+1)%recordEvery == 0 || k == n-1 {
+			series = append(series, stats.Point{
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+			})
+		}
+	}
+	return series
+}

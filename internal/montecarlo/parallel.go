@@ -1,0 +1,78 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ecripse/internal/stats"
+)
+
+// NaiveParallel runs n naive Monte Carlo trials across workers goroutines
+// (0 = GOMAXPROCS), each with its own deterministic substream derived from
+// seed, and merges the results. The trial function must be safe for
+// concurrent use (the SRAM indicator is: cells are never mutated during
+// evaluation). The result is deterministic for a fixed (seed, workers)
+// pair.
+//
+// Unlike Naive, no intermediate convergence series is recorded — parallel
+// runs are for bulk reference computations where only the final estimate
+// matters.
+func NaiveParallel(seed int64, trial Trial, n, workers int, c *Counter) stats.Estimate {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = 1
+	}
+
+	type partial struct {
+		n     int
+		fails int
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes the shared counter
+	per := n / workers
+	extra := n % workers
+
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*0x3779B97F4A7C15))
+			local := partial{}
+			for i := 0; i < count; i++ {
+				if trial(rng) {
+					local.fails++
+				}
+				local.n++
+			}
+			mu.Lock()
+			parts[w] = local
+			mu.Unlock()
+		}(w, count)
+	}
+	wg.Wait()
+
+	total, fails := 0, 0
+	for _, p := range parts {
+		total += p.n
+		fails += p.fails
+	}
+	var run stats.Running
+	for i := 0; i < fails; i++ {
+		run.Add(1)
+	}
+	for i := fails; i < total; i++ {
+		run.Add(0)
+	}
+	return stats.Estimate{
+		P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+		N: total, Sims: c.Count(),
+	}
+}

@@ -1,0 +1,331 @@
+package pfilter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
+)
+
+// twoLobeFails is a synthetic bimodal failure region mimicking the SRAM
+// cell's symmetric lobes: failure when |x0| > 3.
+func twoLobeFails(x linalg.Vector) bool { return math.Abs(x[0]) > 3 }
+
+// twoLobeWeight is I(x)·P(x).
+func twoLobeWeight(x linalg.Vector) float64 {
+	if !twoLobeFails(x) {
+		return 0
+	}
+	return randx.StdNormalPDF(x)
+}
+
+func TestBoundaryInitOnBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := BoundaryInit(rng, 2, 200, 8, 0.02, twoLobeFails)
+	if len(pts) < 20 {
+		t.Fatalf("too few boundary points: %d", len(pts))
+	}
+	for _, p := range pts {
+		if !twoLobeFails(p) {
+			t.Fatalf("point %v not in failure region", p)
+		}
+		// Boundary is |x0| = 3: along the ray the boundary crossing has
+		// |x0| only slightly above 3.
+		if math.Abs(p[0]) > 3.5 {
+			t.Fatalf("point %v too deep inside failure region", p)
+		}
+	}
+}
+
+func TestBoundaryInitNoFailureRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := BoundaryInit(rng, 3, 50, 5, 0.05, func(linalg.Vector) bool { return false })
+	if len(pts) != 0 {
+		t.Fatalf("expected no points, got %d", len(pts))
+	}
+}
+
+func TestNewPanicsWithoutInitialParticles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(rand.New(rand.NewSource(3)), Options{}, nil)
+}
+
+func TestEnsembleTracksBothLobes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	init := BoundaryInit(rng, 2, 100, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 40, Filters: 2}, init)
+	if e.NumFilters() != 2 {
+		t.Fatalf("filters = %d", e.NumFilters())
+	}
+	e.Run(rng, twoLobeWeight, 10)
+
+	// After convergence the union must cover both lobes; each filter should
+	// be mode-pure.
+	pos, neg := 0, 0
+	for _, p := range e.Particles() {
+		if p[0] > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("a lobe was lost: pos=%d neg=%d", pos, neg)
+	}
+	for fi := 0; fi < e.NumFilters(); fi++ {
+		fp, fn := 0, 0
+		for _, p := range e.FilterParticles(fi) {
+			if p[0] > 0 {
+				fp++
+			} else {
+				fn++
+			}
+		}
+		if fp != 0 && fn != 0 {
+			t.Fatalf("filter %d straddles lobes: %d/%d", fi, fp, fn)
+		}
+	}
+}
+
+func TestSingleFilterDegeneratesToOneLobe(t *testing.T) {
+	// The failure mode the paper warns about: one filter collapses onto a
+	// single lobe after enough resampling rounds.
+	rng := rand.New(rand.NewSource(5))
+	init := BoundaryInit(rng, 2, 100, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 40, Filters: 1}, init)
+	e.Run(rng, twoLobeWeight, 25)
+	pos, neg := 0, 0
+	for _, p := range e.Particles() {
+		if p[0] > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != 0 && neg != 0 {
+		// Collapse is probabilistic but over 25 rounds with 40 particles it
+		// is overwhelmingly likely; tolerate a tiny minority share.
+		minority := math.Min(float64(pos), float64(neg)) / float64(pos+neg)
+		if minority > 0.1 {
+			t.Fatalf("single filter kept both lobes: pos=%d neg=%d", pos, neg)
+		}
+	}
+}
+
+func TestParticlesConcentrateNearHighWeight(t *testing.T) {
+	// Weight peaks at the boundary point closest to the origin (3, 0): after
+	// convergence particles should cluster around |x0|≈3, x1≈0.
+	rng := rand.New(rand.NewSource(6))
+	init := BoundaryInit(rng, 2, 100, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 60, Filters: 2, KernelStd: 0.25}, init)
+	e.Run(rng, twoLobeWeight, 12)
+	for _, p := range e.Particles() {
+		if math.Abs(p[0]) > 4.5 {
+			t.Fatalf("particle drifted deep into the tail: %v", p)
+		}
+		if math.Abs(p[1]) > 3 {
+			t.Fatalf("particle far off the weight ridge: %v", p)
+		}
+	}
+}
+
+func TestStepRecordsShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	init := BoundaryInit(rng, 2, 60, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 30, Filters: 2}, init)
+	recs := e.Step(rng, twoLobeWeight)
+	if len(recs) != e.NumFilters() {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if len(r.Candidates) != 30 || len(r.Weights) != 30 || len(r.Resampled) != 30 {
+			t.Fatalf("bad record shapes: %d %d %d", len(r.Candidates), len(r.Weights), len(r.Resampled))
+		}
+	}
+}
+
+func TestAllZeroWeightsKeepsParticles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	init := []linalg.Vector{{5, 0}, {5, 0.1}, {-5, 0}}
+	e := New(rng, Options{Particles: 10, Filters: 1}, init)
+	before := append([]linalg.Vector(nil), e.Particles()...)
+	e.Step(rng, func(linalg.Vector) float64 { return 0 })
+	after := e.Particles()
+	for i := range before {
+		if !before[i].Equal(after[i], 0) {
+			t.Fatal("particles changed despite zero weights")
+		}
+	}
+}
+
+func TestGMMFromEnsemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	init := BoundaryInit(rng, 2, 60, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 20, Filters: 2, KernelStd: 0.3}, init)
+	e.Run(rng, twoLobeWeight, 5)
+	g := e.GMM(nil)
+	if len(g.Means) != len(e.Particles()) {
+		t.Fatalf("GMM components = %d", len(g.Means))
+	}
+	if g.Sigma[0] != 0.3 || g.Sigma[1] != 0.3 {
+		t.Fatalf("GMM sigma = %v", g.Sigma)
+	}
+	// Samples from the proposal should fall in/near the failure lobes far
+	// more often than the standard normal does (P(|x0|>3) ≈ 0.0027).
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if twoLobeFails(g.Sample(rng)) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.2 {
+		t.Fatalf("proposal hit rate too low: %v", frac)
+	}
+}
+
+func TestESS(t *testing.T) {
+	if got := ESS([]float64{1, 1, 1, 1}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("uniform ESS = %v", got)
+	}
+	if got := ESS([]float64{1, 0, 0, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("degenerate ESS = %v", got)
+	}
+	if got := ESS([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero ESS = %v", got)
+	}
+	if got := ESS([]float64{1, -5, 1}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("negative weights must be ignored: %v", got)
+	}
+}
+
+func TestKMeansSplitsSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var pts []linalg.Vector
+	for i := 0; i < 30; i++ {
+		pts = append(pts, linalg.Vector{10 + rng.NormFloat64()*0.1, 0})
+		pts = append(pts, linalg.Vector{-10 + rng.NormFloat64()*0.1, 0})
+	}
+	groups := kmeans(rng, pts, 2)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for _, g := range groups {
+		sign := g[0][0] > 0
+		for _, p := range g {
+			if (p[0] > 0) != sign {
+				t.Fatal("cluster mixes separated groups")
+			}
+		}
+	}
+}
+
+func TestPoolGMMAccumulatesAcrossRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	init := BoundaryInit(rng, 2, 80, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 30, Filters: 2}, init)
+	if e.PoolSize() != 0 {
+		t.Fatalf("pool not empty before stepping: %d", e.PoolSize())
+	}
+	e.Run(rng, twoLobeWeight, 8)
+	if e.PoolSize() == 0 {
+		t.Fatal("pool empty after running")
+	}
+	g := e.PoolGMM(nil, 0) // no cap
+	if len(g.Means) != e.PoolSize() {
+		t.Fatalf("uncapped pool GMM has %d comps, pool %d", len(g.Means), e.PoolSize())
+	}
+	if len(g.Weights) != len(g.Means) {
+		t.Fatal("weights missing")
+	}
+	// Proposal samples must hit the failure region frequently.
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if twoLobeFails(g.Sample(rng)) {
+			hits++
+		}
+	}
+	if hits < 300 {
+		t.Fatalf("pool proposal hit rate too low: %d/1000", hits)
+	}
+}
+
+func TestPoolGMMCapKeepsDiversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	init := BoundaryInit(rng, 2, 80, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 40, Filters: 2}, init)
+	e.Run(rng, twoLobeWeight, 10)
+	if e.PoolSize() <= 100 {
+		t.Skipf("pool too small to exercise the cap: %d", e.PoolSize())
+	}
+	g := e.PoolGMM(nil, 100)
+	if len(g.Means) != 100 {
+		t.Fatalf("capped GMM has %d comps", len(g.Means))
+	}
+	// Both lobes should still be represented after capping.
+	pos, neg := 0, 0
+	for _, m := range g.Means {
+		if m[0] > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatalf("cap lost a lobe: %d/%d", pos, neg)
+	}
+}
+
+func TestPoolGMMFallsBackWithoutPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	init := BoundaryInit(rng, 2, 60, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 20, Filters: 2}, init)
+	// No steps run: pool empty, must fall back to the particle GMM.
+	g := e.PoolGMM(nil, 100)
+	if len(g.Means) != len(e.Particles()) {
+		t.Fatalf("fallback GMM has %d comps, particles %d", len(g.Means), len(e.Particles()))
+	}
+}
+
+func TestAdaptiveSigmaFloorsAndSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	init := BoundaryInit(rng, 2, 80, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 40, Filters: 2, KernelStd: 0.3}, init)
+	e.Run(rng, twoLobeWeight, 6)
+	sig := e.AdaptiveSigma(0.3)
+	if len(sig) != 2 {
+		t.Fatalf("sigma dim %d", len(sig))
+	}
+	for d, s := range sig {
+		if s < 0.3 {
+			t.Fatalf("dim %d below floor: %v", d, s)
+		}
+		if s > 5 {
+			t.Fatalf("dim %d implausibly wide: %v", d, s)
+		}
+	}
+	// With a huge floor, the floor must win.
+	sig2 := e.AdaptiveSigma(10)
+	for _, s := range sig2 {
+		if s != 10 {
+			t.Fatalf("floor not applied: %v", sig2)
+		}
+	}
+}
+
+func TestRunDefaultIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	init := BoundaryInit(rng, 2, 60, 8, 0.05, twoLobeFails)
+	e := New(rng, Options{Particles: 10, Filters: 1, Iterations: 3}, init)
+	e.Run(rng, twoLobeWeight, 0) // 0 -> Options.Iterations
+	// 3 rounds × 1 filter × 10 particles, only positive weights pooled.
+	if e.PoolSize() > 30 {
+		t.Fatalf("pool %d exceeds 3 rounds of candidates", e.PoolSize())
+	}
+}

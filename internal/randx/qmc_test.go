@@ -1,0 +1,118 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaltonFirstElements(t *testing.T) {
+	h := NewHalton(2)
+	// Base 2: 1/2, 1/4, 3/4, ... Base 3: 1/3, 2/3, 1/9, ...
+	want := [][2]float64{{0.5, 1.0 / 3}, {0.25, 2.0 / 3}, {0.75, 1.0 / 9}}
+	for i, w := range want {
+		got := h.Next()
+		if math.Abs(got[0]-w[0]) > 1e-15 || math.Abs(got[1]-w[1]) > 1e-15 {
+			t.Fatalf("element %d = %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestHaltonInUnitCube(t *testing.T) {
+	h := NewHalton(6)
+	for i := 0; i < 5000; i++ {
+		p := h.Next()
+		for d, x := range p {
+			if x <= 0 || x >= 1 {
+				t.Fatalf("element %d dim %d out of (0,1): %v", i, d, x)
+			}
+		}
+	}
+}
+
+func TestHaltonUniformity(t *testing.T) {
+	// Low-discrepancy: bin counts in 10 equal bins must be nearly exact.
+	h := NewHalton(1)
+	const n = 10000
+	var bins [10]int
+	for i := 0; i < n; i++ {
+		bins[int(h.Next()[0]*10)]++
+	}
+	for b, c := range bins {
+		if c < n/10-50 || c > n/10+50 {
+			t.Fatalf("bin %d count %d, want ~%d", b, c, n/10)
+		}
+	}
+}
+
+func TestHaltonDimensionPanics(t *testing.T) {
+	for _, d := range []int{0, 13} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("dim %d: expected panic", d)
+				}
+			}()
+			NewHalton(d)
+		}()
+	}
+}
+
+func TestInvNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.841344746068543, 1},
+		{0.158655253931457, -1},
+		{0.977249868051821, 2},
+		{0.999968328758167, 4},
+		{1.33e-4, -3.646342}, // the paper's failure probability as a z-score
+	}
+	for _, tc := range cases {
+		got := InvNormalCDF(tc.p)
+		if math.Abs(got-tc.want) > 2e-4 {
+			t.Fatalf("InvNormalCDF(%v) = %v want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestInvNormalCDFEdges(t *testing.T) {
+	if !math.IsInf(InvNormalCDF(0), -1) || !math.IsInf(InvNormalCDF(1), 1) {
+		t.Fatal("edges not ±Inf")
+	}
+	if !math.IsNaN(InvNormalCDF(-0.1)) || !math.IsNaN(InvNormalCDF(1.1)) {
+		t.Fatal("out-of-range not NaN")
+	}
+}
+
+// Property: InvNormalCDF inverts the forward CDF to high accuracy.
+func TestPropertyInvNormalRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := (float64(raw) + 0.5) / 65536 // (0, 1)
+		x := InvNormalCDF(p)
+		back := 0.5 * math.Erfc(-x/math.Sqrt2)
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextNormalMoments(t *testing.T) {
+	h := NewHalton(3)
+	const n = 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		for _, x := range h.NextNormal() {
+			sum += x
+			sum2 += x * x
+		}
+	}
+	mean := sum / (3 * n)
+	vr := sum2/(3*n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(vr-1) > 0.02 {
+		t.Fatalf("var = %v", vr)
+	}
+}

@@ -1,0 +1,209 @@
+// Package rtn implements the paper's random-telegraph-noise model
+// (Section II-D): bias-dependent capture/emission time constants under a
+// switching gate with duty ratio α (eqs. (7)–(8)), Poisson-distributed
+// effective trapped-charge counts (eq. (10)) and the resulting
+// threshold-voltage shift ΔVth = q·Neff/(Cox·L·W) (eq. (9)).
+//
+// It also provides a two-state Markov time-domain trace generator, which is
+// not needed by the failure-probability estimators but reproduces the
+// waveform picture of Fig. 3(b) and lets tests validate the stationary
+// occupancy against the analytic value.
+package rtn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ecripse/internal/randx"
+	"ecripse/internal/sram"
+)
+
+// ElementaryCharge is q in coulombs.
+const ElementaryCharge = 1.602176634e-19
+
+// Config carries the RTN model constants of Table I.
+type Config struct {
+	// Lambda is the defect density [1/m²]; Table I: 4e-3 nm⁻² = 4e15 m⁻².
+	Lambda float64
+	// Time constants [s] in the ON and OFF gate states (Table I).
+	TauOnE, TauOffE float64
+	TauOnC, TauOffC float64
+	// AccessDuty is the ON duty of the access transistors (word-line
+	// activity), used only when IncludeAccess is true.
+	AccessDuty float64
+	// IncludeAccess adds trap populations to the access transistors. The
+	// default excludes them: their gate duty is workload-dependent and not
+	// part of the paper's storage-duty model, and in this substrate a
+	// weakened access device *stabilizes* the read (see DESIGN.md §2), so a
+	// large constant access-trap population would mask the duty-dependent
+	// effect Fig. 8 studies.
+	IncludeAccess bool
+	// AmpScale multiplies the per-trap ΔVth amplitude; the cell's
+	// calibration factor and the RTN boost are applied here so the
+	// RTN-vs-RDF failure-probability ratios land in the paper's regime.
+	AmpScale float64
+	// ExponentialAmps draws each trapped charge's amplitude from an
+	// exponential distribution with the eq.-(9) mean instead of the fixed
+	// value — the amplitude heterogeneity widely reported for oxide traps
+	// (an extension beyond the paper; mean shift is unchanged, variance
+	// doubles).
+	ExponentialAmps bool
+}
+
+// AmpBoost is the calibration of the RTN per-trap amplitude relative to the
+// (already CalibrationK-scaled) RDF disturbances. The paper's BSIM cell has
+// a strongly negative driver ΔVth sensitivity which our EKV substitute
+// lacks (the disturb-level and trip-point effects cancel), so the same trap
+// population moves our cell's margin less; the boost restores the paper's
+// RTN-aware/RDF-only failure-probability ratio (≈6× at the worst duty
+// ratio). See DESIGN.md §2 and EXPERIMENTS.md.
+const AmpBoost = 3.0
+
+// TableIConfig returns the experimental conditions of Table I with the
+// amplitude calibrated to the given cell.
+func TableIConfig(cell *sram.Cell) Config {
+	return Config{
+		Lambda:     4e-3 * 1e18, // 4e-3 nm⁻² in m⁻²
+		TauOnE:     1.2,
+		TauOffE:    0.1,
+		TauOnC:     0.01,
+		TauOffC:    0.12,
+		AccessDuty: 0,
+		AmpScale:   cell.CalK * AmpBoost,
+	}
+}
+
+// TimeConstants returns the duty-averaged capture and emission time
+// constants of a device that is ON a fraction duty of the time
+// (paper eqs. (7) and (8)).
+func (c Config) TimeConstants(duty float64) (tauC, tauE float64) {
+	if duty < 0 || duty > 1 {
+		panic(fmt.Sprintf("rtn: duty %v out of [0,1]", duty))
+	}
+	tauC = duty*c.TauOnC + (1-duty)*c.TauOffC
+	tauE = duty*c.TauOnE + (1-duty)*c.TauOffE
+	return tauC, tauE
+}
+
+// Occupancy returns the trap-occupation probability τc/(τc+τe) used by the
+// paper's eq. (10). (Note: the paper writes the ratio with τc in the
+// numerator; see DESIGN.md §2 for the convention discussion.)
+func (c Config) Occupancy(duty float64) float64 {
+	tc, te := c.TimeConstants(duty)
+	return tc / (tc + te)
+}
+
+// DeviceDuty maps the cell-storage duty ratio alpha (the fraction of time
+// the cell stores "0", i.e. V1 = 0 and V2 = Vdd) to the ON duty of
+// transistor tr:
+//
+//	D1 (gate V2, NMOS): ON while storing 0        → alpha
+//	L2 (gate V1, PMOS): ON while V1 low           → alpha
+//	D2 (gate V1, NMOS): ON while storing 1        → 1 − alpha
+//	L1 (gate V2, PMOS): ON while V2 low           → 1 − alpha
+//	A1, A2: word-line activity                    → AccessDuty
+//
+// The mapping is mirror-symmetric under alpha → 1−alpha, which is the origin
+// of the bilateral symmetry of the paper's Fig. 8.
+func (c Config) DeviceDuty(tr int, alpha float64) float64 {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("rtn: alpha %v out of [0,1]", alpha))
+	}
+	switch tr {
+	case sram.D1, sram.L2:
+		return alpha
+	case sram.D2, sram.L1:
+		return 1 - alpha
+	case sram.A1, sram.A2:
+		return c.AccessDuty
+	default:
+		panic(fmt.Sprintf("rtn: unknown transistor index %d", tr))
+	}
+}
+
+// Sampler draws per-transistor RTN threshold shifts for a fixed cell and
+// duty ratio. Construction precomputes the per-device Poisson means and
+// per-trap amplitudes; Sample is then cheap and allocation-free.
+type Sampler struct {
+	cfg    Config
+	alpha  float64
+	mean   [sram.NumTransistors]float64 // Poisson mean: occupancy·λ·L·W
+	amp    [sram.NumTransistors]float64 // ΔVth per trapped charge [V]
+	traps  [sram.NumTransistors]float64 // mean total defect count λ·L·W
+	occupt [sram.NumTransistors]float64
+}
+
+// NewSampler builds a sampler for the cell at duty ratio alpha.
+func NewSampler(cell *sram.Cell, cfg Config, alpha float64) *Sampler {
+	s := &Sampler{cfg: cfg, alpha: alpha}
+	for i := 0; i < sram.NumTransistors; i++ {
+		d := &cell.Devs[i]
+		nTraps := cfg.Lambda * d.L * d.W
+		if !cfg.IncludeAccess && (i == sram.A1 || i == sram.A2) {
+			nTraps = 0
+		}
+		occ := cfg.Occupancy(cfg.DeviceDuty(i, alpha))
+		s.traps[i] = nTraps
+		s.occupt[i] = occ
+		s.mean[i] = occ * nTraps
+		s.amp[i] = cfg.AmpScale * ElementaryCharge / (d.Cox() * d.L * d.W)
+	}
+	return s
+}
+
+// Alpha returns the duty ratio the sampler was built for.
+func (s *Sampler) Alpha() float64 { return s.alpha }
+
+// MeanTraps returns the mean total defect count λ·L·W of transistor tr.
+func (s *Sampler) MeanTraps(tr int) float64 { return s.traps[tr] }
+
+// Occupancy returns the trap-occupation probability of transistor tr.
+func (s *Sampler) Occupancy(tr int) float64 { return s.occupt[tr] }
+
+// TrapAmplitude returns the ΔVth per trapped charge of transistor tr [V].
+func (s *Sampler) TrapAmplitude(tr int) float64 { return s.amp[tr] }
+
+// Sample draws one RTN shift vector: Neff ~ Poisson(occ·λ·L·W) per device,
+// ΔVth = amp·Neff (paper eqs. (9)–(10)); with ExponentialAmps each trapped
+// charge contributes an Exp(amp)-distributed shift instead.
+func (s *Sampler) Sample(rng *rand.Rand) sram.Shifts {
+	var sh sram.Shifts
+	for i := range sh {
+		n := randx.Poisson(rng, s.mean[i])
+		if !s.cfg.ExponentialAmps {
+			sh[i] = s.amp[i] * float64(n)
+			continue
+		}
+		total := 0.0
+		for k := 0; k < n; k++ {
+			total += rng.ExpFloat64() * s.amp[i]
+		}
+		sh[i] = total
+	}
+	return sh
+}
+
+// MeanShift returns the expected RTN shift vector E[ΔVth] = amp·occ·λ·L·W.
+func (s *Sampler) MeanShift() sram.Shifts {
+	var sh sram.Shifts
+	for i := range sh {
+		sh[i] = s.amp[i] * s.mean[i]
+	}
+	return sh
+}
+
+// StdShift returns the per-device standard deviation of the RTN shift:
+// amp·sqrt(mean) for fixed amplitudes (compound-Poisson with unit jumps),
+// amp·sqrt(2·mean) with exponential amplitudes (E[A²] = 2·amp²).
+func (s *Sampler) StdShift() sram.Shifts {
+	factor := 1.0
+	if s.cfg.ExponentialAmps {
+		factor = 2
+	}
+	var sh sram.Shifts
+	for i := range sh {
+		sh[i] = s.amp[i] * math.Sqrt(factor*s.mean[i])
+	}
+	return sh
+}

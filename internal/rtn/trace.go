@@ -1,0 +1,78 @@
+package rtn
+
+import (
+	"math/rand"
+
+	"ecripse/internal/randx"
+)
+
+// Trap is a single two-state defect for time-domain simulation: it captures
+// a carrier after an exponential waiting time with mean TauC and emits after
+// a mean TauE, shifting the threshold by Amp while occupied (Fig. 3).
+type Trap struct {
+	TauC, TauE float64 // mean capture / emission times [s]
+	Amp        float64 // ΔVth while occupied [V]
+}
+
+// Trace simulates the summed ΔVth waveform of a set of independent traps,
+// sampled every dt seconds for n points. Initial occupancy of each trap is
+// drawn from the *physical* stationary distribution τe/(τc+τe) (the mean
+// dwell in the occupied state is the emission time constant), so the trace
+// is stationary from t = 0. Note that the estimators follow the paper's
+// eq. (10), which writes the occupancy as τc/(τc+τe); with the Table I
+// constants the two conventions mirror the duty axis (see DESIGN.md §2).
+func Trace(rng *rand.Rand, traps []Trap, dt float64, n int) []float64 {
+	type state struct {
+		occupied bool
+		next     float64 // time of next transition [s]
+	}
+	states := make([]state, len(traps))
+	for i, tr := range traps {
+		occ := tr.TauE / (tr.TauC + tr.TauE)
+		s := state{occupied: rng.Float64() < occ}
+		s.next = nextTransition(rng, tr, s.occupied, 0)
+		states[i] = s
+	}
+
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		t := float64(k) * dt
+		total := 0.0
+		for i := range states {
+			s := &states[i]
+			for s.next <= t {
+				s.occupied = !s.occupied
+				s.next = nextTransition(rng, traps[i], s.occupied, s.next)
+			}
+			if s.occupied {
+				total += traps[i].Amp
+			}
+		}
+		out[k] = total
+	}
+	return out
+}
+
+// nextTransition draws the next switching time from time now given the
+// current occupancy: an occupied trap emits after Exp(TauE), an empty trap
+// captures after Exp(TauC).
+func nextTransition(rng *rand.Rand, tr Trap, occupied bool, now float64) float64 {
+	mean := tr.TauC
+	if occupied {
+		mean = tr.TauE
+	}
+	return now + rng.ExpFloat64()*mean
+}
+
+// CellTraps builds the time-domain trap set of one transistor from a
+// sampler: the integer count is drawn as Poisson(λ·L·W) and every trap gets
+// the device's per-charge amplitude and the duty-averaged time constants.
+func (s *Sampler) CellTraps(rng *rand.Rand, tr int) []Trap {
+	n := randx.Poisson(rng, s.traps[tr])
+	tc, te := s.cfg.TimeConstants(s.cfg.DeviceDuty(tr, s.alpha))
+	out := make([]Trap, n)
+	for i := range out {
+		out[i] = Trap{TauC: tc, TauE: te, Amp: s.amp[tr]}
+	}
+	return out
+}

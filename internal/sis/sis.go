@@ -1,0 +1,126 @@
+// Package sis implements the conventional baseline of the paper's Fig. 6:
+// a sequential-importance-sampling failure-probability estimator in the
+// style of Katayama et al., ICCAD 2010 (the paper's reference [8]).
+//
+// It uses the same particle-filter machinery as the proposed method to
+// estimate the optimal alternative distribution, but with the two
+// distinguishing costs the paper attributes to the conventional flow:
+// every particle weight and every importance-sampling term is evaluated
+// with a real transistor-level simulation (no classifier blockade), and
+// there is no cheap first stage (the filter is refined on full-cost
+// evaluations).
+package sis
+
+import (
+	"math/rand"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/pfilter"
+	"ecripse/internal/randx"
+	"ecripse/internal/stats"
+)
+
+// Options configures the baseline estimator.
+type Options struct {
+	Particles   int     // particles per filter (default 50)
+	Filters     int     // independent filters (default 2)
+	Iterations  int     // particle-filter rounds (default 10)
+	Kernel      float64 // prediction/proposal sigma (default 0.3)
+	Directions  int     // boundary-search directions (default 64)
+	RMax        float64 // boundary-search radius (default 8)
+	RTol        float64 // boundary bisection tolerance (default 0.05)
+	NIS         int     // importance-sampling draws (default 20000)
+	Rho         float64 // defensive-mixture weight of the nominal P (default 0.1)
+	RecordEvery int     // series resolution in simulations (default NIS/50)
+}
+
+func (o *Options) fill() {
+	if o.Particles == 0 {
+		o.Particles = 50
+	}
+	if o.Filters == 0 {
+		o.Filters = 2
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 10
+	}
+	if o.Kernel == 0 {
+		o.Kernel = 0.3
+	}
+	if o.Directions == 0 {
+		o.Directions = 256
+	}
+	if o.RMax == 0 {
+		o.RMax = 8
+	}
+	if o.RTol == 0 {
+		o.RTol = 0.05
+	}
+	if o.NIS == 0 {
+		o.NIS = 20000
+	}
+	if o.Rho == 0 {
+		o.Rho = 0.1
+	}
+}
+
+// Result carries the estimate, its convergence trace and cost breakdown.
+type Result struct {
+	Series   stats.Series
+	Estimate stats.Estimate
+	InitSims int64 // boundary-search simulations
+	PFSims   int64 // particle-filter weight simulations
+	ISSims   int64 // importance-sampling simulations
+}
+
+// Estimate runs the conventional flow on the indicator value (a 0/1 or
+// fractional failure value in the normalized space) whose every call costs
+// simulations counted by c. initial may carry boundary particles reused
+// from a previous run; when nil the boundary search runs here.
+func Estimate(rng *rand.Rand, dim int, value montecarlo.Value, c *montecarlo.Counter, opts *Options, initial []linalg.Vector) Result {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+
+	start := c.Count()
+	if initial == nil {
+		initial = pfilter.BoundaryInit(rng, dim, o.Directions, o.RMax, o.RTol,
+			func(x linalg.Vector) bool { return value(x) > 0 })
+	}
+	initSims := c.Count() - start
+
+	weight := func(x linalg.Vector) float64 {
+		v := value(x) // full simulation cost — no blockade
+		if v <= 0 {
+			return 0
+		}
+		return v * randx.StdNormalPDF(x)
+	}
+	ens := pfilter.New(rng, pfilter.Options{
+		Particles: o.Particles,
+		Filters:   o.Filters,
+		KernelStd: o.Kernel,
+	}, initial)
+	pfStart := c.Count()
+	ens.Run(rng, weight, o.Iterations)
+	pfSims := c.Count() - pfStart
+
+	isStart := c.Count()
+	q := &montecarlo.DefensiveMixture{Q: ens.PoolGMM(nil, 600), Rho: o.Rho, Dim: dim}
+	series := montecarlo.ImportanceSample(rng, q, value, o.NIS, c, o.RecordEvery)
+	isSims := c.Count() - isStart
+
+	fin := series.Final()
+	return Result{
+		Series: series,
+		Estimate: stats.Estimate{
+			P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr, N: o.NIS, Sims: c.Count() - start,
+		},
+		InitSims: initSims,
+		PFSims:   pfSims,
+		ISSims:   isSims,
+	}
+}

@@ -1,0 +1,241 @@
+// Package spice is a small transistor-level DC circuit simulator: a netlist
+// of resistors, independent sources and MOSFETs solved by damped
+// Newton–Raphson on the modified-nodal-analysis (MNA) equations, with gmin
+// conditioning and source-stepping fallback.
+//
+// It is the "transistor-level simulation" substrate that the paper assumes
+// (there, HSPICE). The hot estimator paths use the specialized monotone
+// solver in internal/sram instead; this package provides the general solver
+// that the specialized path is validated against, plus DC sweep support used
+// to trace butterfly curves.
+package spice
+
+import (
+	"fmt"
+
+	"ecripse/internal/device"
+)
+
+// Ground is the node index of the reference node.
+const Ground = 0
+
+// Circuit is a netlist under construction. The zero value is not usable;
+// call NewCircuit.
+type Circuit struct {
+	nodeNames []string
+	nodeIndex map[string]int
+	elements  []Element
+	vsources  []*VSource
+}
+
+// NewCircuit returns an empty circuit containing only the ground node "0".
+func NewCircuit() *Circuit {
+	c := &Circuit{nodeIndex: make(map[string]int)}
+	c.nodeNames = append(c.nodeNames, "0")
+	c.nodeIndex["0"] = Ground
+	return c
+}
+
+// Node returns the index of the named node, creating it on first use.
+// The name "0" (or "gnd") is the ground node.
+func (c *Circuit) Node(name string) int {
+	if name == "gnd" || name == "GND" {
+		name = "0"
+	}
+	if i, ok := c.nodeIndex[name]; ok {
+		return i
+	}
+	i := len(c.nodeNames)
+	c.nodeNames = append(c.nodeNames, name)
+	c.nodeIndex[name] = i
+	return i
+}
+
+// NodeName returns the name of node i.
+func (c *Circuit) NodeName(i int) string { return c.nodeNames[i] }
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// Element is a netlist element that adds its terminal currents into the KCL
+// residual. f is indexed by node id; the convention is that f[n] accumulates
+// current *leaving* node n into the element.
+type Element interface {
+	// AddCurrents accumulates element currents into f given node voltages v
+	// (both indexed by node id, v[Ground] == 0).
+	AddCurrents(v, f []float64)
+}
+
+// Resistor is a linear two-terminal resistor.
+type Resistor struct {
+	A, B int
+	R    float64
+}
+
+// AddCurrents implements Element.
+func (r *Resistor) AddCurrents(v, f []float64) {
+	i := (v[r.A] - v[r.B]) / r.R
+	f[r.A] += i
+	f[r.B] -= i
+}
+
+// CurrentSource forces a constant current I from node A to node B.
+type CurrentSource struct {
+	A, B int
+	I    float64
+}
+
+// AddCurrents implements Element.
+func (s *CurrentSource) AddCurrents(v, f []float64) {
+	f[s.A] += s.I
+	f[s.B] -= s.I
+}
+
+// VSource is an independent voltage source V between nodes A (+) and B (−).
+// Its branch current is an MNA unknown. If Wave is non-nil it overrides V
+// during transient analysis (V is still used for DC operating points).
+type VSource struct {
+	Name   string
+	A, B   int
+	V      float64
+	Wave   func(t float64) float64
+	branch int // index into the branch-current unknowns
+}
+
+// valueAt returns the source voltage at time t (DC value when Wave is nil).
+func (s *VSource) valueAt(t float64) float64 {
+	if s.Wave != nil {
+		return s.Wave(t)
+	}
+	return s.V
+}
+
+// Pulse builds a SPICE-style pulse waveform: v1 before delay, a linear rise
+// to v2 over rise seconds, v2 held for width, a linear fall back over fall
+// seconds, then v1 again (single-shot; no period).
+func Pulse(v1, v2, delay, rise, width, fall float64) func(float64) float64 {
+	return func(t float64) float64 {
+		switch {
+		case t < delay:
+			return v1
+		case t < delay+rise:
+			return v1 + (v2-v1)*(t-delay)/rise
+		case t < delay+rise+width:
+			return v2
+		case t < delay+rise+width+fall:
+			return v2 + (v1-v2)*(t-delay-rise-width)/fall
+		default:
+			return v1
+		}
+	}
+}
+
+// Capacitor is a linear two-terminal capacitor; it contributes current only
+// during transient analysis (open circuit at DC).
+type Capacitor struct {
+	A, B int
+	C    float64
+}
+
+// AddCurrents implements Element; a capacitor is open at DC.
+func (c *Capacitor) AddCurrents(v, f []float64) {}
+
+// AddCurrents implements Element. The branch current itself is stamped by
+// the solver (it is an unknown), so a VSource contributes nothing here.
+func (s *VSource) AddCurrents(v, f []float64) {}
+
+// VCCS is a voltage-controlled current source (SPICE "G" element): a
+// current Gm·(V(CP)−V(CN)) flows from node A to node B.
+type VCCS struct {
+	A, B   int // current path
+	CP, CN int // controlling nodes
+	Gm     float64
+}
+
+// AddCurrents implements Element.
+func (g *VCCS) AddCurrents(v, f []float64) {
+	i := g.Gm * (v[g.CP] - v[g.CN])
+	f[g.A] += i
+	f[g.B] -= i
+}
+
+// MOSFET is a four-terminal transistor element wrapping a device model.
+type MOSFET struct {
+	Name       string
+	Dev        *device.Device
+	G, D, S, B int
+}
+
+// AddCurrents implements Element.
+func (m *MOSFET) AddCurrents(v, f []float64) {
+	id := m.Dev.Ids(v[m.G], v[m.D], v[m.S], v[m.B])
+	f[m.D] += id
+	f[m.S] -= id
+}
+
+// AddResistor appends a resistor between nodes a and b.
+func (c *Circuit) AddResistor(a, b int, r float64) *Resistor {
+	if r <= 0 {
+		panic("spice: non-positive resistance")
+	}
+	e := &Resistor{A: a, B: b, R: r}
+	c.elements = append(c.elements, e)
+	return e
+}
+
+// AddCurrentSource appends a current source driving I from a to b.
+func (c *Circuit) AddCurrentSource(a, b int, i float64) *CurrentSource {
+	e := &CurrentSource{A: a, B: b, I: i}
+	c.elements = append(c.elements, e)
+	return e
+}
+
+// AddVSource appends a named voltage source (a positive, b negative).
+func (c *Circuit) AddVSource(name string, a, b int, v float64) *VSource {
+	e := &VSource{Name: name, A: a, B: b, V: v, branch: len(c.vsources)}
+	c.elements = append(c.elements, e)
+	c.vsources = append(c.vsources, e)
+	return e
+}
+
+// AddCapacitor appends a capacitor between nodes a and b.
+func (c *Circuit) AddCapacitor(a, b int, farads float64) *Capacitor {
+	if farads <= 0 {
+		panic("spice: non-positive capacitance")
+	}
+	e := &Capacitor{A: a, B: b, C: farads}
+	c.elements = append(c.elements, e)
+	return e
+}
+
+// AddVCCS appends a voltage-controlled current source: Gm·(V(cp)−V(cn))
+// flowing from a to b.
+func (c *Circuit) AddVCCS(a, b, cp, cn int, gm float64) *VCCS {
+	e := &VCCS{A: a, B: b, CP: cp, CN: cn, Gm: gm}
+	c.elements = append(c.elements, e)
+	return e
+}
+
+// AddMOSFET appends a transistor with the given terminal nodes.
+func (c *Circuit) AddMOSFET(name string, dev *device.Device, g, d, s, b int) *MOSFET {
+	e := &MOSFET{Name: name, Dev: dev, G: g, D: d, S: s, B: b}
+	c.elements = append(c.elements, e)
+	return e
+}
+
+// FindVSource returns the named source or nil.
+func (c *Circuit) FindVSource(name string) *VSource {
+	for _, s := range c.vsources {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) checkNode(i int) error {
+	if i < 0 || i >= len(c.nodeNames) {
+		return fmt.Errorf("spice: node index %d out of range", i)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package spice
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetlist checks that arbitrary deck text never panics the parser
+// and that accepted decks always produce a structurally sane circuit.
+func FuzzParseNetlist(f *testing.F) {
+	seeds := []string{
+		"V1 a 0 1\nR1 a 0 1k",
+		"* comment\n.model N ptm16hp-nmos\nM1 d g s b N W=30n L=16n",
+		"VIN in 0 PULSE(0 1 0 1n 1 1n)\nC1 in 0 1u",
+		"G1 0 out ctrl 0 1m\nR1 out 0 1k",
+		".end",
+		"R1 a b -5",
+		"I1 0 n 1u\nR1 n 0 2k",
+		"V1 a 0 PULSE(",
+		"M1 a b c d",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, deck string) {
+		ckt, err := ParseNetlist(strings.NewReader(deck))
+		if err != nil {
+			return
+		}
+		if ckt.NumNodes() < 1 {
+			t.Fatal("parsed circuit lost its ground node")
+		}
+		for i := 0; i < ckt.NumNodes(); i++ {
+			if ckt.NodeName(i) == "" {
+				t.Fatalf("node %d has empty name", i)
+			}
+		}
+	})
+}
+
+// FuzzParseValue checks the suffix parser never panics and parses
+// round-trippable canonical inputs correctly.
+func FuzzParseValue(f *testing.F) {
+	for _, s := range []string{"1", "-2.5", "30n", "4.7k", "1meg", "1e-9", "abc", "", "n", "1kk"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		v, err := ParseValue(in)
+		if err != nil {
+			return
+		}
+		if v != v && in != "nan" && !strings.Contains(strings.ToLower(in), "nan") {
+			t.Fatalf("ParseValue(%q) produced NaN without a NaN input", in)
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package spice
+
+// A parser for a compact SPICE-deck dialect, so circuits can be described
+// as text rather than Go code:
+//
+//	* comment lines start with '*' (or '//'); blank lines are ignored
+//	R<name> <n+> <n-> <value>
+//	C<name> <n+> <n-> <value>
+//	I<name> <from> <to> <value>
+//	V<name> <n+> <n-> <value>
+//	V<name> <n+> <n-> PULSE(<v1> <v2> <delay> <rise> <width> <fall>)
+//	G<name> <n+> <n-> <ctrl+> <ctrl-> <gm>
+//	M<name> <drain> <gate> <source> <bulk> <model> W=<value> L=<value> [DVTH=<value>]
+//	.model <model> <builtin>     — builtin: ptm16hp-nmos or ptm16hp-pmos
+//	.end                         — optional terminator
+//
+// Values accept the usual SPICE magnitude suffixes (f p n u m k meg g t).
+// Node "0" (or "gnd") is ground. Model cards may appear anywhere in the
+// deck; device lines are resolved after the whole deck is read.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ecripse/internal/device"
+)
+
+// ParseNetlist reads a deck and builds the circuit.
+func ParseNetlist(r io.Reader) (*Circuit, error) {
+	ckt := NewCircuit()
+	models := map[string]device.Params{}
+	type pendingFET struct {
+		line       int
+		name       string
+		d, g, s, b int
+		model      string
+		w, l, dvth float64
+	}
+	var fets []pendingFET
+
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "*") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		head := strings.ToUpper(fields[0])
+
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spice: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+
+		switch {
+		case head == ".END":
+			goto done
+		case head == ".MODEL":
+			if len(fields) != 3 {
+				return nil, fail(".model needs a name and a builtin")
+			}
+			p, err := builtinModel(fields[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			models[strings.ToUpper(fields[1])] = p
+		case head[0] == 'R', head[0] == 'C', head[0] == 'I':
+			if len(fields) != 4 {
+				return nil, fail("%s element needs 2 nodes and a value", head[:1])
+			}
+			val, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("bad value %q: %v", fields[3], err)
+			}
+			a, b := ckt.Node(fields[1]), ckt.Node(fields[2])
+			switch head[0] {
+			case 'R':
+				if val <= 0 {
+					return nil, fail("resistance must be positive")
+				}
+				ckt.AddResistor(a, b, val)
+			case 'C':
+				if val <= 0 {
+					return nil, fail("capacitance must be positive")
+				}
+				ckt.AddCapacitor(a, b, val)
+			case 'I':
+				ckt.AddCurrentSource(a, b, val)
+			}
+		case head[0] == 'G':
+			if len(fields) != 6 {
+				return nil, fail("G element needs 4 nodes and a transconductance")
+			}
+			gm, err := ParseValue(fields[5])
+			if err != nil {
+				return nil, fail("bad transconductance %q: %v", fields[5], err)
+			}
+			ckt.AddVCCS(ckt.Node(fields[1]), ckt.Node(fields[2]), ckt.Node(fields[3]), ckt.Node(fields[4]), gm)
+		case head[0] == 'V':
+			if len(fields) < 4 {
+				return nil, fail("V element needs 2 nodes and a value")
+			}
+			a, b := ckt.Node(fields[1]), ckt.Node(fields[2])
+			rest := strings.Join(fields[3:], " ")
+			if up := strings.ToUpper(rest); strings.HasPrefix(up, "PULSE(") {
+				args, err := parseArgList(rest[len("PULSE("):])
+				if err != nil || len(args) != 6 {
+					return nil, fail("PULSE needs 6 arguments (v1 v2 delay rise width fall)")
+				}
+				src := ckt.AddVSource(fields[0], a, b, args[0])
+				src.Wave = Pulse(args[0], args[1], args[2], args[3], args[4], args[5])
+			} else {
+				val, err := ParseValue(fields[3])
+				if err != nil {
+					return nil, fail("bad value %q: %v", fields[3], err)
+				}
+				ckt.AddVSource(fields[0], a, b, val)
+			}
+		case head[0] == 'M':
+			if len(fields) < 8 {
+				return nil, fail("M element needs 4 nodes, a model, W= and L=")
+			}
+			f := pendingFET{
+				line: lineNo, name: fields[0],
+				d: ckt.Node(fields[1]), g: ckt.Node(fields[2]),
+				s: ckt.Node(fields[3]), b: ckt.Node(fields[4]),
+				model: strings.ToUpper(fields[5]),
+			}
+			for _, kv := range fields[6:] {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return nil, fail("bad device parameter %q", kv)
+				}
+				val, err := ParseValue(parts[1])
+				if err != nil {
+					return nil, fail("bad device parameter %q: %v", kv, err)
+				}
+				switch strings.ToUpper(parts[0]) {
+				case "W":
+					f.w = val
+				case "L":
+					f.l = val
+				case "DVTH":
+					f.dvth = val
+				default:
+					return nil, fail("unknown device parameter %q", parts[0])
+				}
+			}
+			if f.w <= 0 || f.l <= 0 {
+				return nil, fail("device %s needs positive W= and L=", fields[0])
+			}
+			fets = append(fets, f)
+		default:
+			return nil, fmt.Errorf("spice: line %d: unknown element %q", lineNo, fields[0])
+		}
+	}
+done:
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("spice: reading netlist: %w", err)
+	}
+	for _, f := range fets {
+		p, ok := models[f.model]
+		if !ok {
+			return nil, fmt.Errorf("spice: line %d: device %s references undefined model %q", f.line, f.name, f.model)
+		}
+		dev := device.NewDevice(p, f.w, f.l)
+		dev.DVth = f.dvth
+		ckt.AddMOSFET(f.name, dev, f.g, f.d, f.s, f.b)
+	}
+	return ckt, nil
+}
+
+func builtinModel(name string) (device.Params, error) {
+	switch strings.ToLower(name) {
+	case "ptm16hp-nmos", "nmos16":
+		return device.PTM16HPNMOS(), nil
+	case "ptm16hp-pmos", "pmos16":
+		return device.PTM16HPPMOS(), nil
+	}
+	return device.Params{}, fmt.Errorf("unknown builtin model %q", name)
+}
+
+// parseArgList parses "a b c)" — a PULSE argument tail.
+func parseArgList(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("missing closing parenthesis")
+	}
+	fields := strings.Fields(strings.TrimSuffix(s, ")"))
+	out := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := ParseValue(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseValue parses a number with an optional SPICE magnitude suffix
+// (case-insensitive): f p n u m k meg g t. "30n" = 30e-9, "4.7k" = 4700.
+func ParseValue(s string) (float64, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(ls, "meg"):
+		mult, ls = 1e6, strings.TrimSuffix(ls, "meg")
+	case strings.HasSuffix(ls, "f"):
+		mult, ls = 1e-15, strings.TrimSuffix(ls, "f")
+	case strings.HasSuffix(ls, "p"):
+		mult, ls = 1e-12, strings.TrimSuffix(ls, "p")
+	case strings.HasSuffix(ls, "n"):
+		mult, ls = 1e-9, strings.TrimSuffix(ls, "n")
+	case strings.HasSuffix(ls, "u"):
+		mult, ls = 1e-6, strings.TrimSuffix(ls, "u")
+	case strings.HasSuffix(ls, "m"):
+		mult, ls = 1e-3, strings.TrimSuffix(ls, "m")
+	case strings.HasSuffix(ls, "k"):
+		mult, ls = 1e3, strings.TrimSuffix(ls, "k")
+	case strings.HasSuffix(ls, "g"):
+		mult, ls = 1e9, strings.TrimSuffix(ls, "g")
+	case strings.HasSuffix(ls, "t"):
+		mult, ls = 1e12, strings.TrimSuffix(ls, "t")
+	}
+	v, err := strconv.ParseFloat(ls, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}

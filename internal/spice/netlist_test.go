@@ -1,0 +1,206 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"30n": 30e-9, "4.7k": 4700, "1meg": 1e6, "0.95n": 0.95e-9,
+		"10f": 10e-15, "2p": 2e-12, "5u": 5e-6, "3m": 3e-3,
+		"2g": 2e9, "1t": 1e12, "0.7": 0.7, "-1.5m": -1.5e-3,
+	}
+	for in, want := range cases {
+		got, err := ParseValue(in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", in, err)
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Fatalf("ParseValue(%q) = %v want %v", in, got, want)
+		}
+	}
+	if _, err := ParseValue("abc"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseNetlistDivider(t *testing.T) {
+	deck := `
+* a resistor divider
+V1 vdd 0 1.0
+R1 vdd mid 1k
+R2 mid 0 3k
+.end
+`
+	ckt, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sol, err := ckt.DCSolve(nil)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	v, err := sol.VoltageOf(ckt, "mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.75) > 1e-9 {
+		t.Fatalf("mid = %v", v)
+	}
+}
+
+func TestParseNetlistSRAMCell(t *testing.T) {
+	deck := `
+* 6T SRAM cell, Table I geometry
+.model NMOS ptm16hp-nmos
+.model PMOS ptm16hp-pmos
+VDD vdd 0 0.7
+VWL wl 0 0.7
+VBL bl 0 0.7
+VBLB blb 0 0.7
+ML1 v1 v2 vdd vdd PMOS W=60n L=16n
+MD1 v1 v2 0 0 NMOS W=30n L=16n
+MA1 v1 wl bl 0 NMOS W=30n L=16n
+ML2 v2 v1 vdd vdd PMOS W=60n L=16n
+MD2 v2 v1 0 0 NMOS W=30n L=16n DVTH=0.01
+MA2 v2 wl blb 0 NMOS W=30n L=16n
+`
+	ckt, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sol, err := ckt.DCSolve(nil)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	v1, _ := sol.VoltageOf(ckt, "v1")
+	v2, _ := sol.VoltageOf(ckt, "v2")
+	if math.IsNaN(v1) || math.IsNaN(v2) || v1 < -0.05 || v2 < -0.05 {
+		t.Fatalf("bad operating point: v1=%v v2=%v", v1, v2)
+	}
+}
+
+func TestParseNetlistPulseTransient(t *testing.T) {
+	deck := `
+VIN in 0 PULSE(0 1 0 1n 1 1n)
+R1 in out 1k
+C1 out 0 1u
+`
+	ckt, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := ckt.Transient(2e-3, 1e-5, nil)
+	if err != nil {
+		t.Fatalf("transient: %v", err)
+	}
+	v, err := res.VoltageOf(ckt, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tau = 1 ms: after 2 ms the output is ~1 - e^-2 = 0.865.
+	final := v[len(v)-1]
+	if math.Abs(final-0.8647) > 0.02 {
+		t.Fatalf("final = %v", final)
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown element":   "X1 a b 1k",
+		"bad value":         "R1 a b xx",
+		"negative R":        "R1 a b -5",
+		"short M line":      "M1 d g s b",
+		"undefined model":   "M1 d g s b NMOS W=30n L=16n",
+		"bad model builtin": ".model NMOS bsim4",
+		"bad pulse":         "V1 a 0 PULSE(1 2 3)",
+		"bad param":         ".model NMOS ptm16hp-nmos\nM1 d g s b NMOS W=30n L=16n FOO=1",
+		"missing W":         ".model NMOS ptm16hp-nmos\nM1 d g s b NMOS L=16n DVTH=0",
+	}
+	for name, deck := range cases {
+		if _, err := ParseNetlist(strings.NewReader(deck)); err == nil {
+			t.Fatalf("%s: expected parse error for %q", name, deck)
+		}
+	}
+}
+
+func TestParseNetlistCommentsAndEnd(t *testing.T) {
+	deck := `
+* comment
+// another comment
+
+V1 a 0 1
+R1 a 0 1k
+.end
+R2 ignored 0 1k
+`
+	ckt, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// .end stops parsing: only nodes a and ground exist.
+	if ckt.NumNodes() != 2 {
+		t.Fatalf("nodes = %d", ckt.NumNodes())
+	}
+}
+
+func TestParseNetlistMatchesProgrammaticCell(t *testing.T) {
+	// The deck-built inverter must agree with the Go-built one.
+	deck := `
+.model N ptm16hp-nmos
+.model P ptm16hp-pmos
+VDD vdd 0 0.7
+VIN in 0 0.35
+MN out in 0 0 N W=30n L=16n
+MP out in vdd vdd P W=60n L=16n
+`
+	ckt, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sol, err := ckt.DCSolve(nil)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	vDeck, _ := sol.VoltageOf(ckt, "out")
+
+	ref, _, outNode := buildInverter(0.7)
+	ref.FindVSource("VIN").V = 0.35
+	solRef, err := ref.DCSolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vDeck-solRef.V[outNode]) > 1e-6 {
+		t.Fatalf("deck %v vs programmatic %v", vDeck, solRef.V[outNode])
+	}
+}
+
+func TestParseNetlistVCCS(t *testing.T) {
+	deck := `
+VC ctrl 0 1
+G1 0 out ctrl 0 1m
+R1 out 0 1k
+`
+	ckt, err := ParseNetlist(strings.NewReader(deck))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sol, err := ckt.DCSolve(nil)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	v, _ := sol.VoltageOf(ckt, "out")
+	if math.Abs(v-1) > 1e-6 {
+		t.Fatalf("V(out) = %v", v)
+	}
+}
+
+func TestParseNetlistVCCSErrors(t *testing.T) {
+	for _, deck := range []string{"G1 a b c 1m", "G1 a b c d xx"} {
+		if _, err := ParseNetlist(strings.NewReader(deck)); err == nil {
+			t.Fatalf("accepted %q", deck)
+		}
+	}
+}

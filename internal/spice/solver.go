@@ -1,0 +1,291 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"ecripse/internal/linalg"
+)
+
+// SolveOptions configures the DC operating-point solver.
+type SolveOptions struct {
+	MaxIter   int     // Newton iterations per attempt (default 200)
+	AbsTol    float64 // residual current tolerance [A] (default 1e-12)
+	StepTol   float64 // voltage update tolerance [V] (default 1e-10)
+	Gmin      float64 // conductance from every node to ground [S] (default 1e-12)
+	MaxStep   float64 // Newton step clamp per unknown [V] (default 0.25)
+	RampSteps int     // source-stepping ramp points on fallback (default 12)
+	Guess     []float64
+}
+
+func (o *SolveOptions) fill() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = 1e-12
+	}
+	if o.StepTol == 0 {
+		o.StepTol = 1e-10
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 0.25
+	}
+	if o.RampSteps == 0 {
+		o.RampSteps = 12
+	}
+}
+
+// Solution is a DC operating point.
+type Solution struct {
+	V          []float64 // node voltages, indexed by node id (V[Ground]==0)
+	BranchI    []float64 // voltage-source branch currents, by source order
+	Iterations int
+}
+
+// VoltageOf returns the solved voltage of a named node.
+func (s *Solution) VoltageOf(c *Circuit, name string) (float64, error) {
+	i, ok := c.nodeIndex[name]
+	if !ok {
+		return 0, fmt.Errorf("spice: unknown node %q", name)
+	}
+	return s.V[i], nil
+}
+
+// DCSolve computes a DC operating point. It first attempts a plain damped
+// Newton solve from the guess (or zeros); if that fails it falls back to
+// source stepping: all independent sources are ramped from 0 to their values
+// while re-solving with warm starts.
+func (c *Circuit) DCSolve(opts *SolveOptions) (*Solution, error) {
+	var o SolveOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+	for _, e := range c.elements {
+		switch el := e.(type) {
+		case *Resistor:
+			if err := c.checkNode(el.A); err != nil {
+				return nil, err
+			}
+			if err := c.checkNode(el.B); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	x := c.initialX(o.Guess)
+	sol, err := c.newton(x, 1.0, &o)
+	if err == nil {
+		return sol, nil
+	}
+
+	// Source-stepping fallback.
+	x = c.initialX(nil)
+	for i := range x {
+		x[i] = 0
+	}
+	for k := 1; k <= o.RampSteps; k++ {
+		scale := float64(k) / float64(o.RampSteps)
+		s, rampErr := c.newton(x, scale, &o)
+		if rampErr != nil {
+			return nil, fmt.Errorf("spice: no convergence (direct: %v; ramp at %.0f%%: %w)", err, scale*100, rampErr)
+		}
+		copy(x, s.flat(c))
+		if k == o.RampSteps {
+			return s, nil
+		}
+	}
+	panic("unreachable")
+}
+
+// unknown layout: [v1..v_{n-1}, ibr0..ibr_{m-1}] (ground voltage excluded).
+func (c *Circuit) numUnknowns() int { return c.NumNodes() - 1 + len(c.vsources) }
+
+func (c *Circuit) initialX(guess []float64) []float64 {
+	x := make([]float64, c.numUnknowns())
+	if guess != nil {
+		copy(x, guess)
+	}
+	return x
+}
+
+func (s *Solution) flat(c *Circuit) []float64 {
+	x := make([]float64, c.numUnknowns())
+	copy(x, s.V[1:])
+	copy(x[c.NumNodes()-1:], s.BranchI)
+	return x
+}
+
+// residual computes F(x) with all voltage sources scaled by srcScale. A
+// non-nil ctx switches to transient semantics: capacitors contribute
+// backward-Euler companion currents and sources follow their waveforms.
+func (c *Circuit) residual(x []float64, srcScale float64, o *SolveOptions, f []float64, ctx *dynCtx) {
+	n := c.NumNodes()
+	v := make([]float64, n)
+	copy(v[1:], x[:n-1])
+
+	kcl := make([]float64, n)
+	for _, e := range c.elements {
+		switch el := e.(type) {
+		case *CurrentSource:
+			kcl[el.A] += srcScale * el.I
+			kcl[el.B] -= srcScale * el.I
+		case *Capacitor:
+			if ctx != nil {
+				// Backward Euler: i = C·(Δv_now − Δv_prev)/h.
+				dvNow := v[el.A] - v[el.B]
+				dvPrev := ctx.vPrev[el.A] - ctx.vPrev[el.B]
+				ic := el.C * (dvNow - dvPrev) / ctx.h
+				kcl[el.A] += ic
+				kcl[el.B] -= ic
+			}
+		default:
+			e.AddCurrents(v, kcl)
+		}
+	}
+	// Branch currents of voltage sources enter their node KCL.
+	for bi, s := range c.vsources {
+		ibr := x[n-1+bi]
+		kcl[s.A] += ibr
+		kcl[s.B] -= ibr
+	}
+	// gmin conditioning.
+	for i := 1; i < n; i++ {
+		kcl[i] += o.Gmin * v[i]
+	}
+	copy(f, kcl[1:])
+	// Voltage-source constraint rows.
+	for bi, s := range c.vsources {
+		val := srcScale * s.V
+		if ctx != nil {
+			val = s.valueAt(ctx.t)
+		}
+		f[n-1+bi] = v[s.A] - v[s.B] - val
+	}
+}
+
+func (c *Circuit) newton(x0 []float64, srcScale float64, o *SolveOptions) (*Solution, error) {
+	return c.newtonCtx(x0, srcScale, o, nil)
+}
+
+func (c *Circuit) newtonCtx(x0 []float64, srcScale float64, o *SolveOptions, ctx *dynCtx) (*Solution, error) {
+	nu := c.numUnknowns()
+	x := append([]float64(nil), x0...)
+	f := make([]float64, nu)
+	fp := make([]float64, nu)
+
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		c.residual(x, srcScale, o, f, ctx)
+
+		maxRes := 0.0
+		for _, r := range f {
+			if a := math.Abs(r); a > maxRes {
+				maxRes = a
+			}
+		}
+		if maxRes < o.AbsTol {
+			return c.pack(x, iter), nil
+		}
+
+		// Numeric Jacobian by forward differences.
+		jac := linalg.NewMatrix(nu, nu)
+		for j := 0; j < nu; j++ {
+			h := 1e-7 * (1 + math.Abs(x[j]))
+			old := x[j]
+			x[j] = old + h
+			c.residual(x, srcScale, o, fp, ctx)
+			x[j] = old
+			for i := 0; i < nu; i++ {
+				jac.Set(i, j, (fp[i]-f[i])/h)
+			}
+		}
+		rhs := make(linalg.Vector, nu)
+		for i := range rhs {
+			rhs[i] = -f[i]
+		}
+		dx, err := jac.LUSolve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("spice: singular Jacobian at iteration %d: %w", iter, err)
+		}
+
+		// Damped update: clamp per-unknown voltage steps.
+		step := 1.0
+		for i := 0; i < c.NumNodes()-1; i++ {
+			if a := math.Abs(dx[i]); a > o.MaxStep {
+				if s := o.MaxStep / a; s < step {
+					step = s
+				}
+			}
+		}
+		maxDx := 0.0
+		for i := range x {
+			x[i] += step * dx[i]
+			if a := math.Abs(step * dx[i]); a > maxDx {
+				maxDx = a
+			}
+		}
+		if maxDx < o.StepTol {
+			c.residual(x, srcScale, o, f, ctx)
+			maxRes = 0
+			for _, r := range f {
+				if a := math.Abs(r); a > maxRes {
+					maxRes = a
+				}
+			}
+			if maxRes < 1e3*o.AbsTol {
+				return c.pack(x, iter), nil
+			}
+			return nil, fmt.Errorf("spice: stalled with residual %.3g A", maxRes)
+		}
+	}
+	return nil, fmt.Errorf("spice: Newton did not converge in %d iterations", o.MaxIter)
+}
+
+func (c *Circuit) pack(x []float64, iters int) *Solution {
+	n := c.NumNodes()
+	sol := &Solution{
+		V:          make([]float64, n),
+		BranchI:    make([]float64, len(c.vsources)),
+		Iterations: iters,
+	}
+	copy(sol.V[1:], x[:n-1])
+	copy(sol.BranchI, x[n-1:])
+	return sol
+}
+
+// DCSweep solves operating points for each value of the named voltage
+// source, warm-starting each point from the previous solution. It returns
+// one Solution per sweep value.
+func (c *Circuit) DCSweep(sourceName string, values []float64, opts *SolveOptions) ([]*Solution, error) {
+	src := c.FindVSource(sourceName)
+	if src == nil {
+		return nil, fmt.Errorf("spice: no voltage source named %q", sourceName)
+	}
+	orig := src.V
+	defer func() { src.V = orig }()
+
+	var o SolveOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+
+	out := make([]*Solution, 0, len(values))
+	var guess []float64
+	for _, val := range values {
+		src.V = val
+		stepOpts := o
+		stepOpts.Guess = guess
+		sol, err := c.DCSolve(&stepOpts)
+		if err != nil {
+			return nil, fmt.Errorf("spice: sweep %s=%.4g: %w", sourceName, val, err)
+		}
+		out = append(out, sol)
+		guess = sol.flat(c)
+	}
+	return out, nil
+}

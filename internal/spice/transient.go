@@ -1,0 +1,188 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// dynCtx carries the state of one transient timestep through the residual:
+// backward-Euler companion currents for capacitors and time-evaluated
+// source values.
+type dynCtx struct {
+	t     float64   // absolute time of the step being solved
+	h     float64   // step size
+	vPrev []float64 // node voltages at the previous accepted step
+}
+
+// TransientResult holds a fixed-step transient waveform.
+type TransientResult struct {
+	Times []float64
+	// V[k] are the node voltages (indexed by node id) at Times[k].
+	V [][]float64
+}
+
+// VoltageOf returns the waveform of a named node.
+func (r *TransientResult) VoltageOf(c *Circuit, name string) ([]float64, error) {
+	i, ok := c.nodeIndex[name]
+	if !ok {
+		return nil, fmt.Errorf("spice: unknown node %q", name)
+	}
+	out := make([]float64, len(r.V))
+	for k, v := range r.V {
+		out[k] = v[i]
+	}
+	return out, nil
+}
+
+// Final returns the node voltages at the last step.
+func (r *TransientResult) Final() []float64 {
+	if len(r.V) == 0 {
+		return nil
+	}
+	return r.V[len(r.V)-1]
+}
+
+// TransientAdaptive integrates with local-error-controlled step sizes: each
+// step is taken once at h and once as two half-steps; the difference bounds
+// the local truncation error of backward Euler. Steps shrink at waveform
+// edges and grow through quiet regions, which typically cuts the solve
+// count by an order of magnitude on pulse-driven circuits compared to a
+// fixed step small enough for the edges.
+//
+// tol is the per-step voltage error target (default 1e-4 V); hInit/hMin/hMax
+// bound the step size (defaults tstop/1e3, tstop/1e7, tstop/20).
+func (c *Circuit) TransientAdaptive(tstop, tol float64, opts *SolveOptions) (*TransientResult, error) {
+	if !(tstop > 0) {
+		return nil, fmt.Errorf("spice: bad transient window tstop=%g", tstop)
+	}
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	var o SolveOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+
+	hInit := tstop / 1e3
+	hMin := tstop / 1e7
+	hMax := tstop / 20
+
+	restore := make([]float64, len(c.vsources))
+	for i, s := range c.vsources {
+		restore[i] = s.V
+		s.V = s.valueAt(0)
+	}
+	op, err := c.DCSolve(&o)
+	for i, s := range c.vsources {
+		s.V = restore[i]
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spice: transient initial operating point: %w", err)
+	}
+
+	res := &TransientResult{}
+	record := func(t float64, v []float64) {
+		res.Times = append(res.Times, t)
+		res.V = append(res.V, append([]float64(nil), v...))
+	}
+	record(0, op.V)
+
+	x := op.flat(c)
+	vPrev := append([]float64(nil), op.V...)
+	t, h := 0.0, hInit
+	for t < tstop {
+		if t+h > tstop {
+			h = tstop - t
+		}
+		// Full step.
+		full, err := c.newtonCtx(x, 1.0, &o, &dynCtx{t: t + h, h: h, vPrev: vPrev})
+		if err != nil {
+			return nil, fmt.Errorf("spice: adaptive step at t=%.4g: %w", t, err)
+		}
+		// Two half steps.
+		halfA, err := c.newtonCtx(x, 1.0, &o, &dynCtx{t: t + h/2, h: h / 2, vPrev: vPrev})
+		if err != nil {
+			return nil, fmt.Errorf("spice: adaptive half-step at t=%.4g: %w", t, err)
+		}
+		halfB, err := c.newtonCtx(halfA.flat(c), 1.0, &o, &dynCtx{t: t + h, h: h / 2, vPrev: halfA.V})
+		if err != nil {
+			return nil, fmt.Errorf("spice: adaptive half-step at t=%.4g: %w", t+h/2, err)
+		}
+		// Local error estimate over node voltages.
+		errMax := 0.0
+		for i := range full.V {
+			if d := math.Abs(full.V[i] - halfB.V[i]); d > errMax {
+				errMax = d
+			}
+		}
+		if errMax > tol && h > hMin {
+			h = math.Max(h/2, hMin)
+			continue // reject, retry smaller
+		}
+		// Accept the more accurate two-half-step solution.
+		t += h
+		record(t, halfB.V)
+		vPrev = append(vPrev[:0], halfB.V...)
+		x = halfB.flat(c)
+		if errMax < tol/4 && h < hMax {
+			h = math.Min(2*h, hMax)
+		}
+	}
+	return res, nil
+}
+
+// Transient integrates the circuit from its t = 0 operating point to tstop
+// with fixed step h, using backward Euler (A-stable, no ringing on the
+// stiff RC networks an SRAM cell presents). Time-varying sources follow
+// their Wave functions; capacitors use companion currents.
+func (c *Circuit) Transient(tstop, h float64, opts *SolveOptions) (*TransientResult, error) {
+	if !(tstop > 0) || !(h > 0) || h > tstop {
+		return nil, fmt.Errorf("spice: bad transient window tstop=%g h=%g", tstop, h)
+	}
+	var o SolveOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+
+	// Initial operating point with the waveforms frozen at t = 0.
+	restore := make([]float64, len(c.vsources))
+	for i, s := range c.vsources {
+		restore[i] = s.V
+		s.V = s.valueAt(0)
+	}
+	op, err := c.DCSolve(&o)
+	for i, s := range c.vsources {
+		s.V = restore[i]
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spice: transient initial operating point: %w", err)
+	}
+
+	steps := int(math.Ceil(tstop / h))
+	res := &TransientResult{
+		Times: make([]float64, 0, steps+1),
+		V:     make([][]float64, 0, steps+1),
+	}
+	record := func(t float64, v []float64) {
+		res.Times = append(res.Times, t)
+		res.V = append(res.V, append([]float64(nil), v...))
+	}
+	record(0, op.V)
+
+	x := op.flat(c)
+	vPrev := append([]float64(nil), op.V...)
+	for k := 1; k <= steps; k++ {
+		t := math.Min(float64(k)*h, tstop)
+		ctx := &dynCtx{t: t, h: t - res.Times[len(res.Times)-1], vPrev: vPrev}
+		sol, err := c.newtonCtx(x, 1.0, &o, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("spice: transient step %d (t=%.4g): %w", k, t, err)
+		}
+		record(t, sol.V)
+		vPrev = append(vPrev[:0], sol.V...)
+		x = sol.flat(c)
+	}
+	return res, nil
+}

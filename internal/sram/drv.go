@@ -1,0 +1,41 @@
+package sram
+
+// Data-retention-voltage search — an extension built on the hold-margin
+// analysis: the lowest supply at which the cell still holds its state.
+
+// DataRetentionVoltage returns the minimum Vdd at which the cell's hold
+// noise margin stays non-negative, found by bisection between vMin and the
+// cell's own supply. It returns vMin when the cell holds even there, and
+// the cell's Vdd when it cannot hold at its own supply (a broken sample).
+//
+// The search treats the cell geometry and shifts as fixed and rebuilds the
+// supply-dependent bias internally; c itself is not modified.
+func (c *Cell) DataRetentionVoltage(sh Shifts, vMin float64, opts *SNMOptions) float64 {
+	if vMin <= 0 {
+		vMin = 0.05
+	}
+	// A sub-millivolt guard keeps the bisection away from the numerical
+	// noise floor of the margin extraction at very low supplies.
+	const guard = 1e-4
+	holdOK := func(vdd float64) bool {
+		probe := *c
+		probe.Vdd = vdd
+		return probe.HoldSNM(sh, opts) > guard
+	}
+	if !holdOK(c.Vdd) {
+		return c.Vdd
+	}
+	if holdOK(vMin) {
+		return vMin
+	}
+	lo, hi := vMin, c.Vdd // lo fails, hi holds
+	for hi-lo > 1e-4 {
+		mid := 0.5 * (lo + hi)
+		if holdOK(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,62 @@
+package sram
+
+// Static leakage analysis — the standby current an SRAM array designer
+// budgets against; strongly temperature-dependent through the subthreshold
+// currents of the OFF devices.
+
+// LeakageResult itemizes the standby current of one cell holding a state.
+type LeakageResult struct {
+	Total   float64                 // total supply current [A]
+	PerPath [NumTransistors]float64 // leakage attributed to each device [A]
+	V1, V2  float64                 // the internal node voltages of the held state
+}
+
+// Leakage computes the static standby current of the cell holding V1 = 0
+// (word line off, bit lines precharged at Vdd), under threshold shifts sh.
+//
+// Leakage paths: the OFF driver of the "1" node, the OFF load of the "0"
+// node, and the OFF access devices leaking from the precharged bit lines
+// into the "0" node.
+func (c *Cell) Leakage(sh Shifts, opts *SNMOptions) LeakageResult {
+	var o SNMOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: true}
+	vo.fill(c.Vdd)
+
+	// Held state V1 = 0, V2 = Vdd: solve the two half-cells for the exact
+	// levels (V1 slightly above ground, V2 slightly below Vdd).
+	left := c.half(Left, sh, vo)
+	right := c.half(Right, sh, vo)
+	// V2 follows input V1≈0; V1 follows input V2≈Vdd; one fixed-point pass
+	// suffices at these strongly-driven levels.
+	v2 := right.solve(0, -0.2, c.Vdd+0.2, vo.BisectIter)
+	v1 := left.solve(v2, -0.2, c.Vdd+0.2, vo.BisectIter)
+	v2 = right.solve(v1, -0.2, c.Vdd+0.2, vo.BisectIter)
+
+	var res LeakageResult
+	res.V1, res.V2 = v1, v2
+
+	// OFF driver D2: its gate (V1) is low, its drain (V2) is high —
+	// subthreshold leak V2 -> gnd.
+	d2 := c.shifted(D2, sh[D2])
+	res.PerPath[D2] = d2.Ids(v1, v2, 0, 0)
+	// OFF load L1: gate (V2) high -> OFF, source at Vdd, drain at V1 low:
+	// leak Vdd->V1 (Ids negative by PMOS convention; take magnitude).
+	l1 := c.shifted(L1, sh[L1])
+	res.PerPath[L1] = -l1.Ids(v2, v1, c.Vdd, c.Vdd)
+	// OFF access devices: WL=0; A1 leaks BL(Vdd)->V1; A2 has ~0 V across.
+	a1 := c.shifted(A1, sh[A1])
+	res.PerPath[A1] = -a1.Ids(0, v1, c.Vdd, 0)
+	a2 := c.shifted(A2, sh[A2])
+	res.PerPath[A2] = -a2.Ids(0, v2, c.Vdd, 0)
+
+	for _, p := range res.PerPath {
+		if p > 0 {
+			res.Total += p
+		}
+	}
+	return res
+}

@@ -1,0 +1,76 @@
+package sram
+
+// N-curve analysis — the current-based stability metric that complements
+// the Seevinck noise margin (Wann et al., "SRAM cell design for stability
+// methodology"). Under read bias, current is injected into internal node V1
+// while the opposite node follows its half-cell response; the injected
+// current versus V1 crosses zero at every DC equilibrium. The positive peak
+// between the "0" state and the metastable point is the static current
+// noise margin (SINM); the voltage distance between those zeros is the
+// static voltage noise margin (SVNM).
+
+// NCurve samples the injected-current characteristic at node V1 on an
+// (n+1)-point grid over [0, Vdd].
+func (c *Cell) NCurve(sh Shifts, n int, opts *SNMOptions) (v, i []float64) {
+	var o SNMOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+	if n < 8 {
+		n = o.GridN
+	}
+	vo := &VTCOptions{BisectIter: o.BisectIter}
+	vo.fill(c.Vdd)
+	right := c.half(Right, sh, vo)
+	left := c.half(Left, sh, vo)
+
+	v = make([]float64, n+1)
+	i = make([]float64, n+1)
+	hi := c.Vdd + 0.2
+	for k := 0; k <= n; k++ {
+		v1 := c.Vdd * float64(k) / float64(n)
+		// Opposite node follows its own half-cell equilibrium.
+		v2 := right.solve(v1, -0.2, hi, vo.BisectIter)
+		hi = v2 + 1e-6
+		// Injected current balances the net current leaving node V1.
+		v[k] = v1
+		i[k] = left.current(v2, v1)
+	}
+	return v, i
+}
+
+// NCurveMetrics are the current-based read-stability figures.
+type NCurveMetrics struct {
+	SVNM float64 // static voltage noise margin [V]: distance between the first two zero crossings
+	SINM float64 // static current noise margin [A]: positive current peak between them
+	// Zeros is the count of zero crossings found (3 for a bistable cell
+	// under read, 1 when an eye has collapsed).
+	Zeros int
+}
+
+// NCurveStability computes SVNM/SINM from a sampled N-curve. For a
+// monostable (read-failing) cell there is no positive margin and both
+// metrics are reported as zero with Zeros < 3.
+func (c *Cell) NCurveStability(sh Shifts, opts *SNMOptions) NCurveMetrics {
+	v, i := c.NCurve(sh, 200, opts)
+	var zeros []float64
+	for k := 1; k < len(i); k++ {
+		if (i[k-1] < 0) != (i[k] < 0) {
+			// Linear interpolation of the crossing.
+			t := i[k-1] / (i[k-1] - i[k])
+			zeros = append(zeros, v[k-1]+t*(v[k]-v[k-1]))
+		}
+	}
+	m := NCurveMetrics{Zeros: len(zeros)}
+	if len(zeros) < 3 {
+		return m
+	}
+	m.SVNM = zeros[1] - zeros[0]
+	for k := range v {
+		if v[k] > zeros[0] && v[k] < zeros[1] && i[k] > m.SINM {
+			m.SINM = i[k]
+		}
+	}
+	return m
+}

@@ -1,0 +1,74 @@
+package sram
+
+import (
+	"fmt"
+
+	"ecripse/internal/spice"
+)
+
+// BuildCircuit constructs the full 6T netlist in the generic simulator with
+// independent word-line and bit-line sources. It is the reference
+// implementation used to validate the fast bisection path and to let users
+// run arbitrary analyses (sweeps, disturbed bitlines) on the same cell.
+//
+// Node names: "v1", "v2" internal nodes; "bl", "blb" bit lines; "wl" word
+// line; "vdd" supply. Sources: "VDD", "VWL", "VBL", "VBLB".
+func (c *Cell) BuildCircuit(sh Shifts) *spice.Circuit {
+	ckt := spice.NewCircuit()
+	vdd := ckt.Node("vdd")
+	v1 := ckt.Node("v1")
+	v2 := ckt.Node("v2")
+	bl := ckt.Node("bl")
+	blb := ckt.Node("blb")
+	wl := ckt.Node("wl")
+
+	ckt.AddVSource("VDD", vdd, spice.Ground, c.Vdd)
+	ckt.AddVSource("VWL", wl, spice.Ground, c.Vdd)
+	ckt.AddVSource("VBL", bl, spice.Ground, c.Vdd)
+	ckt.AddVSource("VBLB", blb, spice.Ground, c.Vdd)
+
+	l1 := c.shifted(L1, sh[L1])
+	l2 := c.shifted(L2, sh[L2])
+	d1 := c.shifted(D1, sh[D1])
+	d2 := c.shifted(D2, sh[D2])
+	a1 := c.shifted(A1, sh[A1])
+	a2 := c.shifted(A2, sh[A2])
+
+	ckt.AddMOSFET("L1", &l1, v2, v1, vdd, vdd)
+	ckt.AddMOSFET("D1", &d1, v2, v1, spice.Ground, spice.Ground)
+	ckt.AddMOSFET("A1", &a1, wl, v1, bl, spice.Ground)
+	ckt.AddMOSFET("L2", &l2, v1, v2, vdd, vdd)
+	ckt.AddMOSFET("D2", &d2, v1, v2, spice.Ground, spice.Ground)
+	ckt.AddMOSFET("A2", &a2, wl, v2, blb, spice.Ground)
+	return ckt
+}
+
+// HalfVTCSpice computes the half-cell read transfer point with the generic
+// Newton solver instead of the fast bisection path. Used in tests.
+func (c *Cell) HalfVTCSpice(side Side, vin float64, sh Shifts) (float64, error) {
+	ckt := spice.NewCircuit()
+	vdd := ckt.Node("vdd")
+	in := ckt.Node("in")
+	out := ckt.Node("out")
+	blNode := ckt.Node("bl")
+	wlNode := ckt.Node("wl")
+
+	ckt.AddVSource("VDD", vdd, spice.Ground, c.Vdd)
+	ckt.AddVSource("VIN", in, spice.Ground, vin)
+	ckt.AddVSource("VBL", blNode, spice.Ground, c.Vdd)
+	ckt.AddVSource("VWL", wlNode, spice.Ground, c.Vdd)
+
+	li, di, ai := side.devices()
+	load := c.shifted(li, sh[li])
+	driver := c.shifted(di, sh[di])
+	access := c.shifted(ai, sh[ai])
+	ckt.AddMOSFET("ML", &load, in, out, vdd, vdd)
+	ckt.AddMOSFET("MD", &driver, in, out, spice.Ground, spice.Ground)
+	ckt.AddMOSFET("MA", &access, wlNode, out, blNode, spice.Ground)
+
+	sol, err := ckt.DCSolve(nil)
+	if err != nil {
+		return 0, fmt.Errorf("sram: reference half-cell solve: %w", err)
+	}
+	return sol.V[out], nil
+}

@@ -1,0 +1,185 @@
+package sram
+
+import (
+	"math"
+
+	"ecripse/internal/device"
+)
+
+// Side selects one half of the symmetric cell.
+type Side int
+
+const (
+	// Left is the half whose output is node V1 (devices L1, D1, A1).
+	Left Side = iota
+	// Right is the half whose output is node V2 (devices L2, D2, A2).
+	Right
+)
+
+func (s Side) devices() (load, driver, access int) {
+	if s == Left {
+		return L1, D1, A1
+	}
+	return L2, D2, A2
+}
+
+// VTCOptions controls the half-cell solver.
+type VTCOptions struct {
+	BisectIter int     // root-search iteration cap (default 40)
+	WordLine   float64 // WL voltage; defaults to Vdd (read condition)
+	BitLine    float64 // BL voltage; defaults to Vdd (read condition)
+	AccessOff  bool    // true for the hold condition (WL = 0)
+}
+
+func (o *VTCOptions) fill(vdd float64) {
+	if o.BisectIter == 0 {
+		o.BisectIter = 40
+	}
+	if o.WordLine == 0 && !o.AccessOff {
+		o.WordLine = vdd
+	}
+	if o.BitLine == 0 {
+		o.BitLine = vdd
+	}
+	if o.AccessOff {
+		o.WordLine = 0
+	}
+}
+
+// halfCell is the resolved device triple of one cell half with shifts
+// applied, hoisted out of the root-search inner loop.
+type halfCell struct {
+	load, driver, access device.Device
+	vdd, wl, bl          float64
+}
+
+func (c *Cell) half(side Side, sh Shifts, o *VTCOptions) halfCell {
+	li, di, ai := side.devices()
+	return halfCell{
+		load:   c.shifted(li, sh[li]),
+		driver: c.shifted(di, sh[di]),
+		access: c.shifted(ai, sh[ai]),
+		vdd:    c.Vdd,
+		wl:     o.WordLine,
+		bl:     o.BitLine,
+	}
+}
+
+// current returns the net current leaving the output node held at voltage v
+// with the opposite storage node (the gate input) at vin. It is strictly
+// increasing in v: every device contributes non-negative conductance.
+func (h *halfCell) current(vin, v float64) float64 {
+	// Driver NMOS: gate=vin, drain=v, source=gnd.
+	iDrv := h.driver.Ids(vin, v, 0, 0)
+	// Load PMOS: gate=vin, drain=v, source=bulk=Vdd.
+	iLoad := h.load.Ids(vin, v, h.vdd, h.vdd)
+	// Access NMOS: gate=WL, between node and bit line, bulk=gnd.
+	iAcc := h.access.Ids(h.wl, v, h.bl, 0)
+	return iDrv + iLoad + iAcc
+}
+
+// solve finds the output voltage root of current(vin, ·) within [lo, hi]
+// using the Illinois variant of regula falsi (superlinear on this smooth
+// monotone residual), falling back to plain bisection steps whenever the
+// interpolated point stalls.
+func (h *halfCell) solve(vin, lo, hi float64, maxIter int) float64 {
+	flo := h.current(vin, lo)
+	fhi := h.current(vin, hi)
+	// Expand the bracket in the rare case the root is outside.
+	for k := 0; flo > 0 && k < 8; k++ {
+		lo -= 0.2
+		flo = h.current(vin, lo)
+	}
+	for k := 0; fhi < 0 && k < 8; k++ {
+		hi += 0.2
+		fhi = h.current(vin, hi)
+	}
+	if flo > 0 || fhi < 0 {
+		// Degenerate bias: return the end with the smaller |residual|.
+		if math.Abs(flo) < math.Abs(fhi) {
+			return lo
+		}
+		return hi
+	}
+	if flo == 0 {
+		return lo
+	}
+	if fhi == 0 {
+		return hi
+	}
+
+	const xtol = 1e-10
+	side := 0
+	for i := 0; i < maxIter && hi-lo > xtol; i++ {
+		var mid float64
+		if fhi != flo {
+			mid = lo - flo*(hi-lo)/(fhi-flo)
+		}
+		// Keep the step inside the bracket; degrade to bisection otherwise.
+		if !(mid > lo && mid < hi) {
+			mid = 0.5 * (lo + hi)
+		}
+		fm := h.current(vin, mid)
+		if fm == 0 {
+			return mid
+		}
+		if fm > 0 {
+			hi, fhi = mid, fm
+			if side == +1 {
+				flo *= 0.5 // Illinois trick: avoid endpoint stagnation
+			}
+			side = +1
+		} else {
+			lo, flo = mid, fm
+			if side == -1 {
+				fhi *= 0.5
+			}
+			side = -1
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// HalfVTC solves the half-cell output voltage for input vin.
+func (c *Cell) HalfVTC(side Side, vin float64, sh Shifts, opts *VTCOptions) float64 {
+	var o VTCOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill(c.Vdd)
+	h := c.half(side, sh, &o)
+	return h.solve(vin, -0.2, c.Vdd+0.2, o.BisectIter)
+}
+
+// Curve is a sampled voltage-transfer characteristic: Out[i] is the output
+// voltage at input In[i].
+type Curve struct {
+	In, Out []float64
+}
+
+// ReadVTC samples the half-cell read transfer curve on a uniform input grid
+// of n+1 points spanning [0, Vdd]. The sweep exploits monotonicity: each
+// point's bracket is capped by the previous output.
+func (c *Cell) ReadVTC(side Side, sh Shifts, n int, opts *VTCOptions) Curve {
+	if n < 2 {
+		panic("sram: VTC grid too small")
+	}
+	var o VTCOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill(c.Vdd)
+	h := c.half(side, sh, &o)
+
+	cur := Curve{In: make([]float64, n+1), Out: make([]float64, n+1)}
+	hi := c.Vdd + 0.2
+	for i := 0; i <= n; i++ {
+		vin := c.Vdd * float64(i) / float64(n)
+		out := h.solve(vin, -0.2, hi, o.BisectIter)
+		cur.In[i] = vin
+		cur.Out[i] = out
+		// The VTC is non-increasing: the next root lies at or below out.
+		hi = out + 1e-6
+	}
+	return cur
+}

@@ -1,0 +1,65 @@
+package sram
+
+// Write-ability analysis — an extension beyond the paper's read-failure
+// experiments, using the same butterfly machinery.
+//
+// During a write of "0" into node V1, the bit line BL is driven low while
+// the word line is high; the V1 half-cell now fights the access pull-down
+// instead of being disturbed towards Vdd. The write succeeds when this bias
+// destroys the bistability that retained the old state: the butterfly eye
+// corresponding to "V1 high" must vanish.
+
+// WriteMargin returns a signed static write margin [V]: the depth by which
+// the state-retaining butterfly eye has collapsed under the write bias.
+// Positive margin = the write succeeds (the old state is no longer an
+// equilibrium); negative = the cell still retains V1 = 1 and the write
+// fails. The magnitude is the Seevinck square side of the surviving
+// (write-failure) eye or of the closest-approach gap.
+func (c *Cell) WriteMargin(sh Shifts, opts *SNMOptions) float64 {
+	var o SNMOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+
+	// V1 half under write bias: access pulls V1 to BL = 0.
+	writeOpts := &VTCOptions{BisectIter: o.BisectIter, BitLine: 1e-9}
+	// V2 half keeps the read bias: BLB stays precharged at Vdd.
+	readOpts := &VTCOptions{BisectIter: o.BisectIter}
+
+	// Curve B: V1 = fL(V2) under write bias; curve A: V2 = fR(V1) as usual.
+	a := c.ReadVTC(Right, sh, o.GridN, readOpts)
+	b := c.readVTCWith(Left, sh, o.GridN, writeOpts)
+
+	res := noiseMarginFromCurves(a, b)
+	// Lobe2 is the (V1 high, V2 low) eye — the eye that retains the old
+	// "1". Its collapse (negative lobe) is exactly a successful write.
+	return -res.Lobe2
+}
+
+// readVTCWith samples a transfer curve with explicit VTC options (ReadVTC
+// always applies the read bias).
+func (c *Cell) readVTCWith(side Side, sh Shifts, n int, opts *VTCOptions) Curve {
+	var o VTCOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill(c.Vdd)
+	h := c.half(side, sh, &o)
+	cur := Curve{In: make([]float64, n+1), Out: make([]float64, n+1)}
+	hi := c.Vdd + 0.2
+	for i := 0; i <= n; i++ {
+		vin := c.Vdd * float64(i) / float64(n)
+		out := h.solve(vin, -0.2, hi, o.BisectIter)
+		cur.In[i] = vin
+		cur.Out[i] = out
+		hi = out + 1e-6
+	}
+	return cur
+}
+
+// WriteFails reports whether the write-"0" operation fails for the shifted
+// cell (the dual indicator to Fails for read stability).
+func (c *Cell) WriteFails(sh Shifts, opts *SNMOptions) bool {
+	return c.WriteMargin(sh, opts) < 0
+}

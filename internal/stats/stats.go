@@ -1,0 +1,228 @@
+// Package stats implements the statistical accounting shared by every
+// estimator in this repository: running moments, Monte Carlo and
+// importance-sampling estimators with 95 % confidence intervals, the paper's
+// relative-error figure of merit (the ratio of the 95 % confidence interval
+// to the estimate, Fig. 6(b)), histograms and convergence series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Z95 is the two-sided 95 % standard-normal quantile used for confidence
+// intervals throughout the paper's evaluation.
+const Z95 = 1.959963984540054
+
+// Running accumulates mean and variance online (Welford's algorithm).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 samples).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.Std() / math.Sqrt(float64(r.n))
+}
+
+// CI95 returns the half-width of the 95 % confidence interval of the mean.
+func (r *Running) CI95() float64 { return Z95 * r.StdErr() }
+
+// RelErr returns the paper's relative-error metric: the 95 % CI half-width
+// divided by the estimate. It returns +Inf while the estimate is zero.
+func (r *Running) RelErr() float64 {
+	if r.mean == 0 {
+		return math.Inf(1)
+	}
+	return r.CI95() / math.Abs(r.mean)
+}
+
+// Estimate bundles a point estimate with its confidence interval; this is
+// the row format every experiment harness prints.
+type Estimate struct {
+	P      float64 // estimated failure probability
+	CI95   float64 // 95% confidence half-width
+	RelErr float64 // CI95 / P
+	N      int     // samples used by the estimator
+	Sims   int64   // transistor-level simulations consumed
+}
+
+// String renders the estimate in the form used by the cmd/ harnesses.
+func (e Estimate) String() string {
+	return fmt.Sprintf("Pfail=%.4e  CI95=±%.4e  relerr=%.4f  N=%d  sims=%d",
+		e.P, e.CI95, e.RelErr, e.N, e.Sims)
+}
+
+// FromRunning converts accumulated observations into an Estimate.
+func FromRunning(r *Running, sims int64) Estimate {
+	return Estimate{P: r.Mean(), CI95: r.CI95(), RelErr: r.RelErr(), N: r.N(), Sims: sims}
+}
+
+// Point is one step of a convergence series: the estimator state after a
+// given number of transistor-level simulations. Figures 6 and 7 of the paper
+// are plots of these series.
+type Point struct {
+	Sims   int64
+	P      float64
+	CI95   float64
+	RelErr float64
+}
+
+// Series is an ordered convergence trace.
+type Series []Point
+
+// Final returns the last point, or a zero Point for an empty series.
+func (s Series) Final() Point {
+	if len(s) == 0 {
+		return Point{}
+	}
+	return s[len(s)-1]
+}
+
+// SimsToRelErr returns the smallest simulation count at which the series
+// reaches relative error <= target, or (0, false) if it never does.
+func (s Series) SimsToRelErr(target float64) (int64, bool) {
+	for _, p := range s {
+		if p.RelErr <= target && p.P > 0 {
+			return p.Sims, true
+		}
+	}
+	return 0, false
+}
+
+// SimsToRelErrStable returns the simulation count of the first point from
+// which the relative error stays at or below target for the remainder of
+// the series. Early points of a rare-event trace can have spuriously small
+// confidence intervals (few or no hits yet), so the stable crossing is the
+// honest cost-to-accuracy metric.
+func (s Series) SimsToRelErrStable(target float64) (int64, bool) {
+	idx := -1
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i].RelErr <= target && s[i].P > 0 {
+			idx = i
+		} else {
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	return s[idx].Sims, true
+}
+
+// Histogram is a fixed-width bin histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	under    int
+	over     int
+	total    int
+}
+
+// NewHistogram creates a histogram with n bins spanning [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || !(max > min) {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.under++
+	case x >= h.Max:
+		h.over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // boundary guard
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the counts below Min and at/above Max.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) of xs using linear
+// interpolation. It panics on an empty slice or out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for n < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}

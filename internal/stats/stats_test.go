@@ -1,0 +1,306 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 5
+		r.Add(xs[i])
+	}
+	if r.N() != len(xs) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if m := Mean(xs); math.Abs(r.Mean()-m) > 1e-12 {
+		t.Fatalf("mean %v vs %v", r.Mean(), m)
+	}
+	if v := Variance(xs); math.Abs(r.Var()-v) > 1e-9 {
+		t.Fatalf("var %v vs %v", r.Var(), v)
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.StdErr() != 0 {
+		t.Fatal("empty Running not zero")
+	}
+	r.Add(4)
+	if r.Mean() != 4 || r.Var() != 0 {
+		t.Fatalf("single obs: mean %v var %v", r.Mean(), r.Var())
+	}
+}
+
+func TestRunningCI95Coverage(t *testing.T) {
+	// Empirical coverage of the CI over repeated experiments should be ~95%.
+	rng := rand.New(rand.NewSource(2))
+	const trials = 2000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var r Running
+		for j := 0; j < 100; j++ {
+			r.Add(rng.NormFloat64())
+		}
+		if math.Abs(r.Mean()) <= r.CI95() {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.92 || frac > 0.98 {
+		t.Fatalf("coverage = %v", frac)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	var r Running
+	if !math.IsInf(r.RelErr(), 1) {
+		t.Fatal("empty RelErr not +Inf")
+	}
+	for i := 0; i < 100; i++ {
+		r.Add(float64(i % 2)) // mean 0.5
+	}
+	want := r.CI95() / 0.5
+	if math.Abs(r.RelErr()-want) > 1e-15 {
+		t.Fatalf("RelErr = %v want %v", r.RelErr(), want)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{P: 1.33e-4, CI95: 1e-6, RelErr: 0.0075, N: 1000, Sims: 24000}
+	s := e.String()
+	for _, want := range []string{"1.3300e-04", "sims=24000", "relerr=0.0075"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSeriesSimsToRelErr(t *testing.T) {
+	s := Series{
+		{Sims: 100, P: 1e-4, RelErr: 0.5},
+		{Sims: 1000, P: 1.2e-4, RelErr: 0.05},
+		{Sims: 10000, P: 1.3e-4, RelErr: 0.008},
+	}
+	n, ok := s.SimsToRelErr(0.01)
+	if !ok || n != 10000 {
+		t.Fatalf("got %d %v", n, ok)
+	}
+	if _, ok := s.SimsToRelErr(0.001); ok {
+		t.Fatal("unexpected success for unreachable target")
+	}
+	if got := s.Final(); got.Sims != 10000 {
+		t.Fatalf("Final = %+v", got)
+	}
+	if got := (Series{}).Final(); got.Sims != 0 {
+		t.Fatalf("empty Final = %+v", got)
+	}
+}
+
+func TestSeriesSimsToRelErrIgnoresZeroEstimate(t *testing.T) {
+	s := Series{{Sims: 10, P: 0, RelErr: 0}}
+	if _, ok := s.SimsToRelErr(0.5); ok {
+		t.Fatal("zero-estimate point must not satisfy the target")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(11)
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d", i, c)
+		}
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range %d %d", under, over)
+	}
+	if h.Total() != 13 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestHistogramBoundary(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(math.Nextafter(1, 0)) // just below max: last bin
+	if h.Counts[2] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+}
+
+func TestHistogramInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 3 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 2 {
+		t.Fatalf("q.5 = %v", q)
+	}
+	if q := Quantile(xs, 0.25); math.Abs(q-1.5) > 1e-15 {
+		t.Fatalf("q.25 = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, tc := range []struct {
+		xs []float64
+		q  float64
+	}{{nil, 0.5}, {[]float64{1}, -0.1}, {[]float64{1}, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v q=%v", tc.xs, tc.q)
+				}
+			}()
+			Quantile(tc.xs, tc.q)
+		}()
+	}
+}
+
+// Property: Running mean is always between min and max of inputs.
+func TestPropertyRunningMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		var r Running
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			r.Add(x)
+			n++
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if n == 0 {
+			return true
+		}
+		return r.Mean() >= lo-1e-9*(math.Abs(lo)+1) && r.Mean() <= hi+1e-9*(math.Abs(hi)+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is non-negative.
+func TestPropertyVarianceNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		var r Running
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			r.Add(x)
+		}
+		return r.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimsToRelErrStable(t *testing.T) {
+	s := Series{
+		{Sims: 10, P: 1e-4, RelErr: 0.005}, // spurious early dip
+		{Sims: 100, P: 1e-4, RelErr: 0.5},
+		{Sims: 1000, P: 1.2e-4, RelErr: 0.05},
+		{Sims: 2000, P: 1.2e-4, RelErr: 0.03},
+	}
+	n, ok := s.SimsToRelErrStable(0.06)
+	if !ok || n != 1000 {
+		t.Fatalf("got %d %v, want stable crossing at 1000", n, ok)
+	}
+	// First-crossing metric would be fooled by the dip.
+	if first, _ := s.SimsToRelErr(0.06); first != 10 {
+		t.Fatalf("first crossing = %d", first)
+	}
+	if _, ok := s.SimsToRelErrStable(0.001); ok {
+		t.Fatal("unreachable target must fail")
+	}
+}
+
+func TestArrayYield(t *testing.T) {
+	// 1 Mb array at p=1e-6: yield = (1-1e-6)^2^20 ≈ e^-1.0486 ≈ 0.3504.
+	got := ArrayYield(1e-6, 1<<20)
+	if math.Abs(got-0.3504) > 0.001 {
+		t.Fatalf("ArrayYield = %v", got)
+	}
+	if ArrayYield(0, 1e9) != 1 || ArrayYield(1, 10) != 0 {
+		t.Fatal("edge cases broken")
+	}
+}
+
+func TestECCWordYield(t *testing.T) {
+	// t=0 reduces to the plain product.
+	p := 1e-3
+	if got, want := ECCWordYield(p, 64, 0), math.Pow(1-p, 64); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("t=0: %v want %v", got, want)
+	}
+	// Single-error correction on a 72-bit word: survives k<=1 failures.
+	n := 72
+	want := math.Pow(1-p, float64(n)) + float64(n)*p*math.Pow(1-p, float64(n-1))
+	if got := ECCWordYield(p, n, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("t=1: %v want %v", got, want)
+	}
+	// Full correction is a guaranteed pass.
+	if ECCWordYield(0.5, 8, 8) != 1 {
+		t.Fatal("t>=n must yield 1")
+	}
+}
+
+func TestECCArrayYieldImprovesOnRaw(t *testing.T) {
+	p := 1e-4        // the paper's regime
+	words := 1 << 17 // 1 Mb in 8-bit words... cells = words*8
+	raw := ArrayYield(p, float64(words*8))
+	ecc := ECCArrayYield(p, float64(words), 8, 1)
+	if ecc <= raw {
+		t.Fatalf("ECC did not improve yield: %v vs %v", ecc, raw)
+	}
+	if ecc < 0.95 {
+		t.Fatalf("SEC on small words should nearly eliminate loss: %v", ecc)
+	}
+}
+
+func TestCellsForYield(t *testing.T) {
+	p := 1.33e-4 // the paper's RDF-only failure probability
+	n := CellsForYield(p, 0.9)
+	// Round trip: that many cells must give yield 0.9.
+	if got := ArrayYield(p, n); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("round trip yield = %v", got)
+	}
+	// ~792 cells: the paper's point that 1e-4 per cell is hopeless for MB arrays.
+	if n < 700 || n > 900 {
+		t.Fatalf("cells for 90%% yield = %v", n)
+	}
+	if !math.IsInf(CellsForYield(0, 0.9), 1) {
+		t.Fatal("p=0 must allow unlimited cells")
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// Array-level yield utilities: converting a per-cell failure probability
+// into the survival probability of a memory array, with and without
+// error-correcting codes. These are the numbers a designer actually signs
+// off on — the paper's motivation ("tens of megabytes of on-chip cache"
+// makes even 1e-4 per-cell failure catastrophic).
+
+// ArrayYield returns the probability that an array of cells bits has no
+// failing cell: (1 − pCell)^cells, computed in log space for numerical
+// stability at large cell counts.
+func ArrayYield(pCell float64, cells float64) float64 {
+	if pCell <= 0 {
+		return 1
+	}
+	if pCell >= 1 {
+		return 0
+	}
+	return math.Exp(cells * math.Log1p(-pCell))
+}
+
+// ECCWordYield returns the probability that a word of wordBits survives
+// when the code corrects up to correctable failing bits:
+// Σ_{k=0..t} C(n,k) p^k (1−p)^(n−k).
+func ECCWordYield(pCell float64, wordBits, correctable int) float64 {
+	if pCell <= 0 {
+		return 1
+	}
+	if pCell >= 1 {
+		return 0
+	}
+	if correctable >= wordBits {
+		return 1
+	}
+	sum := 0.0
+	logP := math.Log(pCell)
+	logQ := math.Log1p(-pCell)
+	for k := 0; k <= correctable; k++ {
+		lc := logChoose(wordBits, k)
+		sum += math.Exp(lc + float64(k)*logP + float64(wordBits-k)*logQ)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// ECCArrayYield returns the yield of an array of words wordBits wide with
+// t-bit correction per word.
+func ECCArrayYield(pCell float64, words float64, wordBits, correctable int) float64 {
+	pw := ECCWordYield(pCell, wordBits, correctable)
+	if pw <= 0 {
+		return 0
+	}
+	return math.Exp(words * math.Log(pw))
+}
+
+// CellsForYield returns the largest array size (in cells) that still meets
+// the target yield without ECC: n = log(yield)/log(1−pCell).
+func CellsForYield(pCell, targetYield float64) float64 {
+	if pCell <= 0 {
+		return math.Inf(1)
+	}
+	if pCell >= 1 || targetYield >= 1 {
+		return 0
+	}
+	return math.Log(targetYield) / math.Log1p(-pCell)
+}
+
+func logChoose(n, k int) float64 {
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}

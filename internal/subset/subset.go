@@ -1,0 +1,187 @@
+// Package subset implements subset simulation (Au & Beck, 2001) — the
+// third rare-event estimator family alongside importance sampling and
+// statistical blockade. The failure probability is decomposed into a
+// product of conditional probabilities over nested level sets of a
+// continuous performance margin g(x) (here: the read noise margin), each
+// estimated by Markov-chain Monte Carlo conditioned on the previous level.
+//
+// Subset simulation needs only the continuous margin, no classifier and no
+// alternative distribution; its cost is levels × samples, which makes it a
+// strong general-purpose baseline but — unlike ECRIPSE — every evaluation
+// is a real simulation and nothing amortizes across bias conditions.
+package subset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/stats"
+)
+
+// Margin is a continuous performance function; failure is g(x) < 0.
+// Every call is expected to cost one transistor-level simulation.
+type Margin func(x linalg.Vector) float64
+
+// Options configures the estimator.
+type Options struct {
+	N         int     // samples per level (default 1000)
+	P0        float64 // conditional level probability (default 0.1)
+	MaxLevels int     // safety cap (default 12)
+	Step      float64 // componentwise Metropolis proposal std (default 0.8)
+}
+
+func (o *Options) fill() {
+	if o.N == 0 {
+		o.N = 1000
+	}
+	if o.P0 == 0 {
+		o.P0 = 0.1
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 12
+	}
+	if o.Step == 0 {
+		o.Step = 0.8
+	}
+}
+
+// Result reports the estimate and the level thresholds.
+type Result struct {
+	Estimate   stats.Estimate
+	Thresholds []float64 // intermediate margin levels L1 > L2 > ... > 0
+	Levels     int
+	Sims       int64
+}
+
+// Estimate runs subset simulation in a dim-dimensional standard-normal
+// space. The returned CI95/RelErr use the standard SuS delta-method
+// approximation (independent-level assumption), which is known to be
+// slightly optimistic; treat it as indicative.
+func Estimate(rng *rand.Rand, dim int, g Margin, opts *Options) Result {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+
+	var sims int64
+	eval := func(x linalg.Vector) float64 {
+		sims++
+		return g(x)
+	}
+
+	// Level 0: plain Monte Carlo.
+	xs := make([]linalg.Vector, o.N)
+	gs := make([]float64, o.N)
+	for i := range xs {
+		x := make(linalg.Vector, dim)
+		for d := range x {
+			x[d] = rng.NormFloat64()
+		}
+		xs[i] = x
+		gs[i] = eval(x)
+	}
+
+	logP := 0.0
+	varSum := 0.0 // Σ (1-pi)/(pi·N) — delta-method variance of log P
+	var thresholds []float64
+
+	for level := 0; level < o.MaxLevels; level++ {
+		// Threshold at the p0 quantile of the current population.
+		idx := make([]int, len(gs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return gs[idx[a]] < gs[idx[b]] })
+		k := int(o.P0 * float64(o.N))
+		if k < 1 {
+			k = 1
+		}
+		threshold := gs[idx[k-1]]
+
+		if threshold <= 0 {
+			// Final level: count failures directly.
+			fails := 0
+			for _, v := range gs {
+				if v < 0 {
+					fails++
+				}
+			}
+			pf := float64(fails) / float64(o.N)
+			if pf <= 0 {
+				pf = 0.5 / float64(o.N) // degenerate guard
+			}
+			logP += math.Log(pf)
+			varSum += (1 - pf) / (pf * float64(o.N))
+			p := math.Exp(logP)
+			cov := math.Sqrt(varSum) // coefficient of variation of the product
+			return Result{
+				Estimate: stats.Estimate{
+					P: p, CI95: stats.Z95 * cov * p, RelErr: stats.Z95 * cov,
+					N: o.N * (level + 1), Sims: sims,
+				},
+				Thresholds: thresholds,
+				Levels:     level + 1,
+				Sims:       sims,
+			}
+		}
+
+		thresholds = append(thresholds, threshold)
+		logP += math.Log(o.P0)
+		varSum += (1 - o.P0) / (o.P0 * float64(o.N))
+
+		// Seeds: the k samples at or below the threshold.
+		seeds := make([]linalg.Vector, 0, k)
+		seedGs := make([]float64, 0, k)
+		for _, i := range idx[:k] {
+			seeds = append(seeds, xs[i])
+			seedGs = append(seedGs, gs[i])
+		}
+
+		// Regenerate N samples by modified Metropolis chains from the seeds,
+		// conditioned on g < threshold.
+		newXs := make([]linalg.Vector, 0, o.N)
+		newGs := make([]float64, 0, o.N)
+		chainLen := o.N / len(seeds)
+		for s := range seeds {
+			x := seeds[s].Clone()
+			gx := seedGs[s]
+			steps := chainLen
+			if s < o.N%len(seeds) {
+				steps++
+			}
+			for t := 0; t < steps; t++ {
+				cand := x.Clone()
+				for d := range cand {
+					// Componentwise Metropolis w.r.t. the standard normal.
+					prop := cand[d] + o.Step*rng.NormFloat64()
+					ratio := math.Exp(0.5 * (cand[d]*cand[d] - prop*prop))
+					if rng.Float64() < math.Min(1, ratio) {
+						cand[d] = prop
+					}
+				}
+				if gc := eval(cand); gc < threshold {
+					x, gx = cand, gc
+				}
+				newXs = append(newXs, x.Clone())
+				newGs = append(newGs, gx)
+			}
+		}
+		xs, gs = newXs, newGs
+	}
+
+	// Ran out of levels: report the bound reached.
+	p := math.Exp(logP)
+	cov := math.Sqrt(varSum)
+	return Result{
+		Estimate: stats.Estimate{
+			P: p, CI95: stats.Z95 * cov * p, RelErr: math.Inf(1),
+			N: o.N * o.MaxLevels, Sims: sims,
+		},
+		Thresholds: thresholds,
+		Levels:     o.MaxLevels,
+		Sims:       sims,
+	}
+}

@@ -1,0 +1,112 @@
+package subset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/sram"
+)
+
+func TestSubsetLinearMargin(t *testing.T) {
+	// g(x) = 3 − x0: failure P(x0 > 3) = 1.3499e-3.
+	g := func(x linalg.Vector) float64 { return 3 - x[0] }
+	var ps []float64
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		res := Estimate(rng, 4, g, &Options{N: 2000})
+		ps = append(ps, res.Estimate.P)
+		if res.Levels < 2 {
+			t.Fatalf("seed %d: expected multiple levels, got %d", seed, res.Levels)
+		}
+	}
+	mean := 0.0
+	for _, p := range ps {
+		mean += p
+	}
+	mean /= float64(len(ps))
+	const want = 1.3499e-3
+	if mean < want*0.6 || mean > want*1.6 {
+		t.Fatalf("mean estimate over seeds = %v want ~%v (runs: %v)", mean, want, ps)
+	}
+}
+
+func TestSubsetDeepTail(t *testing.T) {
+	// P(x0 > 4.5) = 3.398e-6 — far beyond plain MC at this budget.
+	g := func(x linalg.Vector) float64 { return 4.5 - x[0] }
+	rng := rand.New(rand.NewSource(7))
+	res := Estimate(rng, 2, g, &Options{N: 3000})
+	const want = 3.398e-6
+	if res.Estimate.P < want/4 || res.Estimate.P > want*4 {
+		t.Fatalf("deep-tail estimate %v want ~%v", res.Estimate.P, want)
+	}
+	// Cost stays a small multiple of levels × N.
+	if res.Sims > int64(12*3000) {
+		t.Fatalf("cost blew up: %d sims", res.Sims)
+	}
+}
+
+func TestSubsetThresholdsDecrease(t *testing.T) {
+	g := func(x linalg.Vector) float64 { return 3.5 - x[0] }
+	rng := rand.New(rand.NewSource(3))
+	res := Estimate(rng, 3, g, nil)
+	for i := 1; i < len(res.Thresholds); i++ {
+		if res.Thresholds[i] >= res.Thresholds[i-1] {
+			t.Fatalf("thresholds not decreasing: %v", res.Thresholds)
+		}
+	}
+	if len(res.Thresholds) > 0 && res.Thresholds[len(res.Thresholds)-1] <= 0 {
+		t.Fatal("intermediate threshold crossed zero")
+	}
+}
+
+func TestSubsetFrequentEventOneLevel(t *testing.T) {
+	// P(x0 > 0.5) = 0.3085: the first-level threshold is already <= 0.
+	g := func(x linalg.Vector) float64 { return 0.5 - x[0] }
+	rng := rand.New(rand.NewSource(4))
+	res := Estimate(rng, 1, g, &Options{N: 5000})
+	if res.Levels != 1 {
+		t.Fatalf("levels = %d", res.Levels)
+	}
+	if math.Abs(res.Estimate.P-0.3085) > 0.02 {
+		t.Fatalf("P = %v", res.Estimate.P)
+	}
+}
+
+func TestSubsetOnSRAMCell(t *testing.T) {
+	// Read margin at 0.5 V: reference Pfail ≈ 3.9e-3.
+	cell := sram.NewCell(0.5)
+	sigma := cell.SigmaVth()
+	opt := &sram.SNMOptions{GridN: 24, BisectIter: 24}
+	g := func(x linalg.Vector) float64 {
+		var sh sram.Shifts
+		for i := range sh {
+			sh[i] = x[i] * sigma[i]
+		}
+		return cell.ReadSNM(sh, opt)
+	}
+	rng := rand.New(rand.NewSource(5))
+	res := Estimate(rng, sram.NumTransistors, g, &Options{N: 1500})
+	const want = 3.9e-3
+	if res.Estimate.P < want*0.5 || res.Estimate.P > want*2 {
+		t.Fatalf("SRAM subset estimate %v want ~%v", res.Estimate.P, want)
+	}
+	if res.Sims > 20000 {
+		t.Fatalf("cost too high: %d", res.Sims)
+	}
+}
+
+func TestSubsetMaxLevelsGuard(t *testing.T) {
+	// A margin that never fails: the level cap must terminate the run with
+	// an infinite relative error rather than looping.
+	g := func(x linalg.Vector) float64 { return 100 }
+	rng := rand.New(rand.NewSource(6))
+	res := Estimate(rng, 2, g, &Options{N: 200, MaxLevels: 3})
+	if !math.IsInf(res.Estimate.RelErr, 1) {
+		t.Fatalf("expected unbounded relerr, got %v", res.Estimate.RelErr)
+	}
+	if res.Levels != 3 {
+		t.Fatalf("levels = %d", res.Levels)
+	}
+}

@@ -1,0 +1,126 @@
+package svm
+
+import (
+	"math/rand"
+
+	"ecripse/internal/linalg"
+)
+
+// Classifier is a linear SVM over polynomial features, trained by the
+// Pegasos stochastic subgradient method (hinge loss, L2 regularization).
+// Labels are booleans: true = failure (y = +1), false = pass (y = −1).
+type Classifier struct {
+	Features *PolyFeatures
+	Lambda   float64 // regularization strength
+	w        linalg.Vector
+	t        int // cumulative SGD step count (drives the 1/(λt) step size)
+
+	// scratch is the reusable feature buffer for Score/Predict/Update. A
+	// Classifier is therefore NOT safe for concurrent use — matching the
+	// estimator design, where one engine owns one classifier.
+	scratch linalg.Vector
+}
+
+// NewClassifier builds an untrained classifier. lambda <= 0 defaults to 1e-4.
+func NewClassifier(pf *PolyFeatures, lambda float64) *Classifier {
+	if lambda <= 0 {
+		lambda = 1e-4
+	}
+	return &Classifier{
+		Features: pf,
+		Lambda:   lambda,
+		w:        make(linalg.Vector, pf.NumFeatures()),
+	}
+}
+
+// Score returns the signed decision value w·f(x); positive means predicted
+// failure. Magnitude grows with distance from the separating hyper-plane.
+func (c *Classifier) Score(x linalg.Vector) float64 {
+	if c.scratch == nil {
+		c.scratch = make(linalg.Vector, c.Features.NumFeatures())
+	}
+	c.Features.TransformInto(x, c.scratch)
+	return c.scoreFeatures(c.scratch)
+}
+
+func (c *Classifier) scoreFeatures(f linalg.Vector) float64 { return c.w.Dot(f) }
+
+// Predict reports the predicted failure label of x.
+func (c *Classifier) Predict(x linalg.Vector) bool { return c.Score(x) > 0 }
+
+// Uncertain reports whether x lies within the margin band (|score| < band):
+// the stage-2 flow simulates such samples instead of trusting the blockade.
+func (c *Classifier) Uncertain(x linalg.Vector, band float64) bool {
+	s := c.Score(x)
+	return s > -band && s < band
+}
+
+// Trained reports whether any training has occurred.
+func (c *Classifier) Trained() bool { return c.t > 0 }
+
+// step performs one Pegasos update with feature vector f and label y∈{±1}.
+func (c *Classifier) step(f linalg.Vector, y float64) {
+	c.t++
+	eta := 1 / (c.Lambda * float64(c.t))
+	margin := y * c.scoreFeatures(f)
+	decay := 1 - eta*c.Lambda
+	for i := range c.w {
+		c.w[i] *= decay
+	}
+	if margin < 1 {
+		for i := range c.w {
+			c.w[i] += eta * y * f[i]
+		}
+	}
+}
+
+// Train runs epochs passes of shuffled SGD over the labelled set.
+func (c *Classifier) Train(rng *rand.Rand, xs []linalg.Vector, fails []bool, epochs int) {
+	if len(xs) != len(fails) {
+		panic("svm: labels do not match inputs")
+	}
+	if len(xs) == 0 {
+		return
+	}
+	if epochs <= 0 {
+		epochs = 20
+	}
+	feats := make([]linalg.Vector, len(xs))
+	for i, x := range xs {
+		feats[i] = c.Features.Transform(x)
+	}
+	for e := 0; e < epochs; e++ {
+		for _, i := range rng.Perm(len(feats)) {
+			y := -1.0
+			if fails[i] {
+				y = 1
+			}
+			c.step(feats[i], y)
+		}
+	}
+}
+
+// Update performs a single incremental step with a freshly simulated label,
+// continuing the existing step-size schedule (the stage-2 "incrementally
+// train the classifier" path).
+func (c *Classifier) Update(x linalg.Vector, failed bool) {
+	y := -1.0
+	if failed {
+		y = 1
+	}
+	c.step(c.Features.Transform(x), y)
+}
+
+// Accuracy returns the fraction of correct predictions on a labelled set.
+func (c *Classifier) Accuracy(xs []linalg.Vector, fails []bool) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if c.Predict(x) == fails[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

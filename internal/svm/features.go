@@ -1,0 +1,103 @@
+// Package svm implements the paper's simulation blockade (Sections II-C,
+// III-B): a linear soft-margin SVM trained on a degree-4 polynomial
+// transform of the variability vector, with Pegasos-style stochastic
+// subgradient training, incremental updates, and a margin-band query that
+// tells the stage-2 estimator which samples are too close to the separating
+// hyper-plane to trust.
+package svm
+
+import (
+	"fmt"
+
+	"ecripse/internal/linalg"
+)
+
+// PolyFeatures maps a D-dimensional input to all monomials of total degree
+// <= Degree (the feature vector f of paper eq. (6); for [x1, x2] and degree
+// 2 this is [1, x1, x2, x1², x1·x2, x2²]).
+type PolyFeatures struct {
+	Dim    int
+	Degree int
+	// Scale divides inputs before the transform so high powers stay
+	// numerically tame (inputs here are normalized-sigma coordinates with
+	// magnitudes up to ~6-8).
+	Scale float64
+	exps  [][]int // one exponent tuple per feature
+}
+
+// NewPolyFeatures enumerates the monomial basis. scale <= 0 defaults to 4.
+func NewPolyFeatures(dim, degree int, scale float64) *PolyFeatures {
+	if dim <= 0 || degree < 1 {
+		panic(fmt.Sprintf("svm: invalid feature shape dim=%d degree=%d", dim, degree))
+	}
+	if scale <= 0 {
+		scale = 4
+	}
+	pf := &PolyFeatures{Dim: dim, Degree: degree, Scale: scale}
+	exp := make([]int, dim)
+	var rec func(pos, remaining int)
+	rec = func(pos, remaining int) {
+		if pos == dim {
+			tup := make([]int, dim)
+			copy(tup, exp)
+			pf.exps = append(pf.exps, tup)
+			return
+		}
+		for k := 0; k <= remaining; k++ {
+			exp[pos] = k
+			rec(pos+1, remaining-k)
+		}
+		exp[pos] = 0
+	}
+	rec(0, degree)
+	return pf
+}
+
+// NumFeatures returns the basis size C(dim+degree, degree).
+func (pf *PolyFeatures) NumFeatures() int { return len(pf.exps) }
+
+// Transform computes the feature vector of x.
+func (pf *PolyFeatures) Transform(x linalg.Vector) linalg.Vector {
+	out := make(linalg.Vector, len(pf.exps))
+	pf.TransformInto(x, out)
+	return out
+}
+
+// TransformInto computes the feature vector of x into dst, which must have
+// length NumFeatures. It performs no allocations beyond a small fixed-size
+// power table, so hot paths (the blockade answers millions of queries per
+// estimate) can reuse buffers.
+func (pf *PolyFeatures) TransformInto(x linalg.Vector, dst linalg.Vector) {
+	if len(x) != pf.Dim {
+		panic(fmt.Sprintf("svm: input dim %d, want %d", len(x), pf.Dim))
+	}
+	if len(dst) != len(pf.exps) {
+		panic(fmt.Sprintf("svm: destination has %d entries, want %d", len(dst), len(pf.exps)))
+	}
+	// Powers per dimension up to Degree, in a stack-friendly flat table.
+	const maxTable = 64
+	var table [maxTable]float64
+	stride := pf.Degree + 1
+	var pows []float64
+	if pf.Dim*stride <= maxTable {
+		pows = table[:pf.Dim*stride]
+	} else {
+		pows = make([]float64, pf.Dim*stride)
+	}
+	for d := 0; d < pf.Dim; d++ {
+		pows[d*stride] = 1
+		xv := x[d] / pf.Scale
+		for k := 1; k <= pf.Degree; k++ {
+			pows[d*stride+k] = pows[d*stride+k-1] * xv
+		}
+	}
+	for i, tup := range pf.exps {
+		v := 1.0
+		for d, e := range tup {
+			if e > 0 {
+				v *= pows[d*stride+e]
+			}
+		}
+		dst[i] = v
+	}
+}

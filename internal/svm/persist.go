@@ -1,0 +1,56 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ecripse/internal/linalg"
+)
+
+// model is the JSON wire format of a trained classifier.
+type model struct {
+	Dim     int           `json:"dim"`
+	Degree  int           `json:"degree"`
+	Scale   float64       `json:"scale"`
+	Lambda  float64       `json:"lambda"`
+	Steps   int           `json:"steps"`
+	Weights linalg.Vector `json:"weights"`
+}
+
+// Save writes the classifier (features shape, schedule position and
+// weights) as JSON, so an expensively trained blockade can be reused across
+// processes or archived with experiment results.
+func (c *Classifier) Save(w io.Writer) error {
+	m := model{
+		Dim:     c.Features.Dim,
+		Degree:  c.Features.Degree,
+		Scale:   c.Features.Scale,
+		Lambda:  c.Lambda,
+		Steps:   c.t,
+		Weights: c.w,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// Load reads a classifier saved by Save. Incremental training can continue
+// from the restored step-size schedule position.
+func Load(r io.Reader) (*Classifier, error) {
+	var m model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("svm: decoding model: %w", err)
+	}
+	if m.Dim <= 0 || m.Degree < 1 || m.Lambda <= 0 || m.Steps < 0 {
+		return nil, fmt.Errorf("svm: invalid model shape dim=%d degree=%d lambda=%g steps=%d",
+			m.Dim, m.Degree, m.Lambda, m.Steps)
+	}
+	pf := NewPolyFeatures(m.Dim, m.Degree, m.Scale)
+	if len(m.Weights) != pf.NumFeatures() {
+		return nil, fmt.Errorf("svm: weight vector has %d entries, want %d", len(m.Weights), pf.NumFeatures())
+	}
+	c := NewClassifier(pf, m.Lambda)
+	copy(c.w, m.Weights)
+	c.t = m.Steps
+	return c, nil
+}

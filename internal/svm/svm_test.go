@@ -1,0 +1,264 @@
+package svm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ecripse/internal/linalg"
+)
+
+func TestPolyFeatureCount(t *testing.T) {
+	// C(dim+degree, degree)
+	cases := []struct{ dim, deg, want int }{
+		{2, 2, 6},
+		{2, 4, 15},
+		{6, 4, 210},
+		{1, 3, 4},
+	}
+	for _, tc := range cases {
+		pf := NewPolyFeatures(tc.dim, tc.deg, 1)
+		if got := pf.NumFeatures(); got != tc.want {
+			t.Fatalf("dim=%d deg=%d: features = %d want %d", tc.dim, tc.deg, got, tc.want)
+		}
+	}
+}
+
+func TestPolyTransformKnownValues(t *testing.T) {
+	pf := NewPolyFeatures(2, 2, 1)
+	f := pf.Transform(linalg.Vector{2, 3})
+	// Features are the monomials {1, x2, x2², x1, x1x2, x1²} in some fixed
+	// enumeration order; verify as a multiset.
+	want := map[float64]int{1: 1, 3: 1, 9: 1, 2: 1, 6: 1, 4: 1}
+	got := map[float64]int{}
+	for _, v := range f {
+		got[v]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("feature multiset mismatch: got %v", f)
+		}
+	}
+}
+
+func TestPolyTransformScale(t *testing.T) {
+	pf := NewPolyFeatures(1, 2, 2)
+	f := pf.Transform(linalg.Vector{4}) // scaled to 2 -> {1, 2, 4}
+	sum := 0.0
+	for _, v := range f {
+		sum += v
+	}
+	if math.Abs(sum-7) > 1e-12 {
+		t.Fatalf("scaled features = %v", f)
+	}
+}
+
+func TestPolyTransformPanics(t *testing.T) {
+	pf := NewPolyFeatures(2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pf.Transform(linalg.Vector{1})
+}
+
+func makeLinearSet(rng *rand.Rand, n int) ([]linalg.Vector, []bool) {
+	xs := make([]linalg.Vector, n)
+	ys := make([]bool, n)
+	for i := range xs {
+		x := linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		xs[i] = x
+		ys[i] = x[0]+0.5*x[1] > 1
+	}
+	return xs, ys
+}
+
+func TestTrainLinearlySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs, ys := makeLinearSet(rng, 400)
+	c := NewClassifier(NewPolyFeatures(2, 1, 1), 1e-4)
+	c.Train(rng, xs, ys, 40)
+	if acc := c.Accuracy(xs, ys); acc < 0.97 {
+		t.Fatalf("train accuracy = %v", acc)
+	}
+	tx, ty := makeLinearSet(rng, 400)
+	if acc := c.Accuracy(tx, ty); acc < 0.95 {
+		t.Fatalf("test accuracy = %v", acc)
+	}
+}
+
+func TestTrainCircularBoundaryNeedsPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen := func(n int) ([]linalg.Vector, []bool) {
+		xs := make([]linalg.Vector, n)
+		ys := make([]bool, n)
+		for i := range xs {
+			x := linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+			xs[i] = x
+			ys[i] = x.Norm() > 3 // radial failure region like the SRAM boundary
+		}
+		return xs, ys
+	}
+	xs, ys := gen(600)
+
+	lin := NewClassifier(NewPolyFeatures(2, 1, 3), 1e-4)
+	lin.Train(rng, xs, ys, 40)
+	poly := NewClassifier(NewPolyFeatures(2, 4, 3), 1e-4)
+	poly.Train(rng, xs, ys, 40)
+
+	tx, ty := gen(600)
+	accLin := lin.Accuracy(tx, ty)
+	accPoly := poly.Accuracy(tx, ty)
+	if accPoly < 0.9 {
+		t.Fatalf("poly accuracy = %v", accPoly)
+	}
+	if accPoly <= accLin {
+		t.Fatalf("poly (%v) must beat linear (%v) on circular boundary", accPoly, accLin)
+	}
+}
+
+func TestIncrementalUpdateImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := makeLinearSet(rng, 60)
+	c := NewClassifier(NewPolyFeatures(2, 1, 1), 1e-3)
+	c.Train(rng, xs, ys, 5)
+	tx, ty := makeLinearSet(rng, 500)
+	before := c.Accuracy(tx, ty)
+	// Stream additional labelled samples through Update.
+	ux, uy := makeLinearSet(rng, 2000)
+	for i := range ux {
+		c.Update(ux[i], uy[i])
+	}
+	after := c.Accuracy(tx, ty)
+	if after < before-0.02 {
+		t.Fatalf("incremental updates degraded accuracy: %v -> %v", before, after)
+	}
+	if after < 0.93 {
+		t.Fatalf("accuracy after updates = %v", after)
+	}
+}
+
+func TestUncertainBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs, ys := makeLinearSet(rng, 500)
+	c := NewClassifier(NewPolyFeatures(2, 1, 1), 1e-4)
+	c.Train(rng, xs, ys, 40)
+
+	// Points exactly on the true boundary should mostly be uncertain;
+	// points far away should not.
+	onBoundary := linalg.Vector{1, 0} // x0+0.5x1 = 1
+	farFail := linalg.Vector{10, 10}
+	farPass := linalg.Vector{-10, -10}
+	s := math.Abs(c.Score(onBoundary))
+	if !c.Uncertain(onBoundary, s+1e-9) {
+		t.Fatal("boundary point not uncertain within its own band")
+	}
+	if c.Uncertain(farFail, s) || c.Uncertain(farPass, s) {
+		t.Fatalf("far points flagged uncertain (scores %v, %v, band %v)",
+			c.Score(farFail), c.Score(farPass), s)
+	}
+	if !c.Predict(farFail) || c.Predict(farPass) {
+		t.Fatal("far points misclassified")
+	}
+}
+
+func TestTrainedFlagAndEmptyTrain(t *testing.T) {
+	c := NewClassifier(NewPolyFeatures(2, 1, 1), 0)
+	if c.Trained() {
+		t.Fatal("untrained classifier reports trained")
+	}
+	c.Train(rand.New(rand.NewSource(5)), nil, nil, 10)
+	if c.Trained() {
+		t.Fatal("empty training set must not mark trained")
+	}
+	c.Update(linalg.Vector{1, 1}, true)
+	if !c.Trained() {
+		t.Fatal("Update must mark trained")
+	}
+}
+
+func TestTrainPanicsOnMismatch(t *testing.T) {
+	c := NewClassifier(NewPolyFeatures(2, 1, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Train(rand.New(rand.NewSource(6)), []linalg.Vector{{1, 1}}, nil, 1)
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	c := NewClassifier(NewPolyFeatures(2, 1, 1), 0)
+	if c.Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy not 0")
+	}
+}
+
+// Property: scores are finite for bounded inputs after training.
+func TestPropertyScoresFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs, ys := makeLinearSet(rng, 200)
+	c := NewClassifier(NewPolyFeatures(2, 4, 4), 1e-4)
+	c.Train(rng, xs, ys, 10)
+	f := func(a, b int16) bool {
+		x := linalg.Vector{float64(a) / 1000, float64(b) / 1000}
+		s := c.Score(x)
+		return !math.IsNaN(s) && !math.IsInf(s, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs, ys := makeLinearSet(rng, 300)
+	c := NewClassifier(NewPolyFeatures(2, 3, 2), 1e-4)
+	c.Train(rng, xs, ys, 20)
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Identical scores everywhere we look.
+	for i := 0; i < 50; i++ {
+		x := linalg.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		if math.Abs(c.Score(x)-back.Score(x)) > 1e-12 {
+			t.Fatalf("scores differ at %v", x)
+		}
+	}
+	if !back.Trained() {
+		t.Fatal("restored model reports untrained")
+	}
+	// Incremental training must continue smoothly (same step schedule).
+	ux, uy := makeLinearSet(rng, 200)
+	for i := range ux {
+		back.Update(ux[i], uy[i])
+	}
+	tx, ty := makeLinearSet(rng, 400)
+	if acc := back.Accuracy(tx, ty); acc < 0.93 {
+		t.Fatalf("post-restore accuracy = %v", acc)
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"dim":0,"degree":2,"scale":1,"lambda":1e-4,"steps":1,"weights":[]}`,
+		`{"dim":2,"degree":2,"scale":1,"lambda":1e-4,"steps":1,"weights":[1,2]}`, // wrong weight count
+		`{"dim":2,"degree":2,"scale":1,"lambda":0,"steps":1,"weights":[0,0,0,0,0,0]}`,
+	}
+	for _, raw := range cases {
+		if _, err := Load(strings.NewReader(raw)); err == nil {
+			t.Fatalf("Load accepted %q", raw)
+		}
+	}
+}
