@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,8 @@ func main() {
 		mode       = flag.String("mode", "read", "failure criterion: read, write or hold")
 		conditions = flag.Bool("conditions", false, "print the Table I experimental conditions and exit")
 		seriesPath = flag.String("series", "", "write the convergence series CSV to this file")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget; the run stops cleanly and reports the partial series")
+		maxSims    = flag.Int64("max-sims", 0, "transistor-level simulation budget; the run stops cleanly at the budget")
 	)
 	flag.Parse()
 
@@ -55,14 +58,38 @@ func main() {
 	cell := ecripse.NewCell(*vdd)
 	est := ecripse.New(cell, ecripse.Options{NIS: *nis, M: *m, NoClassifier: *noClass, Mode: failMode})
 
+	// Budget plumbing: a wall-clock deadline and/or a simulation budget both
+	// funnel into one context; the estimators stop cleanly at their next
+	// cancellation checkpoint and still report the partial series.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	if *maxSims > 0 {
+		est.LimitSims(*maxSims, cancel)
+	}
+
 	var res ecripse.Result
+	var runErr error
 	if *withRTN {
 		cfg := ecripse.TableIRTN(cell)
-		res = est.FailureProbabilityRTN(*seed, cfg, *alpha)
+		res, runErr = est.FailureProbabilityRTNCtx(ctx, *seed, cfg, *alpha)
 		fmt.Printf("RTN-aware failure probability (Vdd=%.2f V, alpha=%.2f):\n", *vdd, *alpha)
 	} else {
-		res = est.FailureProbability(*seed)
+		res, runErr = est.FailureProbabilityCtx(ctx, *seed)
 		fmt.Printf("RDF-only %s-failure probability (Vdd=%.2f V):\n", failMode, *vdd)
+	}
+	if runErr != nil {
+		switch {
+		case *maxSims > 0 && est.Simulations() >= *maxSims:
+			fmt.Printf("  [stopped at the -max-sims budget of %d; partial result]\n", *maxSims)
+		default:
+			fmt.Printf("  [stopped by -timeout after %s; partial result]\n", *timeout)
+		}
 	}
 	fmt.Printf("  %v\n", res.Estimate)
 	fmt.Printf("  cost: init=%d warmup=%d stage1=%d stage2=%d transistor-level simulations\n",

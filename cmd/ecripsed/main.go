@@ -1,0 +1,71 @@
+// Command ecripsed is the yield-analysis daemon: an HTTP/JSON service that
+// runs the repository's estimators (ECRIPSE, naive MC, SIS, statistical
+// blockade, subset simulation) as asynchronous jobs behind a bounded queue,
+// a worker pool and a content-addressed result cache.
+//
+// Usage:
+//
+//	ecripsed -addr :8080 -workers 8 -queue 128 -cache 512
+//
+// Endpoints: POST/GET/DELETE /v1/jobs[/{id}], GET /v1/jobs/{id}/events
+// (SSE progress), GET /metrics, GET /healthz. See the README's "Running the
+// service" section for a curl walkthrough. SIGINT/SIGTERM trigger a
+// graceful drain: intake stops, running jobs finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ecripse/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 4, "worker pool size")
+		queueCap     = flag.Int("queue", 64, "job queue capacity")
+		cacheCap     = flag.Int("cache", 256, "result cache entries (negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-drain deadline on shutdown")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		QueueCapacity: *queueCap,
+		CacheCapacity: *cacheCap,
+	})
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("ecripsed: listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, *workers, *queueCap, *cacheCap)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("ecripsed: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("ecripsed: signal received, draining (deadline %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("ecripsed: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ecripsed: shutdown: %v", err)
+	}
+	log.Printf("ecripsed: bye")
+}

@@ -26,6 +26,7 @@
 package ecripse
 
 import (
+	"context"
 	"math/rand"
 
 	"ecripse/internal/blockade"
@@ -150,11 +151,36 @@ func (e *Estimator) FailureProbability(seed int64) Result {
 	return e.engine.Run(rand.New(rand.NewSource(seed)), nil)
 }
 
+// FailureProbabilityCtx is FailureProbability with cancellation: when ctx
+// fires (deadline, interrupt, or a LimitSims budget), the run stops cleanly
+// at the next checkpoint and the partial Result is returned together with
+// ctx.Err(). With an uncancelled context it is identical to
+// FailureProbability.
+func (e *Estimator) FailureProbabilityCtx(ctx context.Context, seed int64) (Result, error) {
+	return e.engine.RunCtx(ctx, rand.New(rand.NewSource(seed)), nil)
+}
+
 // FailureProbabilityRTN estimates the RTN-aware failure probability at the
 // storage duty ratio alpha (eqs. (11)–(13)).
 func (e *Estimator) FailureProbabilityRTN(seed int64, cfg RTNConfig, alpha float64) Result {
 	sampler := rtn.NewSampler(e.cell, cfg, alpha)
 	return e.engine.Run(rand.New(rand.NewSource(seed)), sampler)
+}
+
+// FailureProbabilityRTNCtx is FailureProbabilityRTN with cancellation (see
+// FailureProbabilityCtx).
+func (e *Estimator) FailureProbabilityRTNCtx(ctx context.Context, seed int64, cfg RTNConfig, alpha float64) (Result, error) {
+	sampler := rtn.NewSampler(e.cell, cfg, alpha)
+	return e.engine.RunCtx(ctx, rand.New(rand.NewSource(seed)), sampler)
+}
+
+// LimitSims installs a transistor-level simulation budget on the
+// estimator's counter: the first simulation that reaches max invokes stop
+// (typically a context.CancelFunc wired to the ctx passed to a *Ctx method),
+// so the run unwinds cleanly with a partial result. Call it before starting
+// a run.
+func (e *Estimator) LimitSims(max int64, stop func()) {
+	e.engine.Counter.SetLimit(max, stop)
 }
 
 // DutySweep runs the Fig. 8 workload: one RTN-aware estimate per duty

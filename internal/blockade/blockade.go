@@ -12,6 +12,7 @@
 package blockade
 
 import (
+	"context"
 	"math/rand"
 
 	"ecripse/internal/linalg"
@@ -63,6 +64,15 @@ type Result struct {
 // predicted-fail and in-band samples. dim is the variability-space
 // dimensionality; fails is the (counted) indicator.
 func Estimate(rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montecarlo.Counter, n int, opts *Options) Result {
+	res, _ := EstimateCtx(context.Background(), rng, dim, fails, c, n, opts)
+	return res
+}
+
+// EstimateCtx is Estimate with cancellation, checked before every simulated
+// training label and before every streamed sample. On cancellation the
+// partial Result is returned with ctx.Err(); with an uncancelled context it
+// is bit-identical to Estimate.
+func EstimateCtx(ctx context.Context, rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montecarlo.Counter, n int, opts *Options) (Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -75,13 +85,15 @@ func Estimate(rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montec
 	// Training batch: plain Monte Carlo, every sample simulated.
 	trainStart := c.Count()
 	cls := svm.NewClassifier(svm.NewPolyFeatures(dim, o.PolyDegree, 0), o.Lambda)
-	xs := make([]linalg.Vector, o.TrainN)
-	ys := make([]bool, o.TrainN)
+	xs := make([]linalg.Vector, 0, o.TrainN)
+	ys := make([]bool, 0, o.TrainN)
 	positives := 0
-	for i := range xs {
-		xs[i] = randx.NormalVector(rng, dim)
-		ys[i] = fails(xs[i])
-		if ys[i] {
+	for i := 0; i < o.TrainN && ctx.Err() == nil; i++ {
+		x := randx.NormalVector(rng, dim)
+		y := fails(x)
+		xs = append(xs, x)
+		ys = append(ys, y)
+		if y {
 			positives++
 		}
 	}
@@ -118,6 +130,9 @@ func Estimate(rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montec
 	res := Result{TrainSims: trainSims}
 	var series stats.Series
 	for k := 0; k < n; k++ {
+		if ctx.Err() != nil {
+			break
+		}
 		x := randx.NormalVector(rng, dim)
 		var failed bool
 		if !trained || cls.Predict(x) || cls.Uncertain(x, o.Band) {
@@ -138,11 +153,17 @@ func Estimate(rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montec
 			})
 		}
 	}
+	if ctx.Err() != nil && run.N() > 0 && (len(series) == 0 || series.Final().Sims != c.Count()) {
+		// Cancelled: close the partial trace at the stopping state.
+		series = append(series, stats.Point{
+			Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+		})
+	}
 	res.Series = series
 	fin := series.Final()
 	res.Estimate = stats.Estimate{
 		P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr,
-		N: o.TrainN + n, Sims: c.Count() - trainStart,
+		N: run.N(), Sims: c.Count() - trainStart,
 	}
-	return res
+	return res, ctx.Err()
 }

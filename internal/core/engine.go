@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"ecripse/internal/linalg"
@@ -193,6 +194,18 @@ func (e *Engine) Initial() []linalg.Vector { return e.initial }
 // Run executes the full two-stage flow. sampler selects the RTN model
 // (nil = RDF-only, the Fig. 6 configuration).
 func (e *Engine) Run(rng *rand.Rand, sampler *rtn.Sampler) Result {
+	res, _ := e.RunCtx(context.Background(), rng, sampler)
+	return res
+}
+
+// RunCtx is Run with cancellation. The context is checked between
+// particle-filter rounds and before every stage-2 importance-sampling draw;
+// when it fires, the run stops cleanly at the next checkpoint and the
+// partial Result (whatever Series and cost split accumulated so far) is
+// returned together with ctx.Err(). The checkpoints consume no randomness,
+// so with an uncancelled context RunCtx is bit-identical to Run — the
+// property the service-layer result cache relies on.
+func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sampler) (Result, error) {
 	start := e.Counter.Count()
 	classifiedStart := e.classified
 	e.Init(rng)
@@ -241,8 +254,8 @@ func (e *Engine) Run(rng *rand.Rand, sampler *rtn.Sampler) Result {
 		Filters:   e.Opts.Filters,
 		KernelStd: e.Opts.Kernel,
 	}, e.initial)
-	if e.Opts.PFIters > 0 {
-		ens.Run(rng, weight, e.Opts.PFIters)
+	for it := 0; it < e.Opts.PFIters && ctx.Err() == nil; it++ {
+		ens.Step(rng, weight)
 	}
 	stage1Sims := e.Counter.Count() - stage1Start
 
@@ -254,7 +267,7 @@ func (e *Engine) Run(rng *rand.Rand, sampler *rtn.Sampler) Result {
 	value := func(x linalg.Vector) float64 {
 		return rtnValue(rng, x, e.labelStage2)
 	}
-	series := montecarlo.ImportanceSample(rng, proposal, value, e.Opts.NIS, e.Counter, e.Opts.RecordEvery)
+	series := montecarlo.ImportanceSampleCtx(ctx, rng, proposal, value, e.Opts.NIS, e.Counter, e.Opts.RecordEvery)
 	stage2Sims := e.Counter.Count() - stage2Start
 
 	fin := series.Final()
@@ -270,5 +283,5 @@ func (e *Engine) Run(rng *rand.Rand, sampler *rtn.Sampler) Result {
 		Stage2Sims: stage2Sims,
 		Classified: e.classified - classifiedStart,
 		Proposal:   q,
-	}
+	}, ctx.Err()
 }

@@ -6,8 +6,10 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"ecripse/internal/linalg"
 	"ecripse/internal/randx"
@@ -17,18 +19,44 @@ import (
 // Counter tallies transistor-level simulations. Every estimator in this
 // repository routes its indicator evaluations through one Counter so that
 // method-to-method comparisons count work identically.
+//
+// The count is maintained atomically, so a Counter owned by a running
+// estimator can be read concurrently (progress reporting, service metrics).
 type Counter struct {
 	n int64
+
+	limit   int64
+	fired   int32
+	onLimit func()
 }
 
-// Add records k simulations.
-func (c *Counter) Add(k int64) { c.n += k }
+// Add records k simulations. If a budget installed with SetLimit is reached
+// by this addition, the limit callback fires (exactly once).
+func (c *Counter) Add(k int64) {
+	n := atomic.AddInt64(&c.n, k)
+	if lim := atomic.LoadInt64(&c.limit); lim > 0 && n >= lim {
+		if atomic.CompareAndSwapInt32(&c.fired, 0, 1) && c.onLimit != nil {
+			c.onLimit()
+		}
+	}
+}
 
 // Count returns the simulations so far.
-func (c *Counter) Count() int64 { return c.n }
+func (c *Counter) Count() int64 { return atomic.LoadInt64(&c.n) }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *Counter) Reset() { atomic.StoreInt64(&c.n, 0) }
+
+// SetLimit installs a simulation budget: the first Add that takes the count
+// to max or beyond invokes stop (typically a context.CancelFunc), after
+// which the estimator unwinds at its next cancellation checkpoint with a
+// partial result. SetLimit must be called before the estimator starts; it is
+// not safe to call concurrently with Add.
+func (c *Counter) SetLimit(max int64, stop func()) {
+	atomic.StoreInt64(&c.limit, max)
+	atomic.StoreInt32(&c.fired, 0)
+	c.onLimit = stop
+}
 
 // Value is a function giving the (conditional) failure value of a point in
 // the normalized variability space: either a 0/1 indicator or, for the
@@ -42,6 +70,15 @@ type Trial func(rng *rand.Rand) bool
 // Naive runs n naive Monte Carlo trials (paper eq. (2)), recording a
 // convergence point roughly every recordEvery simulations as counted by c.
 func Naive(rng *rand.Rand, trial Trial, n int, c *Counter, recordEvery int) stats.Series {
+	return NaiveCtx(context.Background(), rng, trial, n, c, recordEvery)
+}
+
+// NaiveCtx is Naive with cancellation: the context is checked before every
+// trial, and on cancellation the partial convergence series accumulated so
+// far is returned (with a final point appended so the trace ends at the
+// cancellation state). No randomness is consumed by the checks, so for an
+// uncancelled context the result is identical to Naive.
+func NaiveCtx(ctx context.Context, rng *rand.Rand, trial Trial, n int, c *Counter, recordEvery int) stats.Series {
 	if recordEvery <= 0 {
 		recordEvery = n/50 + 1
 	}
@@ -49,6 +86,9 @@ func Naive(rng *rand.Rand, trial Trial, n int, c *Counter, recordEvery int) stat
 	var series stats.Series
 	nextRecord := c.Count() + int64(recordEvery)
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return finishSeries(series, &run, c)
+		}
 		v := 0.0
 		if trial(rng) {
 			v = 1
@@ -62,6 +102,20 @@ func Naive(rng *rand.Rand, trial Trial, n int, c *Counter, recordEvery int) stat
 		}
 	}
 	return series
+}
+
+// finishSeries appends the current estimator state as a last point of a
+// cancelled run, so partial traces end exactly where the work stopped.
+func finishSeries(series stats.Series, run *stats.Running, c *Counter) stats.Series {
+	if run.N() == 0 {
+		return series
+	}
+	if last := series.Final(); last.Sims == c.Count() && len(series) > 0 {
+		return series
+	}
+	return append(series, stats.Point{
+		Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+	})
 }
 
 // Proposal is an alternative distribution Q(x) that can be sampled and
@@ -240,12 +294,24 @@ func (d *DefensiveMixture) LogPDF(x linalg.Vector) float64 {
 // (paper eq. (19)): the k-th term is value(x_k)·P(x_k)/Q(x_k) with
 // P the standard normal. Convergence points are recorded against c.
 func ImportanceSample(rng *rand.Rand, q Proposal, value Value, n int, c *Counter, recordEvery int) stats.Series {
+	return ImportanceSampleCtx(context.Background(), rng, q, value, n, c, recordEvery)
+}
+
+// ImportanceSampleCtx is ImportanceSample with cancellation: the context is
+// checked before every draw, and on cancellation the partial series is
+// returned with a final point recording the state at the stop. The checks
+// consume no randomness, so an uncancelled context reproduces
+// ImportanceSample exactly.
+func ImportanceSampleCtx(ctx context.Context, rng *rand.Rand, q Proposal, value Value, n int, c *Counter, recordEvery int) stats.Series {
 	if recordEvery <= 0 {
 		recordEvery = n/50 + 1
 	}
 	var run stats.Running
 	var series stats.Series
 	for k := 0; k < n; k++ {
+		if ctx.Err() != nil {
+			return finishSeries(series, &run, c)
+		}
 		x := q.Sample(rng)
 		v := value(x)
 		term := 0.0

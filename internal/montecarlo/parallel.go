@@ -19,11 +19,14 @@ import (
 // runs are for bulk reference computations where only the final estimate
 // matters.
 func NaiveParallel(seed int64, trial Trial, n, workers int, c *Counter) stats.Estimate {
+	if n <= 0 {
+		return stats.Estimate{Sims: c.Count()}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
-		workers = 1
+		workers = n
 	}
 
 	type partial struct {

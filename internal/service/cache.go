@@ -1,0 +1,73 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// cache is a content-addressed LRU result cache: key = canonical spec hash,
+// value = the marshaled result payload. Because job results are
+// deterministic in (spec, seed), serving a hit is byte-identical to
+// re-running the job — at zero transistor-level simulations.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+func newCache(capacity int) *cache {
+	if capacity < 0 {
+		capacity = 0 // disabled
+	}
+	return &cache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached payload for key and records the hit or miss.
+func (c *cache) get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put stores the payload, evicting the least recently used entry beyond
+// capacity. Re-putting an existing key refreshes its recency.
+func (c *cache) put(key string, val json.RawMessage) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters and the current size.
+func (c *cache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

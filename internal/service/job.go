@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"ecripse/internal/montecarlo"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → one of the terminal states. A queued
+// job that is cancelled goes straight to canceled without running.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateCanceled State = "canceled"
+	StateFailed   State = "failed"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateCanceled || s == StateFailed
+}
+
+// Job is one submitted yield-estimation job. All mutable fields are guarded
+// by mu; the simulation counter is read lock-free (it is atomic) so
+// progress can be observed while the job runs.
+type Job struct {
+	ID   string
+	Spec JobSpec
+	Key  string // content address of the spec (cache key)
+
+	counter *montecarlo.Counter
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{} // closed on entering a terminal state
+
+	mu       sync.Mutex
+	state    State
+	cached   bool
+	errMsg   string
+	result   json.RawMessage
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// newJob creates a queued job whose run context descends from parent.
+func newJob(parent context.Context, id string, spec JobSpec, key string) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	return &Job{
+		ID:      id,
+		Spec:    spec,
+		Key:     key,
+		counter: &montecarlo.Counter{},
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Sims returns the transistor-level simulations consumed so far.
+func (j *Job) Sims() int64 { return j.counter.Count() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the marshaled result payload (nil while unfinished).
+func (j *Job) Result() json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Cancel requests cancellation. A queued job flips to canceled immediately;
+// a running job keeps the running state until the worker stops at the
+// estimator's next cancellation checkpoint — so once a job reads canceled,
+// its simulation counter has stopped advancing. Cancel reports whether the
+// request had any effect (false once terminal).
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.errMsg = "canceled while queued"
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		return true
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return true
+}
+
+// markRunning transitions queued → running; it reports false when the job
+// was already cancelled (the worker then skips it).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state with an optional result payload.
+// Later calls are no-ops, so a worker completing a job races safely with
+// concurrent Cancel calls.
+func (j *Job) finish(state State, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context regardless of how the job ended
+	close(j.done)
+}
+
+// finishCached marks a freshly created job as answered from the cache.
+func (j *Job) finishCached(result json.RawMessage) {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+	j.finish(StateDone, result, "")
+}
+
+// View is the JSON representation of a job served by the API.
+type View struct {
+	ID         string          `json:"id"`
+	State      State           `json:"state"`
+	Cached     bool            `json:"cached,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Sims       int64           `json:"sims"`
+	CreatedAt  string          `json:"created_at"`
+	StartedAt  string          `json:"started_at,omitempty"`
+	FinishedAt string          `json:"finished_at,omitempty"`
+	Spec       JobSpec         `json:"spec"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Snapshot renders the job for the API. withResult=false omits the payload
+// (job listings stay light even when results carry long series).
+func (j *Job) Snapshot(withResult bool) View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:        j.ID,
+		State:     j.state,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+		Sims:      j.counter.Count(),
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+		Spec:      j.Spec,
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	return v
+}

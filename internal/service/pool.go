@@ -1,0 +1,54 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a fixed-size worker pool consuming the job queue. Each worker
+// executes one job at a time through the handler; panic recovery lives in
+// the handler (Service.execute) so a poisoned job spec can never take a
+// worker down.
+type pool struct {
+	workers int
+	busy    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// startPool launches n workers draining q into handle. Workers exit when
+// the queue is closed and empty.
+func startPool(n int, q *queue, handle func(*Job)) *pool {
+	if n <= 0 {
+		n = 4
+	}
+	p := &pool{workers: n}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range q.ch {
+				p.busy.Add(1)
+				handle(j)
+				p.busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// wait blocks until every worker has exited (the queue must be closed
+// first) or ctx fires; it reports whether the drain completed.
+func (p *pool) wait(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

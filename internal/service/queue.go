@@ -1,0 +1,61 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// Errors surfaced by Submit; the HTTP layer maps them onto status codes.
+var (
+	// ErrQueueFull signals backpressure: the bounded queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining signals that the service no longer accepts work.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// queue is a bounded FIFO of pending jobs. It is a thin wrapper over a
+// buffered channel so that workers can range over it; the mutex serializes
+// enqueues against close so a drain can never panic a concurrent submit.
+type queue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &queue{ch: make(chan *Job, capacity)}
+}
+
+// tryEnqueue appends the job or reports backpressure; it never blocks.
+func (q *queue) tryEnqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth returns the number of queued jobs.
+func (q *queue) depth() int { return len(q.ch) }
+
+// capacity returns the queue bound.
+func (q *queue) capacity() int { return cap(q.ch) }
+
+// close stops intake; workers drain what is already queued and exit.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+
+	"ecripse/internal/blockade"
+	"ecripse/internal/core"
+	"ecripse/internal/linalg"
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/rtn"
+	"ecripse/internal/sis"
+	"ecripse/internal/sram"
+	"ecripse/internal/stats"
+	"ecripse/internal/subset"
+)
+
+// RunResult is the JSON result payload of a completed job.
+type RunResult struct {
+	Estimate Estimate      `json:"estimate"`
+	Series   []SeriesPoint `json:"series,omitempty"`
+	Cost     CostSplit     `json:"cost"`
+	Sweep    []SweepPoint  `json:"sweep,omitempty"`
+}
+
+// jsonFloat marshals like float64 but renders non-finite values as null
+// (and reads null back as +Inf). Convergence series legitimately carry
+// RelErr = +Inf before the first failure hit, and encoding/json refuses
+// bare infinities.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// Estimate is the wire form of stats.Estimate.
+type Estimate struct {
+	P      float64   `json:"p"`
+	CI95   float64   `json:"ci95"`
+	RelErr jsonFloat `json:"rel_err"`
+	N      int       `json:"n"`
+	Sims   int64     `json:"sims"`
+}
+
+// Stats converts back to the library type (round-trip exact; a null
+// rel_err reads back as the +Inf it encoded).
+func (e Estimate) Stats() stats.Estimate {
+	return stats.Estimate{P: e.P, CI95: e.CI95, RelErr: float64(e.RelErr), N: e.N, Sims: e.Sims}
+}
+
+func toEstimate(e stats.Estimate) Estimate {
+	return Estimate{P: e.P, CI95: e.CI95, RelErr: jsonFloat(e.RelErr), N: e.N, Sims: e.Sims}
+}
+
+// SeriesPoint is the wire form of stats.Point.
+type SeriesPoint struct {
+	Sims   int64     `json:"sims"`
+	P      float64   `json:"p"`
+	CI95   float64   `json:"ci95"`
+	RelErr jsonFloat `json:"rel_err"`
+}
+
+func toSeries(s stats.Series) []SeriesPoint {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]SeriesPoint, len(s))
+	for i, p := range s {
+		out[i] = SeriesPoint{Sims: p.Sims, P: p.P, CI95: p.CI95, RelErr: jsonFloat(p.RelErr)}
+	}
+	return out
+}
+
+// CostSplit breaks the simulation cost down by estimator stage. Stages that
+// an estimator does not have stay zero; Classified counts indicator labels
+// answered by a classifier (no simulation).
+type CostSplit struct {
+	Init       int64 `json:"init,omitempty"`
+	Warmup     int64 `json:"warmup,omitempty"`
+	Stage1     int64 `json:"stage1,omitempty"`
+	Stage2     int64 `json:"stage2,omitempty"`
+	Classified int64 `json:"classified,omitempty"`
+	Total      int64 `json:"total"`
+}
+
+// SweepPoint is one duty-ratio point of a Fig. 8-style sweep job.
+type SweepPoint struct {
+	Alpha    float64  `json:"alpha"`
+	Estimate Estimate `json:"estimate"`
+}
+
+// runSpec executes a normalized spec deterministically: all randomness
+// derives from spec.Seed, and ctx checkpoints consume none, so a fixed
+// (spec, seed) yields a byte-identical RunResult — the cache-soundness
+// invariant. On cancellation the partial result is returned with ctx.Err();
+// a stop caused purely by the spec's own MaxSims budget counts as a clean
+// completion (the budget is part of the content address, so the partial
+// series is the deterministic result of that spec).
+func runSpec(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (*RunResult, error) {
+	runCtx := ctx
+	if s.MaxSims > 0 {
+		bctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		counter.SetLimit(s.MaxSims, cancel)
+		runCtx = bctx
+	}
+
+	res, err := runEstimator(runCtx, s, counter)
+
+	if err != nil && ctx.Err() == nil && s.MaxSims > 0 && counter.Count() >= s.MaxSims {
+		err = nil // clean budget stop, not a cancellation
+	}
+	if res != nil {
+		res.Cost.Total = counter.Count()
+	}
+	return res, err
+}
+
+func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (*RunResult, error) {
+	cell := s.buildCell()
+	rng := rand.New(rand.NewSource(s.Seed))
+	sigma := cell.SigmaVth()
+	snm := &sram.SNMOptions{GridN: 24, BisectIter: 24}
+	mode := s.failureMode()
+
+	// fails is the counted 0/1 indicator in the normalized space, matching
+	// the closures of the top-level library facade exactly.
+	fails := func(x linalg.Vector) bool {
+		counter.Add(1)
+		var sh sram.Shifts
+		for i := range sh {
+			sh[i] = x[i] * sigma[i]
+		}
+		switch mode {
+		case core.WriteFailure:
+			return cell.WriteFails(sh, snm)
+		case core.HoldFailure:
+			return cell.HoldSNM(sh, snm) < 0
+		default:
+			return cell.Fails(sh, snm)
+		}
+	}
+
+	switch s.Estimator {
+	case EstECRIPSE:
+		eng := core.NewEngine(cell, counter, core.Options{
+			NIS: s.N, M: s.M, Mode: mode, NoClassifier: s.NoClassifier,
+		})
+		if len(s.Sweep) > 0 {
+			cfg := rtn.TableIConfig(cell)
+			eng.Init(rng)
+			out := &RunResult{}
+			for _, a := range s.Sweep {
+				r, err := eng.RunCtx(ctx, rng, rtn.NewSampler(cell, cfg, a))
+				addCost(&out.Cost, r)
+				if err != nil {
+					return out, err
+				}
+				out.Sweep = append(out.Sweep, SweepPoint{Alpha: a, Estimate: toEstimate(r.Estimate)})
+				// The last point's estimate/series double as the top-level
+				// ones so single-point sweeps read like plain jobs.
+				out.Estimate, out.Series = toEstimate(r.Estimate), toSeries(r.Series)
+			}
+			return out, nil
+		}
+		var sampler *rtn.Sampler
+		if s.RTN {
+			sampler = rtn.NewSampler(cell, rtn.TableIConfig(cell), s.Alpha)
+		}
+		r, err := eng.RunCtx(ctx, rng, sampler)
+		out := &RunResult{Estimate: toEstimate(r.Estimate), Series: toSeries(r.Series)}
+		addCost(&out.Cost, r)
+		return out, err
+
+	case EstNaive:
+		var sampler *rtn.Sampler
+		if s.RTN {
+			sampler = rtn.NewSampler(cell, rtn.TableIConfig(cell), s.Alpha)
+		}
+		trial := func(r *rand.Rand) bool {
+			x := make(linalg.Vector, sram.NumTransistors)
+			for i := range x {
+				x[i] = r.NormFloat64()
+			}
+			if sampler != nil {
+				counter.Add(1)
+				var sh sram.Shifts
+				for i := range sh {
+					sh[i] = x[i] * sigma[i]
+				}
+				sh = sh.Add(sampler.Sample(r))
+				switch mode {
+				case core.WriteFailure:
+					return cell.WriteFails(sh, snm)
+				case core.HoldFailure:
+					return cell.HoldSNM(sh, snm) < 0
+				default:
+					return cell.Fails(sh, snm)
+				}
+			}
+			return fails(x)
+		}
+		series := montecarlo.NaiveCtx(ctx, rng, trial, s.N, counter, 0)
+		fin := series.Final()
+		return &RunResult{
+			Estimate: toEstimate(stats.Estimate{
+				P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr, N: s.N, Sims: counter.Count(),
+			}),
+			Series: toSeries(series),
+		}, ctx.Err()
+
+	case EstSIS:
+		value := func(x linalg.Vector) float64 {
+			if fails(x) {
+				return 1
+			}
+			return 0
+		}
+		r, err := sis.EstimateCtx(ctx, rng, sram.NumTransistors, value, counter, &sis.Options{NIS: s.N}, nil)
+		return &RunResult{
+			Estimate: toEstimate(r.Estimate),
+			Series:   toSeries(r.Series),
+			Cost:     CostSplit{Init: r.InitSims, Stage1: r.PFSims, Stage2: r.ISSims},
+		}, err
+
+	case EstBlockade:
+		r, err := blockade.EstimateCtx(ctx, rng, sram.NumTransistors, fails, counter, s.N, nil)
+		return &RunResult{
+			Estimate: toEstimate(r.Estimate),
+			Series:   toSeries(r.Series),
+			Cost:     CostSplit{Warmup: r.TrainSims, Stage2: r.Passed, Classified: r.Blocked},
+		}, err
+
+	case EstSubset:
+		g := func(x linalg.Vector) float64 {
+			counter.Add(1)
+			var sh sram.Shifts
+			for i := range sh {
+				sh[i] = x[i] * sigma[i]
+			}
+			switch mode {
+			case core.WriteFailure:
+				return cell.WriteMargin(sh, snm)
+			case core.HoldFailure:
+				return cell.HoldSNM(sh, snm)
+			default:
+				return cell.ReadSNM(sh, snm)
+			}
+		}
+		r, err := subset.EstimateCtx(ctx, rng, sram.NumTransistors, g, &subset.Options{N: s.N})
+		return &RunResult{Estimate: toEstimate(r.Estimate)}, err
+	}
+	// Normalize guarantees a known estimator; this is unreachable.
+	return &RunResult{}, nil
+}
+
+// addCost folds a core.Result's stage split into the job cost. Init and
+// warmup are engine-lifetime figures shared across a sweep's points, so
+// they are assigned rather than summed; the per-run stages accumulate.
+func addCost(c *CostSplit, r core.Result) {
+	c.Init = r.InitSims
+	c.Warmup = r.WarmupSims
+	c.Stage1 += r.Stage1Sims
+	c.Stage2 += r.Stage2Sims
+	c.Classified += r.Classified
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server exposes a Service over HTTP/JSON:
+//
+//	POST   /v1/jobs             submit a JobSpec        → 202 job view (200 on a cache hit)
+//	GET    /v1/jobs             list jobs (no results)  → 200 [view...]
+//	GET    /v1/jobs/{id}        status + result         → 200 view
+//	GET    /v1/jobs/{id}/events progress stream (SSE)   → text/event-stream
+//	DELETE /v1/jobs/{id}        cancel                  → 202 view
+//	GET    /metrics             expvar-style JSON
+//	GET    /healthz             liveness (503 while draining)
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+
+	// EventInterval is the progress-event period of /events streams.
+	EventInterval time.Duration
+}
+
+// NewServer wires the routes for the service.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), EventInterval: 250 * time.Millisecond}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: "+err.Error())
+		return
+	}
+	j, err := s.svc.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	case j.State() == StateDone:
+		writeJSON(w, http.StatusOK, j.Snapshot(true)) // cache hit: answered inline
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j.Snapshot(false))
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.svc.Jobs()
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.Snapshot(false))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Snapshot(false))
+}
+
+// handleEvents streams job progress as server-sent events: one "progress"
+// event per tick (state and simulation count) and a final "done" event with
+// the full job view when the job reaches a terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		flusher.Flush()
+	}
+
+	type progress struct {
+		ID    string `json:"id"`
+		State State  `json:"state"`
+		Sims  int64  `json:"sims"`
+	}
+	ticker := time.NewTicker(s.EventInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			emit("done", j.Snapshot(true))
+			return
+		case <-ticker.C:
+			emit("progress", progress{ID: j.ID, State: j.State(), Sims: j.Sims()})
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.svc.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ecripse/internal/montecarlo"
+)
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("service: no such job")
+
+// Config sizes the service's three layers.
+type Config struct {
+	Workers       int // worker pool size (default 4)
+	QueueCapacity int // bounded FIFO depth (default 64)
+	CacheCapacity int // LRU result-cache entries (default 256; negative disables)
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 256
+	}
+}
+
+// Service owns the job store, the bounded queue, the worker pool and the
+// result cache. Create one with New, submit with Submit, and shut it down
+// with Drain.
+type Service struct {
+	cfg   Config
+	queue *queue
+	pool  *pool
+	cache *cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+
+	// runFn executes a job spec; tests substitute it to make scheduling
+	// behavior (backpressure, drain, races) deterministic and cheap.
+	runFn func(context.Context, JobSpec, *montecarlo.Counter) (*RunResult, error)
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []*Job // submission order, for listing
+	nextID int64
+}
+
+// New builds a service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		queue:      newQueue(cfg.QueueCapacity),
+		cache:      newCache(cfg.CacheCapacity),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		runFn:      runSpec,
+		jobs:       make(map[string]*Job),
+	}
+	s.pool = startPool(cfg.Workers, s.queue, s.execute)
+	return s
+}
+
+// Submit validates and enqueues a job. A spec whose content address is
+// cached is answered immediately: the returned job is already done, flagged
+// cached, and cost zero additional simulations. Backpressure and drain are
+// reported as ErrQueueFull and ErrDraining.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	key := spec.Key()
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.mu.Unlock()
+
+	if payload, ok := s.cache.get(key); ok {
+		j := newJob(s.baseCtx, id, spec, key)
+		j.finishCached(payload)
+		s.store(j)
+		return j, nil
+	}
+
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	j := newJob(s.baseCtx, id, spec, key)
+	s.store(j)
+	if err := s.queue.tryEnqueue(j); err != nil {
+		s.remove(j)
+		return nil, err
+	}
+	return j, nil
+}
+
+func (s *Service) store(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+}
+
+func (s *Service) remove(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.ID)
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns a job by ID.
+func (s *Service) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs returns every known job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// Cancel requests cancellation of a job by ID.
+func (s *Service) Cancel(id string) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	j.Cancel()
+	return j, nil
+}
+
+// Draining reports whether the service has stopped accepting jobs.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the service down: intake stops (submits return
+// ErrDraining), queued and running jobs are allowed to finish, and the
+// call returns when the pool is idle or ctx fires — in which case every
+// job still in flight is cancelled and the error reports the abort.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.close()
+	if s.pool.wait(ctx) {
+		return nil
+	}
+	// Deadline hit: hard-cancel whatever is still running and give the
+	// workers a moment to unwind at their next checkpoint.
+	s.baseCancel()
+	s.pool.wait(context.Background())
+	return fmt.Errorf("service: drain aborted: %w", ctx.Err())
+}
+
+// execute runs one dequeued job on a pool worker. Panics in estimator code
+// are contained here: the job fails, the worker survives.
+func (s *Service) execute(j *Job) {
+	if !j.markRunning() {
+		return // cancelled while queued
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(StateFailed, nil, fmt.Sprintf("panic: %v", r))
+		}
+	}()
+
+	res, err := s.runFn(j.ctx, j.Spec, j.counter)
+
+	var payload json.RawMessage
+	if res != nil {
+		b, merr := json.Marshal(res)
+		if merr != nil {
+			j.finish(StateFailed, nil, "marshal result: "+merr.Error())
+			return
+		}
+		payload = b
+	}
+	if err != nil {
+		// Cancelled (client DELETE, drain abort, or deadline): keep the
+		// partial result for inspection but never cache it.
+		j.finish(StateCanceled, payload, err.Error())
+		return
+	}
+	s.cache.put(j.Key, payload)
+	j.finish(StateDone, payload, "")
+}
+
+// Metrics is the expvar-style snapshot served at /metrics.
+type Metrics struct {
+	Jobs          map[State]int `json:"jobs"`
+	QueueDepth    int           `json:"queue_depth"`
+	QueueCapacity int           `json:"queue_capacity"`
+	Workers       int           `json:"workers"`
+	WorkersBusy   int64         `json:"workers_busy"`
+	CacheHits     int64         `json:"cache_hits"`
+	CacheMisses   int64         `json:"cache_misses"`
+	CacheSize     int           `json:"cache_size"`
+	CacheHitRate  float64       `json:"cache_hit_rate"`
+	SimsTotal     int64         `json:"sims_total"`
+	Draining      bool          `json:"draining"`
+}
+
+// Snapshot assembles the current metrics.
+func (s *Service) Snapshot() Metrics {
+	m := Metrics{
+		Jobs:          map[State]int{},
+		QueueDepth:    s.queue.depth(),
+		QueueCapacity: s.queue.capacity(),
+		Workers:       s.pool.workers,
+		WorkersBusy:   s.pool.busy.Load(),
+		Draining:      s.draining.Load(),
+	}
+	m.CacheHits, m.CacheMisses, m.CacheSize = s.cache.stats()
+	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
+	}
+	for _, j := range s.Jobs() {
+		m.Jobs[j.State()]++
+		m.SimsTotal += j.Sims()
+	}
+	return m
+}

@@ -12,6 +12,7 @@
 package sis
 
 import (
+	"context"
 	"math/rand"
 
 	"ecripse/internal/linalg"
@@ -79,6 +80,15 @@ type Result struct {
 // simulations counted by c. initial may carry boundary particles reused
 // from a previous run; when nil the boundary search runs here.
 func Estimate(rng *rand.Rand, dim int, value montecarlo.Value, c *montecarlo.Counter, opts *Options, initial []linalg.Vector) Result {
+	res, _ := EstimateCtx(context.Background(), rng, dim, value, c, opts, initial)
+	return res
+}
+
+// EstimateCtx is Estimate with cancellation, checked between particle-filter
+// rounds and before every importance-sampling draw. On cancellation the
+// partial Result is returned with ctx.Err(); with an uncancelled context it
+// is bit-identical to Estimate.
+func EstimateCtx(ctx context.Context, rng *rand.Rand, dim int, value montecarlo.Value, c *montecarlo.Counter, opts *Options, initial []linalg.Vector) (Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -105,12 +115,14 @@ func Estimate(rng *rand.Rand, dim int, value montecarlo.Value, c *montecarlo.Cou
 		KernelStd: o.Kernel,
 	}, initial)
 	pfStart := c.Count()
-	ens.Run(rng, weight, o.Iterations)
+	for it := 0; it < o.Iterations && ctx.Err() == nil; it++ {
+		ens.Step(rng, weight)
+	}
 	pfSims := c.Count() - pfStart
 
 	isStart := c.Count()
 	q := &montecarlo.DefensiveMixture{Q: ens.PoolGMM(nil, 600), Rho: o.Rho, Dim: dim}
-	series := montecarlo.ImportanceSample(rng, q, value, o.NIS, c, o.RecordEvery)
+	series := montecarlo.ImportanceSampleCtx(ctx, rng, q, value, o.NIS, c, o.RecordEvery)
 	isSims := c.Count() - isStart
 
 	fin := series.Final()
@@ -122,5 +134,5 @@ func Estimate(rng *rand.Rand, dim int, value montecarlo.Value, c *montecarlo.Cou
 		InitSims: initSims,
 		PFSims:   pfSims,
 		ISSims:   isSims,
-	}
+	}, ctx.Err()
 }

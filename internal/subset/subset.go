@@ -12,6 +12,7 @@
 package subset
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -60,6 +61,16 @@ type Result struct {
 // approximation (independent-level assumption), which is known to be
 // slightly optimistic; treat it as indicative.
 func Estimate(rng *rand.Rand, dim int, g Margin, opts *Options) Result {
+	res, _ := EstimateCtx(context.Background(), rng, dim, g, opts)
+	return res
+}
+
+// EstimateCtx is Estimate with cancellation, checked between levels and
+// between Markov chains within a level. On cancellation the result reached
+// so far (the conditional-probability product down to the last completed
+// level, flagged with an infinite relative error) is returned with
+// ctx.Err(); with an uncancelled context it is bit-identical to Estimate.
+func EstimateCtx(ctx context.Context, rng *rand.Rand, dim int, g Margin, opts *Options) (Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -88,7 +99,24 @@ func Estimate(rng *rand.Rand, dim int, g Margin, opts *Options) Result {
 	varSum := 0.0 // Σ (1-pi)/(pi·N) — delta-method variance of log P
 	var thresholds []float64
 
+	partial := func(levels int) (Result, error) {
+		p := math.Exp(logP)
+		cov := math.Sqrt(varSum)
+		return Result{
+			Estimate: stats.Estimate{
+				P: p, CI95: stats.Z95 * cov * p, RelErr: math.Inf(1),
+				N: o.N * levels, Sims: sims,
+			},
+			Thresholds: thresholds,
+			Levels:     levels,
+			Sims:       sims,
+		}, ctx.Err()
+	}
+
 	for level := 0; level < o.MaxLevels; level++ {
+		if ctx.Err() != nil {
+			return partial(level)
+		}
 		// Threshold at the p0 quantile of the current population.
 		idx := make([]int, len(gs))
 		for i := range idx {
@@ -125,7 +153,7 @@ func Estimate(rng *rand.Rand, dim int, g Margin, opts *Options) Result {
 				Thresholds: thresholds,
 				Levels:     level + 1,
 				Sims:       sims,
-			}
+			}, nil
 		}
 
 		thresholds = append(thresholds, threshold)
@@ -146,6 +174,9 @@ func Estimate(rng *rand.Rand, dim int, g Margin, opts *Options) Result {
 		newGs := make([]float64, 0, o.N)
 		chainLen := o.N / len(seeds)
 		for s := range seeds {
+			if ctx.Err() != nil {
+				return partial(level)
+			}
 			x := seeds[s].Clone()
 			gx := seedGs[s]
 			steps := chainLen
@@ -183,5 +214,5 @@ func Estimate(rng *rand.Rand, dim int, g Margin, opts *Options) Result {
 		Thresholds: thresholds,
 		Levels:     o.MaxLevels,
 		Sims:       sims,
-	}
+	}, nil
 }
