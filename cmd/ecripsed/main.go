@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	ecripsed -addr :8080 -workers 8 -queue 128 -cache 512
+//	ecripsed -addr :8080 -workers 8 -queue 128 -cache 512 -data-dir /var/lib/ecripsed
+//
+// With -data-dir set, every job event and completed result is journaled to
+// disk and replayed on the next boot: terminal jobs and their results come
+// back as-is, and jobs that were queued or running when the process died
+// are re-enqueued under their original IDs (specs are deterministic, so the
+// re-run reproduces the lost results). Without it, state lives in process
+// memory as before.
 //
 // Endpoints: POST/GET/DELETE /v1/jobs[/{id}], GET /v1/jobs/{id}/events
 // (SSE progress), GET /metrics, GET /healthz. See the README's "Running the
-// service" section for a curl walkthrough. SIGINT/SIGTERM trigger a
-// graceful drain: intake stops, running jobs finish, then the process
-// exits.
+// service" and "Durability" sections for a walkthrough. SIGINT/SIGTERM
+// trigger a graceful drain: intake stops, running jobs finish, then the
+// process exits.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"ecripse/internal/service"
+	"ecripse/internal/store"
 )
 
 func main() {
@@ -34,14 +42,39 @@ func main() {
 		queueCap     = flag.Int("queue", 64, "job queue capacity")
 		cacheCap     = flag.Int("cache", 256, "result cache entries (negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-drain deadline on shutdown")
+		dataDir      = flag.String("data-dir", "", "journal job events and results here; empty keeps state in memory")
+		fsync        = flag.Bool("fsync", true, "fsync the journal on every append (power-loss durability)")
+		compactBytes = flag.Int64("compact-bytes", 8<<20, "journal segment size that triggers snapshot compaction (<0 disables)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:       *workers,
 		QueueCapacity: *queueCap,
 		CacheCapacity: *cacheCap,
-	})
+	}
+	var closeStore func()
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{
+			NoSync:       !*fsync,
+			CompactBytes: *compactBytes,
+		})
+		if err != nil {
+			log.Fatalf("ecripsed: open store: %v", err)
+		}
+		cfg.Store = st
+		closeStore = func() {
+			if err := st.Close(); err != nil {
+				log.Printf("ecripsed: close store: %v", err)
+			}
+		}
+		log.Printf("ecripsed: journaling to %s (fsync=%v compact-bytes=%d)", *dataDir, *fsync, *compactBytes)
+	}
+
+	svc := service.New(cfg)
+	if m := svc.Snapshot(); m.ReplayedJobs > 0 {
+		log.Printf("ecripsed: recovery replayed %d interrupted job(s)", m.ReplayedJobs)
+	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -66,6 +99,9 @@ func main() {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("ecripsed: shutdown: %v", err)
+	}
+	if closeStore != nil {
+		closeStore()
 	}
 	log.Printf("ecripsed: bye")
 }

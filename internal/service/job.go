@@ -22,8 +22,8 @@ const (
 	StateFailed   State = "failed"
 )
 
-// terminal reports whether the state is final.
-func (s State) terminal() bool {
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateCanceled || s == StateFailed
 }
 
@@ -39,6 +39,13 @@ type Job struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	done    chan struct{} // closed on entering a terminal state
+
+	// onState observes every committed lifecycle transition (the service
+	// points it at the persistent store). It is invoked outside the job
+	// lock, by the goroutine that performed the transition; the state
+	// machine admits no concurrent transitions, so calls are sequential
+	// per job.
+	onState func(j *Job, state State, errMsg string, at time.Time)
 
 	mu       sync.Mutex
 	state    State
@@ -63,6 +70,39 @@ func newJob(parent context.Context, id string, spec JobSpec, key string) *Job {
 		done:    make(chan struct{}),
 		state:   StateQueued,
 		created: time.Now(),
+	}
+}
+
+// restoreJob rebuilds a terminal job from the persistent store: its context
+// is already released, its done channel closed, and no transition callback
+// fires (the store knows this state — it supplied it).
+func restoreJob(r RecoveredJob, spec JobSpec, result json.RawMessage) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &Job{
+		ID:       r.ID,
+		Spec:     spec,
+		Key:      r.Key,
+		counter:  &montecarlo.Counter{},
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    r.State,
+		cached:   r.Cached,
+		errMsg:   r.Error,
+		result:   result,
+		created:  r.Created,
+		started:  r.Started,
+		finished: r.Finished,
+	}
+	close(j.done)
+	return j
+}
+
+// notify invokes the transition observer, if any.
+func (j *Job) notify(state State, errMsg string, at time.Time) {
+	if j.onState != nil {
+		j.onState(j, state, errMsg, at)
 	}
 }
 
@@ -93,7 +133,7 @@ func (j *Job) Result() json.RawMessage {
 // request had any effect (false once terminal).
 func (j *Job) Cancel() bool {
 	j.mu.Lock()
-	if j.state.terminal() {
+	if j.state.Terminal() {
 		j.mu.Unlock()
 		return false
 	}
@@ -101,9 +141,11 @@ func (j *Job) Cancel() bool {
 		j.state = StateCanceled
 		j.errMsg = "canceled while queued"
 		j.finished = time.Now()
+		at := j.finished
 		j.mu.Unlock()
 		j.cancel()
 		close(j.done)
+		j.notify(StateCanceled, "canceled while queued", at)
 		return true
 	}
 	j.mu.Unlock()
@@ -115,12 +157,15 @@ func (j *Job) Cancel() bool {
 // was already cancelled (the worker then skips it).
 func (j *Job) markRunning() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	at := j.started
+	j.mu.Unlock()
+	j.notify(StateRunning, "", at)
 	return true
 }
 
@@ -129,7 +174,7 @@ func (j *Job) markRunning() bool {
 // concurrent Cancel calls.
 func (j *Job) finish(state State, result json.RawMessage, errMsg string) {
 	j.mu.Lock()
-	if j.state.terminal() {
+	if j.state.Terminal() {
 		j.mu.Unlock()
 		return
 	}
@@ -137,9 +182,11 @@ func (j *Job) finish(state State, result json.RawMessage, errMsg string) {
 	j.result = result
 	j.errMsg = errMsg
 	j.finished = time.Now()
+	at := j.finished
 	j.mu.Unlock()
 	j.cancel() // release the context regardless of how the job ended
 	close(j.done)
+	j.notify(state, errMsg, at)
 }
 
 // finishCached marks a freshly created job as answered from the cache.

@@ -14,7 +14,7 @@ import (
 //	GET    /v1/jobs             list jobs (no results)  → 200 [view...]
 //	GET    /v1/jobs/{id}        status + result         → 200 view
 //	GET    /v1/jobs/{id}/events progress stream (SSE)   → text/event-stream
-//	DELETE /v1/jobs/{id}        cancel                  → 202 view
+//	DELETE /v1/jobs/{id}        cancel                  → 202 view (409 view if already terminal)
 //	GET    /metrics             expvar-style JSON
 //	GET    /healthz             liveness (503 while draining)
 type Server struct {
@@ -97,9 +97,15 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, err := s.svc.Cancel(r.PathValue("id"))
+	j, changed, err := s.svc.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if !changed {
+		// The job already reached a terminal state: report the conflict
+		// (and the state it ended in) instead of pretending to cancel it.
+		writeJSON(w, http.StatusConflict, j.Snapshot(false))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Snapshot(false))

@@ -60,7 +60,7 @@ func waitJobHTTP(t *testing.T, base, id string, want State, within time.Duration
 		if v.State == want {
 			return v
 		}
-		if v.State.terminal() {
+		if v.State.Terminal() {
 			t.Fatalf("job %s reached %q (error %q), want %q", id, v.State, v.Error, want)
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -223,6 +223,48 @@ func TestServerEventsStream(t *testing.T) {
 	}
 	if progress == 0 {
 		t.Fatal("no progress events before completion")
+	}
+}
+
+// TestServerDeleteCompletedConflict pins the contract for cancelling a job
+// that already reached a terminal state: DELETE answers 409 Conflict and the
+// body carries the job's terminal view, so clients can tell "too late to
+// cancel" apart from "no such job" (404) and from an accepted cancel (202).
+func TestServerDeleteCompletedConflict(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCapacity: 4})
+	defer svc.Drain(context.Background())
+	svc.runFn = func(context.Context, JobSpec, *montecarlo.Counter) (*RunResult, error) {
+		return &RunResult{}, nil
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	v, status := postJob(t, ts.URL, `{"seed": 11}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	waitJobHTTP(t, ts.URL, v.ID, StateDone, 10*time.Second)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE done job: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE on completed job: status = %d, want 409", resp.StatusCode)
+	}
+	var got View
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode 409 body: %v", err)
+	}
+	if got.ID != v.ID || got.State != StateDone {
+		t.Fatalf("409 body = %+v, want terminal view of %s", got, v.ID)
+	}
+
+	// The job is untouched: still done, still retrievable.
+	if after := getJob(t, ts.URL, v.ID); after.State != StateDone {
+		t.Fatalf("job state after rejected cancel = %q", after.State)
 	}
 }
 

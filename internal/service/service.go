@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ecripse/internal/montecarlo"
 )
@@ -14,11 +16,20 @@ import (
 // ErrNotFound is returned for unknown job IDs.
 var ErrNotFound = errors.New("service: no such job")
 
-// Config sizes the service's three layers.
+// Config sizes the service's three layers and selects its persistence.
 type Config struct {
 	Workers       int // worker pool size (default 4)
 	QueueCapacity int // bounded FIFO depth (default 64)
 	CacheCapacity int // LRU result-cache entries (default 256; negative disables)
+
+	// Store persists job events and results across restarts. Nil selects
+	// the in-memory no-op store (nothing survives the process).
+	Store Store
+
+	// RunFunc substitutes the job runner; nil selects the real estimator
+	// runner. It exists so tests — including out-of-package crash-recovery
+	// tests — can make scheduling deterministic and cheap.
+	RunFunc func(context.Context, JobSpec, *montecarlo.Counter) (*RunResult, error)
 }
 
 func (c *Config) fill() {
@@ -31,6 +42,12 @@ func (c *Config) fill() {
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 256
 	}
+	if c.Store == nil {
+		c.Store = nopStore{}
+	}
+	if c.RunFunc == nil {
+		c.RunFunc = runSpec
+	}
 }
 
 // Service owns the job store, the bounded queue, the worker pool and the
@@ -41,10 +58,14 @@ type Service struct {
 	queue *queue
 	pool  *pool
 	cache *cache
+	st    Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	draining   atomic.Bool
+
+	replayed   int          // jobs re-enqueued or re-answered at boot
+	appendErrs atomic.Int64 // store appends that failed (logged, not fatal)
 
 	// runFn executes a job spec; tests substitute it to make scheduling
 	// behavior (backpressure, drain, races) deterministic and cheap.
@@ -56,21 +77,88 @@ type Service struct {
 	nextID int64
 }
 
-// New builds a service and starts its worker pool.
+// New builds a service, replays whatever state its store recovered from
+// disk, and starts the worker pool. Recovered terminal jobs are restored
+// as-is (done results re-attached from the persisted result set); jobs
+// that were queued or running when the previous process died are
+// re-enqueued under their original IDs — their specs are deterministic, so
+// the re-run reproduces the lost result — or answered straight from the
+// restored cache when an identical spec already completed.
 func New(cfg Config) *Service {
 	cfg.fill()
+	rec := cfg.Store.Recover()
+	pending := 0
+	for _, rj := range rec.Jobs {
+		if !rj.State.Terminal() {
+			pending++
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:        cfg,
-		queue:      newQueue(cfg.QueueCapacity),
+		cfg: cfg,
+		// The queue admits every replayed job on top of the configured
+		// capacity, so a crash under full load can never refuse its own
+		// backlog at boot.
+		queue:      newQueue(cfg.QueueCapacity + pending),
 		cache:      newCache(cfg.CacheCapacity),
+		st:         cfg.Store,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		runFn:      runSpec,
+		runFn:      cfg.RunFunc,
 		jobs:       make(map[string]*Job),
+	}
+	for key, payload := range rec.Results {
+		s.cache.put(key, payload)
+	}
+	for _, rj := range rec.Jobs {
+		s.restore(rj, rec.Results)
 	}
 	s.pool = startPool(cfg.Workers, s.queue, s.execute)
 	return s
+}
+
+// restore re-creates one recovered job. Replay never appends a fresh
+// submit record — the store already holds one — but re-run jobs do append
+// their new transitions, so a second crash replays from the furthest state.
+func (s *Service) restore(rj RecoveredJob, results map[string]json.RawMessage) {
+	var n int64
+	if _, err := fmt.Sscanf(rj.ID, "j%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(rj.Spec, &spec); err != nil {
+		log.Printf("service: recovery: job %s has undecodable spec, dropping: %v", rj.ID, err)
+		return
+	}
+	if rj.State.Terminal() {
+		var res json.RawMessage
+		if rj.State == StateDone {
+			res = results[rj.Key]
+		}
+		s.track(restoreJob(rj, spec, res))
+		return
+	}
+	s.replayed++
+	j := newJob(s.baseCtx, rj.ID, spec, rj.Key)
+	j.onState = s.onJobState
+	s.track(j)
+	if payload, ok := s.cache.get(rj.Key); ok {
+		j.finishCached(payload)
+		return
+	}
+	if err := s.queue.tryEnqueue(j); err != nil {
+		// Structurally impossible (capacity covers the backlog), but a
+		// lost job must still surface as failed rather than queued forever.
+		j.finish(StateFailed, nil, "recovery enqueue: "+err.Error())
+	}
+}
+
+// onJobState persists every committed job transition.
+func (s *Service) onJobState(j *Job, state State, errMsg string, at time.Time) {
+	if err := s.st.AppendState(j.ID, state, errMsg, at); err != nil {
+		s.appendErrs.Add(1)
+		log.Printf("service: persist %s -> %s: %v", j.ID, state, err)
+	}
 }
 
 // Submit validates and enqueues a job. A spec whose content address is
@@ -88,10 +176,17 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.mu.Unlock()
 
+	raw, err := json.Marshal(spec) // normalized: the canonical persisted form
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal spec: %w", err)
+	}
+
 	if payload, ok := s.cache.get(key); ok {
 		j := newJob(s.baseCtx, id, spec, key)
+		j.onState = s.onJobState
+		s.persistSubmit(j, raw, true)
 		j.finishCached(payload)
-		s.store(j)
+		s.track(j)
 		return j, nil
 	}
 
@@ -99,15 +194,35 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrDraining
 	}
 	j := newJob(s.baseCtx, id, spec, key)
-	s.store(j)
+	j.onState = s.onJobState
+	// The submit record goes to the journal before the job can reach a
+	// worker, so replay never sees a transition for an unknown job. A
+	// rejected enqueue is voided with a drop record; a crash between the
+	// two merely re-runs a job the client saw refused — harmless, because
+	// specs are deterministic.
+	s.persistSubmit(j, raw, false)
+	s.track(j)
 	if err := s.queue.tryEnqueue(j); err != nil {
 		s.remove(j)
+		if derr := s.st.AppendDrop(j.ID); derr != nil {
+			s.appendErrs.Add(1)
+			log.Printf("service: persist drop %s: %v", j.ID, derr)
+		}
 		return nil, err
 	}
 	return j, nil
 }
 
-func (s *Service) store(j *Job) {
+// persistSubmit appends the job's submit record, logging (not failing) on
+// store errors: the service prefers availability over durability.
+func (s *Service) persistSubmit(j *Job, raw json.RawMessage, cached bool) {
+	if err := s.st.AppendSubmit(j.ID, raw, j.Key, cached, j.created); err != nil {
+		s.appendErrs.Add(1)
+		log.Printf("service: persist submit %s: %v", j.ID, err)
+	}
+}
+
+func (s *Service) track(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobs[j.ID] = j
@@ -144,14 +259,15 @@ func (s *Service) Jobs() []*Job {
 	return append([]*Job(nil), s.order...)
 }
 
-// Cancel requests cancellation of a job by ID.
-func (s *Service) Cancel(id string) (*Job, error) {
+// Cancel requests cancellation of a job by ID. The boolean reports whether
+// the request had any effect: false means the job was already in a
+// terminal state (the HTTP layer maps that onto 409 Conflict).
+func (s *Service) Cancel(id string) (*Job, bool, error) {
 	j, err := s.Get(id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	j.Cancel()
-	return j, nil
+	return j, j.Cancel(), nil
 }
 
 // Draining reports whether the service has stopped accepting jobs.
@@ -199,11 +315,19 @@ func (s *Service) execute(j *Job) {
 	}
 	if err != nil {
 		// Cancelled (client DELETE, drain abort, or deadline): keep the
-		// partial result for inspection but never cache it.
+		// partial result for inspection but never cache it. Partial
+		// payloads are deliberately not persisted either — a restored
+		// canceled job carries its error but no payload.
 		j.finish(StateCanceled, payload, err.Error())
 		return
 	}
 	s.cache.put(j.Key, payload)
+	// Result before the done record: a crash between the two replays the
+	// job as running and re-derives the identical payload.
+	if perr := s.st.AppendResult(j.Key, payload); perr != nil {
+		s.appendErrs.Add(1)
+		log.Printf("service: persist result %s: %v", j.ID, perr)
+	}
 	j.finish(StateDone, payload, "")
 }
 
@@ -220,6 +344,11 @@ type Metrics struct {
 	CacheHitRate  float64       `json:"cache_hit_rate"`
 	SimsTotal     int64         `json:"sims_total"`
 	Draining      bool          `json:"draining"`
+	// ReplayedJobs counts jobs re-enqueued (or re-answered from the
+	// restored cache) during boot recovery.
+	ReplayedJobs int `json:"replayed_jobs,omitempty"`
+	// Store carries the persistence counters; absent without a data dir.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // Snapshot assembles the current metrics.
@@ -231,6 +360,12 @@ func (s *Service) Snapshot() Metrics {
 		Workers:       s.pool.workers,
 		WorkersBusy:   s.pool.busy.Load(),
 		Draining:      s.draining.Load(),
+		ReplayedJobs:  s.replayed,
+	}
+	if _, nop := s.st.(nopStore); !nop {
+		st := s.st.Stats()
+		st.AppendErrors = s.appendErrs.Load()
+		m.Store = &st
 	}
 	m.CacheHits, m.CacheMisses, m.CacheSize = s.cache.stats()
 	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {

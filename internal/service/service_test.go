@@ -134,8 +134,8 @@ func TestCancelQueuedJob(t *testing.T) {
 	if err != nil {
 		t.Fatalf("submit 2: %v", err)
 	}
-	if _, err := svc.Cancel(j2.ID); err != nil {
-		t.Fatalf("cancel: %v", err)
+	if _, changed, err := svc.Cancel(j2.ID); err != nil || !changed {
+		t.Fatalf("cancel: changed=%v err=%v", changed, err)
 	}
 	if got := j2.State(); got != StateCanceled {
 		t.Fatalf("queued job state after cancel = %q, want canceled", got)
@@ -170,8 +170,8 @@ func TestCancelMidRunStopsCounter(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	if _, err := svc.Cancel(j.ID); err != nil {
-		t.Fatalf("cancel: %v", err)
+	if _, changed, err := svc.Cancel(j.ID); err != nil || !changed {
+		t.Fatalf("cancel: changed=%v err=%v", changed, err)
 	}
 	waitDone(t, j, 2*time.Second)
 	if got := j.State(); got != StateCanceled {

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"ecripse/internal/core"
 	"ecripse/internal/device"
@@ -87,6 +88,16 @@ func (s *JobSpec) Normalize() error {
 	if s.Vdd < 0 || s.TempK < 0 {
 		return fmt.Errorf("spec: negative vdd or temp_k")
 	}
+	// NaN/Inf would pass the range checks below (NaN compares false to
+	// everything) and then blow up canonical marshaling in Key.
+	if !finite(s.Vdd) || !finite(s.TempK) || !finite(s.Alpha) {
+		return fmt.Errorf("spec: vdd, temp_k and alpha must be finite")
+	}
+	for _, a := range s.Sweep {
+		if !finite(a) {
+			return fmt.Errorf("spec: sweep duty ratios must be finite")
+		}
+	}
 	switch s.Mode {
 	case "":
 		s.Mode = "read"
@@ -156,6 +167,8 @@ func (s *JobSpec) Normalize() error {
 	}
 	return nil
 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Key returns the content address of the (normalized) spec: the hex SHA-256
 // of its canonical JSON encoding. Struct fields marshal in declaration

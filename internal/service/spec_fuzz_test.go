@@ -1,0 +1,96 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// reorderJSON round-trips a canonical spec encoding through a generic map,
+// which marshals keys alphabetically — a different field order than the
+// struct's declaration order. UseNumber keeps int64 seeds exact.
+func reorderJSON(t *testing.T, b []byte) []byte {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	var m map[string]any
+	if err := dec.Decode(&m); err != nil {
+		t.Fatalf("decode spec into map: %v", err)
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("re-marshal map: %v", err)
+	}
+	return out
+}
+
+// FuzzSpecHash checks the invariants the result cache and the persistent
+// store both lean on: the normalize→hash pipeline is insensitive to JSON
+// field order, Normalize is idempotent, and two specs share a cache key
+// exactly when their canonical encodings are byte-identical.
+func FuzzSpecHash(f *testing.F) {
+	f.Add(0.0, 0.0, "", "", false, 0.0, int64(0), 0, 0, false, int64(0), 0.0, false)
+	f.Add(0.7, 300.0, "read", EstSIS, false, 0.0, int64(42), 20000, 0, false, int64(0), 0.0, false)
+	f.Add(0.5, 350.0, "hold", EstNaive, true, 0.25, int64(7), 1000, 10, false, int64(500), 0.0, false)
+	f.Add(0.6, 0.0, "write", EstECRIPSE, true, 0.0, int64(-3), 0, 0, true, int64(0), 0.5, true)
+	f.Add(0.45, 0.0, "read", EstBlockade, false, 0.0, int64(1), 100000, 0, false, int64(0), 0.0, false)
+
+	f.Fuzz(func(t *testing.T, vdd, tempK float64, mode, estimator string, rtn bool,
+		alpha float64, seed int64, n, m int, noClassifier bool, maxSims int64,
+		sweepAlpha float64, sweep bool) {
+
+		spec := JobSpec{
+			Vdd: vdd, TempK: tempK, Mode: mode, Estimator: estimator,
+			RTN: rtn, Alpha: alpha, Seed: seed, N: n, M: m,
+			NoClassifier: noClassifier, MaxSims: maxSims,
+		}
+		if sweep {
+			spec.Sweep = []float64{sweepAlpha, sweepAlpha / 2}
+		}
+		if err := spec.Normalize(); err != nil {
+			return // invalid input is rejected, not hashed
+		}
+		key := spec.Key()
+		canon, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("normalized spec does not marshal: %v", err)
+		}
+
+		// Idempotence: normalizing a normalized spec changes nothing.
+		again := spec
+		if err := again.Normalize(); err != nil {
+			t.Fatalf("re-normalize failed: %v", err)
+		}
+		if k := again.Key(); k != key {
+			t.Fatalf("Normalize is not idempotent: %s -> %s", key, k)
+		}
+
+		// Field-order insensitivity: the same spec arriving with JSON keys
+		// in any order must land on the same cache key.
+		var reordered JobSpec
+		if err := json.Unmarshal(reorderJSON(t, canon), &reordered); err != nil {
+			t.Fatalf("decode reordered spec: %v", err)
+		}
+		if err := reordered.Normalize(); err != nil {
+			t.Fatalf("reordered spec failed Normalize: %v", err)
+		}
+		if k := reordered.Key(); k != key {
+			t.Fatalf("key depends on field order: %s vs %s\ncanon: %s", key, k, canon)
+		}
+
+		// Injectivity on the cache-key path: a spec that differs after
+		// normalization must not collide, and equal keys must mean equal
+		// canonical bytes.
+		distinct := spec
+		distinct.Seed = spec.Seed + 1
+		if err := distinct.Normalize(); err != nil {
+			t.Fatalf("seed perturbation failed Normalize: %v", err)
+		}
+		if distinct.Key() == key {
+			t.Fatalf("distinct specs collided on key %s", key)
+		}
+		if other, err := json.Marshal(distinct); err == nil && bytes.Equal(other, canon) {
+			t.Fatalf("seed perturbation produced identical canonical bytes: %s", canon)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Store persists job lifecycle events and completed results so that a
+// service restart can rebuild its state. The service appends one record per
+// observable event; the store is expected to make each append durable (or
+// at least ordered) and to hand the accumulated state back through Recover.
+//
+// Append ordering matters for crash consistency and the service guarantees
+// it per job: the submit record precedes every state record, a result
+// record precedes the done record it belongs to, and states follow the job
+// lifecycle. Across jobs no ordering is promised.
+//
+// The zero-configuration default is the process-memory nopStore: every
+// append succeeds without touching disk and Recover finds nothing, which is
+// exactly the pre-persistence behavior.
+type Store interface {
+	// Recover returns the state accumulated before this process started.
+	// The service calls it exactly once, before its workers see any job.
+	Recover() *Recovery
+	// AppendSubmit records a newly accepted job. cached marks a submission
+	// answered inline from the result cache (it is born terminal).
+	AppendSubmit(id string, spec json.RawMessage, key string, cached bool, at time.Time) error
+	// AppendState records a lifecycle transition of a known job.
+	AppendState(id string, state State, errMsg string, at time.Time) error
+	// AppendResult records a completed, cacheable result payload under the
+	// spec's content address. It is appended before the job's done record,
+	// so a crash between the two replays the job as still running — safe,
+	// because re-running a deterministic spec reproduces the same payload.
+	AppendResult(key string, payload json.RawMessage) error
+	// AppendDrop voids a submit record whose enqueue failed (queue full):
+	// replay must not resurrect the job.
+	AppendDrop(id string) error
+	// Stats reports persistence counters for /metrics; a store without
+	// durability returns the zero value.
+	Stats() StoreStats
+	// Close releases the store. Appends after Close fail.
+	Close() error
+}
+
+// Recovery is the state a Store rebuilt from disk: every job it knew about
+// in submission order, plus the completed result payloads keyed by spec
+// content address.
+type Recovery struct {
+	Jobs    []RecoveredJob
+	Results map[string]json.RawMessage
+}
+
+// RecoveredJob is one persisted job as of the last durable record. Jobs
+// that were queued or running at crash time are re-enqueued by the service
+// (specs and seeds are deterministic, so a re-run reproduces the lost
+// work); terminal jobs are restored as-is, with done results re-attached
+// from Recovery.Results.
+type RecoveredJob struct {
+	ID       string
+	Spec     json.RawMessage
+	Key      string
+	State    State
+	Error    string
+	Cached   bool
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// StoreStats are the persistence counters surfaced at /metrics.
+type StoreStats struct {
+	// Appends counts journal records written since the process started.
+	Appends int64 `json:"appends"`
+	// Compactions counts snapshot compactions since the process started.
+	Compactions int64 `json:"compactions"`
+	// SegmentBytes is the size of the live journal segment.
+	SegmentBytes int64 `json:"segment_bytes"`
+	// AppendErrors counts appends that failed (the service keeps serving;
+	// durability of those events is lost).
+	AppendErrors int64 `json:"append_errors,omitempty"`
+}
+
+// nopStore is the in-memory default: no persistence, nothing to recover.
+type nopStore struct{}
+
+func (nopStore) Recover() *Recovery { return &Recovery{} }
+func (nopStore) AppendSubmit(string, json.RawMessage, string, bool, time.Time) error {
+	return nil
+}
+func (nopStore) AppendState(string, State, string, time.Time) error { return nil }
+func (nopStore) AppendResult(string, json.RawMessage) error         { return nil }
+func (nopStore) AppendDrop(string) error                            { return nil }
+func (nopStore) Stats() StoreStats                                  { return StoreStats{} }
+func (nopStore) Close() error                                       { return nil }

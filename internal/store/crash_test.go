@@ -1,0 +1,140 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ecripse/internal/service"
+)
+
+// TestCrashAppendHelper is not a test: it is the victim process of
+// TestRecoveryAfterSIGKILL. Re-executed with STORE_CRASH_DIR set, it
+// appends submit→running→result→done groups as fast as it can until the
+// parent kills it with SIGKILL mid-write.
+func TestCrashAppendHelper(t *testing.T) {
+	dir := os.Getenv("STORE_CRASH_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestRecoveryAfterSIGKILL")
+	}
+	fs, err := Open(dir, Options{NoSync: true, CompactBytes: -1, Logf: t.Logf})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper: open: %v\n", err)
+		os.Exit(1)
+	}
+	// Padding makes records span several write calls' worth of bytes so a
+	// SIGKILL has a real chance of landing inside a frame.
+	pad := strings.Repeat("x", 512)
+	for i := 1; ; i++ {
+		id := fmt.Sprintf("j%06d", i)
+		key := fmt.Sprintf("key-%06d", i)
+		spec := json.RawMessage(fmt.Sprintf(`{"estimator":"naive","seed":%d,"note":%q}`, i, pad))
+		payload := json.RawMessage(fmt.Sprintf(`{"estimate":{"p":%d.5e-7},"pad":%q}`, i, pad))
+		at := time.Unix(int64(1700000000+i), 0)
+		fs.AppendSubmit(id, spec, key, false, at)
+		fs.AppendState(id, service.StateRunning, "", at)
+		fs.AppendResult(key, payload)
+		fs.AppendState(id, service.StateDone, "", at)
+	}
+}
+
+// TestRecoveryAfterSIGKILL kills a real process mid-append and requires the
+// reopened store to recover a consistent prefix: jobs in submission order,
+// every fully recorded job done with its result present, and only the
+// trailing job allowed to be caught in an intermediate state.
+func TestRecoveryAfterSIGKILL(t *testing.T) {
+	dir := testDir(t)
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashAppendHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "STORE_CRASH_DIR="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start helper: %v", err)
+	}
+
+	// Wait for the journal to grow, then kill without warning.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var total int64
+		if segs, err := listByPrefix(dir, segPrefix, segSuffix); err == nil {
+			for _, name := range segs {
+				if info, err := os.Stat(filepath.Join(dir, name)); err == nil {
+					total += info.Size()
+				}
+			}
+		}
+		if total > 64<<10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("helper journal never grew (size %d)", total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL helper: %v", err)
+	}
+	cmd.Wait() // exit status is the kill signal; only reaping matters
+
+	lc := &logCapture{t: t}
+	fs, err := Open(dir, Options{Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("reopen after SIGKILL: %v", err)
+	}
+	defer fs.Close()
+	rec := fs.Recover()
+	if len(rec.Jobs) == 0 {
+		t.Fatal("nothing recovered despite a >64 KiB journal")
+	}
+	for i, rj := range rec.Jobs {
+		if want := fmt.Sprintf("j%06d", i+1); rj.ID != want {
+			t.Fatalf("job %d id = %q, want %q (order or prefix broken)", i, rj.ID, want)
+		}
+		last := i == len(rec.Jobs)-1
+		switch rj.State {
+		case service.StateDone:
+			key := fmt.Sprintf("key-%06d", i+1)
+			payload, ok := rec.Results[key]
+			if !ok {
+				t.Fatalf("job %s done but its result is missing", rj.ID)
+			}
+			want := fmt.Sprintf(`"p":%d.5e-7`, i+1)
+			if !strings.Contains(string(payload), want) {
+				t.Fatalf("job %s result corrupted: %.80s", rj.ID, payload)
+			}
+		case service.StateQueued, service.StateRunning:
+			if !last {
+				t.Fatalf("job %s is %q but %d jobs follow it — the kill tore more than the tail",
+					rj.ID, rj.State, len(rec.Jobs)-1-i)
+			}
+		default:
+			t.Fatalf("job %s recovered in unexpected state %q", rj.ID, rj.State)
+		}
+		var spec struct {
+			Seed int `json:"seed"`
+		}
+		if err := json.Unmarshal(rj.Spec, &spec); err != nil || spec.Seed != i+1 {
+			t.Fatalf("job %s spec corrupted (seed %d, err %v)", rj.ID, spec.Seed, err)
+		}
+	}
+	t.Logf("recovered %d jobs, %d results, %d truncated segment(s)", len(rec.Jobs), len(rec.Results), fs.torn)
+
+	// The repaired store accepts appends and survives one more boot.
+	if err := fs.AppendSubmit("jnew", json.RawMessage(`{}`), "knew", false, time.Now()); err != nil {
+		t.Fatalf("append after crash recovery: %v", err)
+	}
+	fs.Close()
+	fs2, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("third boot: %v", err)
+	}
+	defer fs2.Close()
+	if got := len(fs2.Recover().Jobs); got != len(rec.Jobs)+1 {
+		t.Fatalf("third boot recovered %d jobs, want %d", got, len(rec.Jobs)+1)
+	}
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Data-dir layout: journal segments named by the first sequence number they
+// may contain, snapshots by the last sequence number they cover. Lexical
+// order of the fixed-width hex names equals numeric order, so a plain
+// sorted directory listing replays correctly.
+const (
+	segPrefix  = "journal-"
+	segSuffix  = ".wal"
+	snapPrefix = "snapshot-"
+	snapSuffix = ".snap"
+)
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix)
+}
+
+func snapName(lastSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, lastSeq, snapSuffix)
+}
+
+// listByPrefix returns the matching file names in dir, sorted ascending.
+func listByPrefix(dir, prefix, suffix string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, prefix) && strings.HasSuffix(n, suffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// fileSeq parses the sequence number out of a segment or snapshot name.
+func fileSeq(name, prefix, suffix string) (uint64, bool) {
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	n, err := strconv.ParseUint(hexPart, 16, 64)
+	return n, err == nil
+}
+
+// segment is the live journal file appends go to.
+type segment struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// createSegment opens a fresh segment for firstSeq. O_TRUNC is deliberate:
+// a name collision can only be a previous boot's segment that yielded no
+// readable records (otherwise the sequence would have advanced past it), so
+// truncating loses nothing recoverable.
+func createSegment(dir string, firstSeq uint64) (*segment, error) {
+	path := filepath.Join(dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create segment: %w", err)
+	}
+	return &segment{f: f, path: path}, nil
+}
+
+// append writes one framed record, fsyncing when sync is set.
+func (s *segment) append(frame []byte, sync bool) error {
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append %s: %w", filepath.Base(s.path), err)
+	}
+	s.size += int64(len(frame))
+	if sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync %s: %w", filepath.Base(s.path), err)
+		}
+	}
+	return nil
+}
+
+func (s *segment) close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// scanSegment replays every intact record of one segment file into apply.
+// A torn or corrupt frame ends the scan: the file is truncated at the bad
+// frame's offset with a warning — boot always proceeds with whatever prefix
+// was readable.
+func scanSegment(path string, apply func(*Record), logf func(string, ...any)) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rest := data
+	for len(rest) > 0 {
+		rec, next, reason, ok := decodeFrame(rest)
+		if !ok {
+			offset := int64(len(data) - len(rest))
+			logf("store: %s: %s at offset %d; truncating %d bytes",
+				filepath.Base(path), reason, offset, int64(len(rest)))
+			if err := os.Truncate(path, offset); err != nil {
+				logf("store: truncate %s: %v", filepath.Base(path), err)
+			}
+			return nil
+		}
+		apply(rec)
+		rest = next
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and removals survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

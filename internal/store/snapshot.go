@@ -1,0 +1,174 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ecripse/internal/service"
+)
+
+// jobState is the store's mirror of one job, as of the last applied record.
+type jobState struct {
+	ID       string          `json:"id"`
+	Spec     json.RawMessage `json:"spec"`
+	Key      string          `json:"key"`
+	State    string          `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Cached   bool            `json:"cached,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  time.Time       `json:"started"`
+	Finished time.Time       `json:"finished"`
+}
+
+// memState is the materialized journal: what a replay of every record up to
+// LastSeq produces. The store maintains it incrementally on each append so
+// that a snapshot is a plain marshal, and recovery hands it to the service.
+type memState struct {
+	Version int                        `json:"version"`
+	LastSeq uint64                     `json:"last_seq"`
+	Jobs    []*jobState                `json:"jobs"` // submission order
+	Results map[string]json.RawMessage `json:"results"`
+
+	index map[string]*jobState // id → entry; rebuilt after load
+}
+
+const snapshotVersion = 1
+
+func newMemState() *memState {
+	return &memState{Version: snapshotVersion, Results: make(map[string]json.RawMessage)}
+}
+
+func (m *memState) reindex() {
+	m.index = make(map[string]*jobState, len(m.Jobs))
+	for _, js := range m.Jobs {
+		m.index[js.ID] = js
+	}
+	if m.Results == nil {
+		m.Results = make(map[string]json.RawMessage)
+	}
+}
+
+// apply folds one record into the mirror. Unknown jobs and duplicate
+// submits are warned about and tolerated: replay must never refuse a boot.
+func (m *memState) apply(rec *Record, logf func(string, ...any)) {
+	switch rec.Op {
+	case OpSubmit:
+		if _, dup := m.index[rec.Job]; dup {
+			logf("store: replay: duplicate submit for %s (seq %d), keeping the first", rec.Job, rec.Seq)
+			break
+		}
+		js := &jobState{
+			ID:      rec.Job,
+			Spec:    rec.Spec,
+			Key:     rec.Key,
+			State:   string(service.StateQueued),
+			Cached:  rec.Cached,
+			Created: rec.At,
+		}
+		m.Jobs = append(m.Jobs, js)
+		m.index[rec.Job] = js
+	case OpState:
+		js, ok := m.index[rec.Job]
+		if !ok {
+			logf("store: replay: state %q for unknown job %s (seq %d), ignoring", rec.State, rec.Job, rec.Seq)
+			break
+		}
+		js.State = rec.State
+		js.Error = rec.Error
+		switch {
+		case rec.State == string(service.StateRunning):
+			js.Started = rec.At
+		case service.State(rec.State).Terminal():
+			js.Finished = rec.At
+		}
+	case OpResult:
+		m.Results[rec.Key] = rec.Result
+	case OpDrop:
+		if js, ok := m.index[rec.Job]; ok {
+			delete(m.index, rec.Job)
+			for i, o := range m.Jobs {
+				if o == js {
+					m.Jobs = append(m.Jobs[:i], m.Jobs[i+1:]...)
+					break
+				}
+			}
+		}
+	default:
+		logf("store: replay: unknown op %q (seq %d), ignoring", rec.Op, rec.Seq)
+	}
+	if rec.Seq > m.LastSeq {
+		m.LastSeq = rec.Seq
+	}
+}
+
+// recovery converts the mirror into the service's boot-time view.
+func (m *memState) recovery() *service.Recovery {
+	rec := &service.Recovery{Results: make(map[string]json.RawMessage, len(m.Results))}
+	for k, v := range m.Results {
+		rec.Results[k] = v
+	}
+	for _, js := range m.Jobs {
+		rec.Jobs = append(rec.Jobs, service.RecoveredJob{
+			ID:       js.ID,
+			Spec:     js.Spec,
+			Key:      js.Key,
+			State:    service.State(js.State),
+			Error:    js.Error,
+			Cached:   js.Cached,
+			Created:  js.Created,
+			Started:  js.Started,
+			Finished: js.Finished,
+		})
+	}
+	return rec
+}
+
+// writeSnapshot persists the mirror atomically: marshal to a temp file,
+// fsync, rename into place, fsync the directory.
+func writeSnapshot(dir string, m *memState) (string, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("store: marshal snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, snapName(m.LastSeq))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return path, syncDir(dir)
+}
+
+// loadSnapshot reads one snapshot file back into a mirror.
+func loadSnapshot(path string) (*memState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := newMemState()
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot %s: %w", filepath.Base(path), err)
+	}
+	if m.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot %s has version %d, want %d", filepath.Base(path), m.Version, snapshotVersion)
+	}
+	m.reindex()
+	return m, nil
+}

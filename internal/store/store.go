@@ -1,0 +1,255 @@
+// Package store is the write-ahead persistence layer of the ecripsed
+// daemon. Every job state transition and every completed result is appended
+// to a CRC-framed, optionally fsync'd segment journal under a data
+// directory; on boot the journal (plus the newest snapshot, if any) is
+// replayed into the state the service recovers from. Once the live segment
+// outgrows a threshold the whole mirror is compacted into a snapshot and
+// the segments are deleted.
+//
+// Corruption policy: a torn or corrupt frame ends a segment — it is
+// truncated there with a warning and boot proceeds with the readable
+// prefix. An unreadable snapshot falls back to the next older one. The
+// store never refuses to open a data directory.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ecripse/internal/service"
+)
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Options configures a FileStore.
+type Options struct {
+	// NoSync disables the per-append fsync. Appends get much cheaper; a
+	// process crash still loses nothing (the OS holds the pages), but a
+	// power failure may drop the last few records. The replay path handles
+	// the resulting torn tail either way.
+	NoSync bool
+	// CompactBytes is the live-segment size that triggers snapshot
+	// compaction (default 8 MiB; negative disables compaction).
+	CompactBytes int64
+	// Logf receives recovery warnings and compaction notices
+	// (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 8 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// FileStore implements service.Store on a data directory.
+type FileStore struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	mem  *memState
+	seg  *segment
+	seq  uint64 // last assigned sequence number
+	torn int    // segments truncated during open (for tests/inspection)
+
+	appends     int64
+	compactions int64
+	closed      bool
+}
+
+// Open replays the data directory and prepares a fresh live segment.
+// It creates dir if needed and never fails on corrupt contents — those are
+// truncated or skipped with warnings through Options.Logf.
+func Open(dir string, opts Options) (*FileStore, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+
+	// Newest loadable snapshot wins; unreadable ones are skipped.
+	snaps, err := listByPrefix(dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	var mem *memState
+	for i := len(snaps) - 1; i >= 0; i-- {
+		m, lerr := loadSnapshot(filepath.Join(dir, snaps[i]))
+		if lerr != nil {
+			opts.Logf("store: skipping snapshot %s: %v", snaps[i], lerr)
+			continue
+		}
+		mem = m
+		break
+	}
+	if mem == nil {
+		mem = newMemState()
+		mem.reindex()
+	}
+
+	// Replay every segment record beyond the snapshot horizon, in order.
+	segs, err := listByPrefix(dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	fs := &FileStore{dir: dir, opts: opts, mem: mem}
+	for _, name := range segs {
+		path := filepath.Join(dir, name)
+		before, _ := os.Stat(path)
+		if err := scanSegment(path, func(rec *Record) {
+			if rec.Seq > mem.LastSeq {
+				mem.apply(rec, opts.Logf)
+			}
+		}, opts.Logf); err != nil {
+			return nil, fmt.Errorf("store: replay %s: %w", name, err)
+		}
+		if after, serr := os.Stat(path); serr == nil && before != nil && after.Size() < before.Size() {
+			fs.torn++
+		}
+	}
+
+	fs.seq = mem.LastSeq
+	seg, err := createSegment(dir, fs.seq+1)
+	if err != nil {
+		return nil, err
+	}
+	fs.seg = seg
+	return fs, nil
+}
+
+// Dir returns the data directory the store journals to.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+// append assigns the next sequence number, writes the framed record, folds
+// it into the mirror and compacts when the live segment is over budget.
+func (fs *FileStore) append(rec Record) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	rec.Seq = fs.seq + 1
+	frame, err := encodeFrame(&rec)
+	if err != nil {
+		return err
+	}
+	if err := fs.seg.append(frame, !fs.opts.NoSync); err != nil {
+		// The write may have landed partially; the sequence number stays
+		// burnt so replay (which tolerates gaps) cannot misattribute it.
+		fs.seq = rec.Seq
+		return err
+	}
+	fs.seq = rec.Seq
+	fs.mem.apply(&rec, fs.opts.Logf)
+	fs.appends++
+	if fs.opts.CompactBytes > 0 && fs.seg.size >= fs.opts.CompactBytes {
+		if cerr := fs.compactLocked(); cerr != nil {
+			fs.opts.Logf("store: compaction: %v", cerr)
+		}
+	}
+	return nil
+}
+
+// compactLocked folds the journal into a snapshot and starts an empty
+// segment. Order matters for crash safety: the snapshot reaches disk
+// (rename + dir fsync) before any segment is deleted, so every crash point
+// leaves either the old segments or a snapshot covering them.
+func (fs *FileStore) compactLocked() error {
+	if _, err := writeSnapshot(fs.dir, fs.mem); err != nil {
+		return err
+	}
+	if err := fs.seg.close(); err != nil {
+		fs.opts.Logf("store: close segment: %v", err)
+	}
+	segs, err := listByPrefix(fs.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	for _, name := range segs {
+		if err := os.Remove(filepath.Join(fs.dir, name)); err != nil {
+			fs.opts.Logf("store: remove %s: %v", name, err)
+		}
+	}
+	snaps, err := listByPrefix(fs.dir, snapPrefix, snapSuffix)
+	if err == nil {
+		for _, name := range snaps[:max(0, len(snaps)-1)] {
+			if err := os.Remove(filepath.Join(fs.dir, name)); err != nil {
+				fs.opts.Logf("store: remove %s: %v", name, err)
+			}
+		}
+	}
+	if err := syncDir(fs.dir); err != nil {
+		fs.opts.Logf("store: fsync dir: %v", err)
+	}
+	seg, err := createSegment(fs.dir, fs.seq+1)
+	if err != nil {
+		return err
+	}
+	fs.seg = seg
+	fs.compactions++
+	fs.opts.Logf("store: compacted %d records into %s", fs.seq, snapName(fs.mem.LastSeq))
+	return nil
+}
+
+// Recover implements service.Store.
+func (fs *FileStore) Recover() *service.Recovery {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mem.recovery()
+}
+
+// AppendSubmit implements service.Store.
+func (fs *FileStore) AppendSubmit(id string, spec json.RawMessage, key string, cached bool, at time.Time) error {
+	return fs.append(Record{Op: OpSubmit, Job: id, Spec: spec, Key: key, Cached: cached, At: at})
+}
+
+// AppendState implements service.Store.
+func (fs *FileStore) AppendState(id string, state service.State, errMsg string, at time.Time) error {
+	return fs.append(Record{Op: OpState, Job: id, State: string(state), Error: errMsg, At: at})
+}
+
+// AppendResult implements service.Store.
+func (fs *FileStore) AppendResult(key string, payload json.RawMessage) error {
+	return fs.append(Record{Op: OpResult, Key: key, Result: payload})
+}
+
+// AppendDrop implements service.Store.
+func (fs *FileStore) AppendDrop(id string) error {
+	return fs.append(Record{Op: OpDrop, Job: id})
+}
+
+// Stats implements service.Store.
+func (fs *FileStore) Stats() service.StoreStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := service.StoreStats{Appends: fs.appends, Compactions: fs.compactions}
+	if fs.seg != nil {
+		st.SegmentBytes = fs.seg.size
+	}
+	return st
+}
+
+// Close flushes and closes the live segment. Later appends return ErrClosed.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	if !fs.opts.NoSync {
+		if err := fs.seg.f.Sync(); err != nil {
+			fs.opts.Logf("store: fsync on close: %v", err)
+		}
+	}
+	return fs.seg.close()
+}

@@ -1,0 +1,354 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecripse/internal/service"
+)
+
+// testDir returns a directory for a store under test. By default it is a
+// cleaned-up t.TempDir; when STORE_TEST_ARTIFACTS names a directory (CI
+// does this), the data dir is created there and left behind so a failing
+// run's journal can be uploaded as an artifact.
+func testDir(t *testing.T) string {
+	t.Helper()
+	root := os.Getenv("STORE_TEST_ARTIFACTS")
+	if root == "" {
+		return t.TempDir()
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatalf("artifacts root: %v", err)
+	}
+	dir, err := os.MkdirTemp(root, strings.ReplaceAll(t.Name(), "/", "_")+"-*")
+	if err != nil {
+		t.Fatalf("artifacts dir: %v", err)
+	}
+	return dir
+}
+
+// logCapture tees store warnings into the test log and keeps them for
+// assertions.
+type logCapture struct {
+	t  *testing.T
+	mu sync.Mutex
+	ms []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	msg := fmt.Sprintf(format, args...)
+	lc.ms = append(lc.ms, msg)
+	lc.t.Log(msg)
+}
+
+func (lc *logCapture) contains(sub string) bool {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for _, m := range lc.ms {
+		if strings.Contains(m, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendJob writes the full submit→running→result→done group for one job.
+func appendJob(t *testing.T, fs *FileStore, i int) {
+	t.Helper()
+	id := fmt.Sprintf("j%06d", i)
+	key := fmt.Sprintf("key-%06d", i)
+	spec := json.RawMessage(fmt.Sprintf(`{"estimator":"naive","seed":%d}`, i))
+	payload := json.RawMessage(fmt.Sprintf(`{"estimate":{"p":%d.5e-7}}`, i))
+	at := time.Unix(int64(1700000000+i), 0)
+	if err := fs.AppendSubmit(id, spec, key, false, at); err != nil {
+		t.Fatalf("submit %s: %v", id, err)
+	}
+	if err := fs.AppendState(id, service.StateRunning, "", at.Add(time.Second)); err != nil {
+		t.Fatalf("running %s: %v", id, err)
+	}
+	if err := fs.AppendResult(key, payload); err != nil {
+		t.Fatalf("result %s: %v", id, err)
+	}
+	if err := fs.AppendState(id, service.StateDone, "", at.Add(2*time.Second)); err != nil {
+		t.Fatalf("done %s: %v", id, err)
+	}
+}
+
+// segmentFiles lists the journal segments of dir, newest last.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := listByPrefix(dir, segPrefix, segSuffix)
+	if err != nil {
+		t.Fatalf("list segments: %v", err)
+	}
+	return names
+}
+
+func TestRecoveryRoundTrip(t *testing.T) {
+	dir := testDir(t)
+	fs, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendJob(t, fs, 1)
+	appendJob(t, fs, 2)
+	// Job 3 is interrupted after the running record.
+	if err := fs.AppendSubmit("j000003", json.RawMessage(`{"seed":3}`), "key-3", false, time.Now()); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := fs.AppendState("j000003", service.StateRunning, "", time.Now()); err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := fs.AppendDrop("j000003"); err != ErrClosed {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+
+	fs2, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	rec := fs2.Recover()
+	if len(rec.Jobs) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(rec.Jobs))
+	}
+	for i, want := range []service.State{service.StateDone, service.StateDone, service.StateRunning} {
+		if rec.Jobs[i].State != want {
+			t.Fatalf("job %d state = %q, want %q", i, rec.Jobs[i].State, want)
+		}
+	}
+	if got := rec.Jobs[0].ID; got != "j000001" {
+		t.Fatalf("job order broken: first id %q", got)
+	}
+	if len(rec.Results) != 2 {
+		t.Fatalf("recovered %d results, want 2", len(rec.Results))
+	}
+	want := fmt.Sprintf(`{"estimate":{"p":%d.5e-7}}`, 2)
+	if got := string(rec.Results["key-000002"]); got != want {
+		t.Fatalf("result payload = %s, want %s", got, want)
+	}
+	if !rec.Jobs[2].Started.After(rec.Jobs[2].Created) {
+		t.Fatalf("timestamps not restored: created %v started %v", rec.Jobs[2].Created, rec.Jobs[2].Started)
+	}
+}
+
+func TestRecoveryDropVoidsSubmit(t *testing.T) {
+	dir := testDir(t)
+	fs, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendJob(t, fs, 1)
+	if err := fs.AppendSubmit("j000002", json.RawMessage(`{"seed":2}`), "key-2", false, time.Now()); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := fs.AppendDrop("j000002"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	fs.Close()
+
+	fs2, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	if rec := fs2.Recover(); len(rec.Jobs) != 1 || rec.Jobs[0].ID != "j000001" {
+		t.Fatalf("dropped job resurrected: %+v", rec.Jobs)
+	}
+}
+
+func TestRecoveryTornTailTruncated(t *testing.T) {
+	dir := testDir(t)
+	fs, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendJob(t, fs, 1) // 4 records; the torn tail will eat the done record
+	fs.Close()
+
+	segs := segmentFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want 1", segs)
+	}
+	path := filepath.Join(dir, segs[0])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	lc := &logCapture{t: t}
+	fs2, err := Open(dir, Options{Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer fs2.Close()
+	if !lc.contains("truncating") {
+		t.Fatalf("no truncation warning logged: %v", lc.ms)
+	}
+	rec := fs2.Recover()
+	if len(rec.Jobs) != 1 || rec.Jobs[0].State != service.StateRunning {
+		t.Fatalf("job after torn done record: %+v, want running", rec.Jobs)
+	}
+	if len(rec.Results) != 1 {
+		t.Fatalf("result record before the tear must survive, got %d", len(rec.Results))
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat after reopen: %v", err)
+	}
+	if after.Size() >= info.Size()-3 {
+		t.Fatalf("torn record not physically truncated: %d >= %d", after.Size(), info.Size()-3)
+	}
+
+	// The store keeps working after the repair and a third boot is clean.
+	if err := fs2.AppendState("j000001", service.StateDone, "", time.Now()); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	fs2.Close()
+	fs3, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer fs3.Close()
+	if rec := fs3.Recover(); rec.Jobs[0].State != service.StateDone {
+		t.Fatalf("state after repair = %q, want done", rec.Jobs[0].State)
+	}
+}
+
+func TestRecoveryCorruptRecordTruncated(t *testing.T) {
+	dir := testDir(t)
+	fs, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	appendJob(t, fs, 1)
+	appendJob(t, fs, 2)
+	fs.Close()
+
+	// Flip one byte in the middle of the segment: everything from the
+	// corrupt record on is discarded, the prefix survives.
+	path := filepath.Join(dir, segmentFiles(t, dir)[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	lc := &logCapture{t: t}
+	fs2, err := Open(dir, Options{Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("reopen with corrupt record: %v", err)
+	}
+	defer fs2.Close()
+	if !lc.contains("truncating") {
+		t.Fatalf("no corruption warning logged: %v", lc.ms)
+	}
+	rec := fs2.Recover()
+	if len(rec.Jobs) == 0 || rec.Jobs[0].ID != "j000001" {
+		t.Fatalf("prefix before corruption lost: %+v", rec.Jobs)
+	}
+	if len(rec.Jobs) == 2 && rec.Jobs[1].State == service.StateDone && len(rec.Results) == 2 {
+		t.Fatal("corruption had no effect — test corrupted nothing")
+	}
+}
+
+func TestRecoverySnapshotCompaction(t *testing.T) {
+	dir := testDir(t)
+	lc := &logCapture{t: t}
+	fs, err := Open(dir, Options{NoSync: true, CompactBytes: 2048, Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const jobs = 40
+	for i := 1; i <= jobs; i++ {
+		appendJob(t, fs, i)
+	}
+	st := fs.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d appends over a 2 KiB threshold", st.Appends)
+	}
+	if st.Appends != int64(jobs)*4 {
+		t.Fatalf("appends = %d, want %d", st.Appends, jobs*4)
+	}
+	if segs := segmentFiles(t, dir); len(segs) != 1 {
+		t.Fatalf("segments after compaction = %v, want exactly the live one", segs)
+	}
+	snaps, err := listByPrefix(dir, snapPrefix, snapSuffix)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshots = %v (err %v), want exactly one", snaps, err)
+	}
+	fs.Close()
+
+	fs2, err := Open(dir, Options{Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	rec := fs2.Recover()
+	if len(rec.Jobs) != jobs || len(rec.Results) != jobs {
+		t.Fatalf("recovered %d jobs / %d results, want %d / %d", len(rec.Jobs), len(rec.Results), jobs, jobs)
+	}
+	for i, rj := range rec.Jobs {
+		if want := fmt.Sprintf("j%06d", i+1); rj.ID != want || rj.State != service.StateDone {
+			t.Fatalf("job %d = %s %q, want %s done", i, rj.ID, rj.State, want)
+		}
+	}
+	if want := fmt.Sprintf(`{"estimate":{"p":%d.5e-7}}`, jobs); string(rec.Results[fmt.Sprintf("key-%06d", jobs)]) != want {
+		t.Fatalf("result payload corrupted through compaction")
+	}
+}
+
+func TestRecoverySkipsCorruptSnapshot(t *testing.T) {
+	dir := testDir(t)
+	fs, err := Open(dir, Options{NoSync: true, CompactBytes: 1024, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 1; i <= 20; i++ {
+		appendJob(t, fs, i)
+	}
+	if fs.Stats().Compactions == 0 {
+		t.Fatal("setup: expected at least one compaction")
+	}
+	fs.Close()
+
+	snaps, err := listByPrefix(dir, snapPrefix, snapSuffix)
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("snapshots: %v (%v)", snaps, err)
+	}
+	path := filepath.Join(dir, snaps[len(snaps)-1])
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+
+	lc := &logCapture{t: t}
+	fs2, err := Open(dir, Options{Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("open with corrupt snapshot must not refuse boot: %v", err)
+	}
+	defer fs2.Close()
+	if !lc.contains("skipping snapshot") {
+		t.Fatalf("no snapshot warning logged: %v", lc.ms)
+	}
+	// State covered only by the snapshot is gone, but the store is usable.
+	if err := fs2.AppendSubmit("jx", json.RawMessage(`{}`), "kx", false, time.Now()); err != nil {
+		t.Fatalf("append after snapshot loss: %v", err)
+	}
+}
