@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures figures-full clean
+.PHONY: all build test race bench bench-smoke figures figures-full clean
+
+# Fig-6/7/8 end-to-end benchmarks plus the hot kernels and the engine
+# parallelism scaling sweep.
+BENCH_PATTERN ?= Fig6|Fig7|Fig8|EngineParallelism|IndicatorEvaluation|DeviceIds|GMMLogPDF|ClassifierPredict|PoissonSampler|RTNSample
 
 all: build test
 
@@ -16,9 +20,18 @@ test:
 race:
 	$(GO) test -race ./internal/montecarlo/ ./internal/sram/ ./internal/spice/
 
-# One benchmark per table/figure of the paper plus ablations (smoke scale).
+# Record a benchmark baseline: 5 repetitions of the figure and hot-kernel
+# benchmarks, converted to results/bench/BENCH_<date>.json so future PRs
+# can diff ns/op, sims and allocs against this trajectory.
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x -run XXX .
+	mkdir -p results/bench
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x -count 5 -run XXX -timeout 60m . \
+		| tee results/bench/bench_raw.txt
+	$(GO) run ./cmd/benchjson -o results/bench/BENCH_$$(date -u +%F).json < results/bench/bench_raw.txt
+
+# Quick single-pass run of every benchmark (no recording) — the CI smoke.
+bench-smoke:
+	$(GO) test -bench . -benchmem -benchtime 1x -short -run XXX .
 
 # Regenerate the paper's evaluation at default scale into results/.
 figures:
@@ -40,4 +53,4 @@ figures-full:
 	$(GO) run ./cmd/dutysweep -scale full                     > results/fig8_full.csv
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt results/bench/bench_raw.txt

@@ -13,6 +13,7 @@ package ecripse
 // mixture density, classifier) follow at the end.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -183,6 +184,23 @@ func BenchmarkAblationInitReuse(b *testing.B) {
 	n := float64(b.N)
 	b.ReportMetric(first/n, "first-bias-sims")
 	b.ReportMetric(second/n, "second-bias-sims")
+}
+
+// BenchmarkEngineParallelism runs the BenchmarkAblationClassifier-scale
+// estimate (NIS=20000 at the low supply) at several intra-job worker counts.
+// The estimates are bit-identical across sub-benchmarks (asserted by
+// TestRegressParallelismDeterminism); this benchmark records the wall-clock
+// speedup the deterministic parallel path buys on the host. On a single-core
+// runner the variants tie; the trajectory file makes multi-core gains
+// visible over time.
+func BenchmarkEngineParallelism(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			sims, p := ablationRun(b, core.Options{NIS: 20000, Parallelism: workers})
+			b.ReportMetric(sims, "sims")
+			b.ReportMetric(p, "pfail")
+		})
+	}
 }
 
 // --- Hot-kernel micro-benchmarks ----------------------------------------

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"ecripse"
 	"ecripse/internal/experiments"
@@ -28,6 +30,7 @@ func main() {
 		nis        = flag.Int("nis", 200000, "importance samples")
 		m          = flag.Int("m", 20, "RTN samples per RDF sample (with -rtn)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the hot loops (results are identical at any value)")
 		noClass    = flag.Bool("noclassifier", false, "disable the SVM blockade (every sample simulated)")
 		mode       = flag.String("mode", "read", "failure criterion: read, write or hold")
 		conditions = flag.Bool("conditions", false, "print the Table I experimental conditions and exit")
@@ -56,7 +59,10 @@ func main() {
 	}
 
 	cell := ecripse.NewCell(*vdd)
-	est := ecripse.New(cell, ecripse.Options{NIS: *nis, M: *m, NoClassifier: *noClass, Mode: failMode})
+	est := ecripse.New(cell, ecripse.Options{
+		NIS: *nis, M: *m, NoClassifier: *noClass, Mode: failMode,
+		Parallelism: *parallel,
+	})
 
 	// Budget plumbing: a wall-clock deadline and/or a simulation budget both
 	// funnel into one context; the estimators stop cleanly at their next
@@ -73,6 +79,7 @@ func main() {
 		est.LimitSims(*maxSims, cancel)
 	}
 
+	runStart := time.Now()
 	var res ecripse.Result
 	var runErr error
 	if *withRTN {
@@ -91,9 +98,11 @@ func main() {
 			fmt.Printf("  [stopped by -timeout after %s; partial result]\n", *timeout)
 		}
 	}
+	elapsed := time.Since(runStart)
 	fmt.Printf("  %v\n", res.Estimate)
-	fmt.Printf("  cost: init=%d warmup=%d stage1=%d stage2=%d transistor-level simulations\n",
-		res.InitSims, res.WarmupSims, res.Stage1Sims, res.Stage2Sims)
+	fmt.Printf("  cost: init=%d warmup=%d stage1=%d stage2=%d transistor-level simulations  wall=%s (%d workers)\n",
+		res.InitSims, res.WarmupSims, res.Stage1Sims, res.Stage2Sims,
+		elapsed.Round(time.Millisecond), *parallel)
 
 	if *seriesPath != "" {
 		f, err := os.Create(*seriesPath)

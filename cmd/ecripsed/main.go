@@ -41,6 +41,7 @@ func main() {
 		workers      = flag.Int("workers", 4, "worker pool size")
 		queueCap     = flag.Int("queue", 64, "job queue capacity")
 		cacheCap     = flag.Int("cache", 256, "result cache entries (negative disables)")
+		jobParallel  = flag.Int("job-parallelism", 0, "cap on a job's intra-estimator workers (0 = GOMAXPROCS/workers, negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-drain deadline on shutdown")
 		dataDir      = flag.String("data-dir", "", "journal job events and results here; empty keeps state in memory")
 		fsync        = flag.Bool("fsync", true, "fsync the journal on every append (power-loss durability)")
@@ -49,9 +50,10 @@ func main() {
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:       *workers,
-		QueueCapacity: *queueCap,
-		CacheCapacity: *cacheCap,
+		Workers:           *workers,
+		QueueCapacity:     *queueCap,
+		CacheCapacity:     *cacheCap,
+		MaxJobParallelism: *jobParallel,
 	}
 	var closeStore func()
 	if *dataDir != "" {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sync/atomic"
 
 	"ecripse/internal/linalg"
 	"ecripse/internal/montecarlo"
@@ -19,6 +20,13 @@ import (
 // how the paper amortizes cost over multiple gate-bias conditions (the
 // failure indicator depends only on the total threshold shift, not on the
 // duty ratio, so both artifacts stay valid when alpha changes).
+//
+// All randomness is derived deterministically from the caller's rng: the
+// sequential rng drives the control flow (round seeds, k-means, training
+// shuffles), while every parallel unit of work — boundary direction, warm-up
+// sample, particle candidate, importance draw — consumes its own
+// counter-based substream keyed by its global index. Results are therefore
+// bit-identical for any Opts.Parallelism setting.
 type Engine struct {
 	Cell    *sram.Cell
 	Counter *montecarlo.Counter
@@ -34,7 +42,7 @@ type Engine struct {
 	// Cost accounting.
 	initSims   int64
 	warmupSims int64
-	classified int64 // labels answered by the classifier (free)
+	classified int64 // labels answered by the classifier (free); atomic
 }
 
 // NewEngine builds an estimator for the cell. The counter may be shared
@@ -66,7 +74,8 @@ func (e *Engine) Sigma() linalg.Vector { return e.sigma.Clone() }
 
 // simulate evaluates the true indicator at a *total* normalized shift
 // vector u (RDF + RTN combined, in units of the RDF sigma). One call is one
-// transistor-level simulation.
+// transistor-level simulation. Safe for concurrent use: the counter is
+// atomic and the cell is never mutated during evaluation.
 func (e *Engine) simulate(u linalg.Vector) bool {
 	e.Counter.Add(1)
 	var sh sram.Shifts
@@ -87,50 +96,46 @@ func (e *Engine) simulate(u linalg.Vector) bool {
 	}
 }
 
-// label returns the indicator value at u, preferring the classifier.
-// Stage-1 semantics: a TrainFrac share of calls is simulated and fed back
-// as training data; everything else is classified for free.
-func (e *Engine) label(rng *rand.Rand, u linalg.Vector) bool {
-	if e.Opts.NoClassifier || !e.classifier.Trained() || rng.Float64() < e.Opts.TrainFrac {
-		failed := e.simulate(u)
-		if !e.Opts.NoClassifier {
-			e.classifier.Update(u, failed)
+// rtnValue computes Pfail_RTN(x) (eq. (17)) for an RDF point x: m RTN draws
+// from rng added to x in the normalized space, each labeled by lab.
+// sampler == nil (the RDF-only flow) reduces to a single lab(x) evaluation.
+func (e *Engine) rtnValue(rng *rand.Rand, sampler *rtn.Sampler, m int, x linalg.Vector, lab func(linalg.Vector) bool) float64 {
+	fails := 0
+	for k := 0; k < m; k++ {
+		u := x.Clone()
+		if sampler != nil {
+			sh := sampler.Sample(rng)
+			if e.whiten != nil {
+				// In the whitened space the additive physical shift maps
+				// through L⁻¹ (zero-mean Whiten).
+				u.AddInPlace(e.whiten.Whiten(sh.Vector()))
+			} else {
+				for i := range u {
+					u[i] += sh[i] / e.sigma[i]
+				}
+			}
 		}
-		return failed
-	}
-	e.classified++
-	return e.classifier.Predict(u)
-}
-
-// labelStage2 is the stage-2 path: samples inside the uncertainty band —
-// or outside the classifier's trust radius, where a polynomial extrapolates
-// unreliably — are simulated (and used to incrementally retrain); confident
-// samples are classified.
-func (e *Engine) labelStage2(u linalg.Vector) bool {
-	if e.Opts.NoClassifier || !e.classifier.Trained() ||
-		(e.trustR > 0 && u.Norm() > e.trustR) ||
-		e.classifier.Uncertain(u, e.Opts.Band) {
-		failed := e.simulate(u)
-		if !e.Opts.NoClassifier {
-			e.classifier.Update(u, failed)
+		if lab(u) {
+			fails++
 		}
-		return failed
 	}
-	e.classified++
-	return e.classifier.Predict(u)
+	return float64(fails) / float64(m)
 }
 
 // Init performs the paper's step (1): boundary search along random
 // directions (plus classifier warm-up training around the boundary). It is
 // called implicitly by Run when needed; calling it explicitly lets several
-// bias conditions share one initialization, as in Fig. 7(b).
+// bias conditions share one initialization, as in Fig. 7(b). Both loops run
+// under Opts.Parallelism workers; each direction and each warm-up sample
+// draws from its own substream, so the outcome depends only on rng's state.
 func (e *Engine) Init(rng *rand.Rand) {
 	if e.initial != nil {
 		return
 	}
 	start := e.Counter.Count()
 	dim := sram.NumTransistors
-	e.initial = pfilter.BoundaryInit(rng, dim, e.Opts.Directions, e.Opts.RMax, e.Opts.RTol, e.simulate)
+	bseed := rng.Int63()
+	e.initial = pfilter.BoundaryInitPar(bseed, dim, e.Opts.Directions, e.Opts.RMax, e.Opts.RTol, e.simulate, e.Opts.Parallelism)
 	if len(e.initial) == 0 {
 		// Pathological cell: fall back to a ring at RMax so downstream code
 		// stays functional; the estimate will come out ~0.
@@ -156,25 +161,30 @@ func (e *Engine) Init(rng *rand.Rand) {
 	}
 	// Classifier warm-up: jittered boundary points (balanced labels), plus
 	// scaled-in pass points and scaled-out failure points so the polynomial
-	// does not wander far from the data.
+	// does not wander far from the data. Simulation of the warm-up set is
+	// parallel (slot writes only); training stays sequential on rng.
 	start = e.Counter.Count()
 	e.classifier = svm.NewClassifier(svm.NewPolyFeatures(dim, e.Opts.PolyDegree, 0), e.Opts.Lambda)
-	var xs []linalg.Vector
-	var ys []bool
-	for i := 0; i < e.Opts.WarmupTrain; i++ {
-		base := e.initial[rng.Intn(len(e.initial))]
+	wseed := rng.Int63()
+	xs := make([]linalg.Vector, e.Opts.WarmupTrain)
+	ys := make([]bool, e.Opts.WarmupTrain)
+	workers := montecarlo.ClampWorkers(e.Opts.Parallelism, e.Opts.WarmupTrain)
+	streams := randx.NewStreams(wseed, workers)
+	montecarlo.ParFor(workers, e.Opts.WarmupTrain, func(w, i int) {
+		r := streams.At(w, uint64(i))
+		base := e.initial[r.Intn(len(e.initial))]
 		var u linalg.Vector
 		switch i % 4 {
 		case 0, 1: // near boundary
-			u = base.Add(randx.NormalVector(rng, dim).Scale(e.Opts.Kernel))
+			u = base.Add(randx.NormalVector(r, dim).Scale(e.Opts.Kernel))
 		case 2: // interior (expected pass)
-			u = base.Scale(0.3 + 0.4*rng.Float64())
+			u = base.Scale(0.3 + 0.4*r.Float64())
 		default: // exterior (expected fail)
-			u = base.Scale(1.2 + 0.5*rng.Float64())
+			u = base.Scale(1.2 + 0.5*r.Float64())
 		}
-		xs = append(xs, u)
-		ys = append(ys, e.simulate(u))
-	}
+		xs[i] = u
+		ys[i] = e.simulate(u)
+	})
 	e.classifier.Train(rng, xs, ys, e.Opts.Epochs)
 	e.warmupSims = e.Counter.Count() - start
 }
@@ -199,51 +209,34 @@ func (e *Engine) Run(rng *rand.Rand, sampler *rtn.Sampler) Result {
 }
 
 // RunCtx is Run with cancellation. The context is checked between
-// particle-filter rounds and before every stage-2 importance-sampling draw;
-// when it fires, the run stops cleanly at the next checkpoint and the
-// partial Result (whatever Series and cost split accumulated so far) is
-// returned together with ctx.Err(). The checkpoints consume no randomness,
-// so with an uncancelled context RunCtx is bit-identical to Run — the
-// property the service-layer result cache relies on.
+// particle-filter rounds and at stage-2 batch barriers; when it fires, the
+// run stops cleanly at the next checkpoint — letting the in-flight batch
+// complete — and the partial Result (whatever Series and cost split
+// accumulated so far) is returned together with ctx.Err(). Batch membership
+// does not depend on scheduling, so even budget-stopped partial results are
+// deterministic — the property the service-layer result cache relies on.
 func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sampler) (Result, error) {
 	start := e.Counter.Count()
-	classifiedStart := e.classified
+	classifiedStart := atomic.LoadInt64(&e.classified)
 	e.Init(rng)
 
 	m := 1
 	if sampler != nil {
 		m = e.Opts.M
 	}
-
-	// rtnValue computes Pfail_RTN(x) (eq. (17)) for an RDF point x using
-	// labeler lab for each of the m total-shift points.
-	rtnValue := func(rng *rand.Rand, x linalg.Vector, lab func(linalg.Vector) bool) float64 {
-		fails := 0
-		for k := 0; k < m; k++ {
-			u := x.Clone()
-			if sampler != nil {
-				sh := sampler.Sample(rng)
-				if e.whiten != nil {
-					// In the whitened space the additive physical shift
-					// maps through L⁻¹ (zero-mean Whiten).
-					u.AddInPlace(e.whiten.Whiten(sh.Vector()))
-				} else {
-					for i := range u {
-						u[i] += sh[i] / e.sigma[i]
-					}
-				}
-			}
-			if lab(u) {
-				fails++
-			}
-		}
-		return float64(fails) / float64(m)
-	}
+	workers := e.Opts.Parallelism
+	lab := newBatchLabeler(e)
 
 	// Stage 1: particle-filter estimation of the alternative distribution.
+	// Each round is one batch: candidates are predicted and measured in
+	// parallel on per-index substreams against the frozen classifier, then
+	// the deferred label observations replay in index order at the barrier
+	// before resampling.
 	stage1Start := e.Counter.Count()
-	weight := func(x linalg.Vector) float64 {
-		v := rtnValue(rng, x, func(u linalg.Vector) bool { return e.label(rng, u) })
+	weight := func(r *rand.Rand, idx int, x linalg.Vector) float64 {
+		v := e.rtnValue(r, sampler, m, x, func(u linalg.Vector) bool {
+			return lab.labelStage1(r, idx, u)
+		})
 		if v <= 0 {
 			return 0
 		}
@@ -254,20 +247,34 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		Filters:   e.Opts.Filters,
 		KernelStd: e.Opts.Kernel,
 	}, e.initial)
+	perRound := ens.NumFilters() * e.Opts.Particles
 	for it := 0; it < e.Opts.PFIters && ctx.Err() == nil; it++ {
-		ens.Step(rng, weight)
+		roundSeed := rng.Int63()
+		lab.begin(perRound)
+		ens.StepPar(roundSeed, weight, func(scored int) { lab.flushRange(0, scored) }, workers)
 	}
 	stage1Sims := e.Counter.Count() - stage1Start
 
 	// Stage 2: importance sampling from the particle GMM (eqs. (18), (19)),
 	// defensively mixed with the nominal distribution to bound the weights.
+	// Draw k consumes substream (seed2, k); classifier updates replay at
+	// stage2Batch barriers.
 	stage2Start := e.Counter.Count()
 	q := ens.PoolGMM(nil, 600)
 	proposal := &montecarlo.DefensiveMixture{Q: q, Rho: e.Opts.Rho, Dim: sram.NumTransistors}
-	value := func(x linalg.Vector) float64 {
-		return rtnValue(rng, x, e.labelStage2)
+	seed2 := rng.Int63()
+	lab.begin(e.Opts.NIS)
+	value := func(r *rand.Rand, k int, x linalg.Vector) float64 {
+		return e.rtnValue(r, sampler, m, x, func(u linalg.Vector) bool {
+			return lab.labelStage2(k, u)
+		})
 	}
-	series := montecarlo.ImportanceSampleCtx(ctx, rng, proposal, value, e.Opts.NIS, e.Counter, e.Opts.RecordEvery)
+	series := montecarlo.ImportanceSamplePar(ctx, proposal, value, e.Opts.NIS, montecarlo.ParOptions{
+		Seed:    seed2,
+		Workers: workers,
+		Batch:   stage2Batch,
+		Flush:   lab.flushRange,
+	}, e.Counter, e.Opts.RecordEvery)
 	stage2Sims := e.Counter.Count() - stage2Start
 
 	fin := series.Final()
@@ -281,7 +288,7 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		WarmupSims: e.warmupSims,
 		Stage1Sims: stage1Sims,
 		Stage2Sims: stage2Sims,
-		Classified: e.classified - classifiedStart,
+		Classified: atomic.LoadInt64(&e.classified) - classifiedStart,
 		Proposal:   q,
 	}, ctx.Err()
 }

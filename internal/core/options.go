@@ -73,6 +73,15 @@ type Options struct {
 	M           int     // RTN draws per RDF sample; ignored without RTN (default 20)
 	Rho         float64 // defensive-mixture weight of the nominal P (default 0.1)
 	RecordEvery int     // convergence-series resolution in simulations
+
+	// Parallelism is the worker-goroutine count for the engine's hot loops
+	// (boundary search, classifier warm-up, particle-filter measurement,
+	// stage-2 importance sampling). Results are bit-identical for any value:
+	// every sample draws from a counter-based substream keyed by its global
+	// index, and stateful classifier updates are replayed in index order at
+	// fixed-size batch barriers. Default 1 (serial execution of the same
+	// deterministic schedule); negative values also mean 1.
+	Parallelism int
 }
 
 func (o *Options) fill() {
@@ -123,5 +132,8 @@ func (o *Options) fill() {
 	}
 	if o.Rho == 0 {
 		o.Rho = 0.1
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
 	}
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/svm"
+)
+
+// stage2Batch is the barrier size of the stage-2 importance-sampling loop.
+// It is a fixed constant — never derived from the worker count — because the
+// classifier's adaptation schedule (and with it every downstream number)
+// changes with the batch size, and results must be identical at any
+// parallelism level.
+const stage2Batch = 256
+
+// labelObs is one simulated label deferred for classifier replay.
+type labelObs struct {
+	u      linalg.Vector
+	failed bool
+}
+
+// batchLabeler is the engine's deterministic-parallel labeling path. Within
+// a batch, worker goroutines label samples against the classifier state
+// frozen at the batch start: confident samples are classified for free,
+// everything else is simulated and the (point, label) observation is parked
+// in the slot of its global sample index. At the barrier, flushRange applies
+// the parked observations to the classifier in index order — the exact
+// update sequence a serial run of the same schedule would produce, so the
+// evolving weights (and every later decision) are scheduling-independent.
+type batchLabeler struct {
+	e       *Engine
+	trained bool // classifier state frozen at the last barrier
+	pending [][]labelObs
+	scorers sync.Pool // *svm.Scorer; per-goroutine feature scratch
+}
+
+func newBatchLabeler(e *Engine) *batchLabeler {
+	l := &batchLabeler{e: e}
+	l.scorers.New = func() any { return e.classifier.NewScorer() }
+	return l
+}
+
+// begin re-frames the labeler for n sample indices and re-freezes the
+// classifier state.
+func (l *batchLabeler) begin(n int) {
+	if cap(l.pending) < n {
+		l.pending = make([][]labelObs, n)
+	}
+	l.pending = l.pending[:n]
+	l.trained = !l.e.Opts.NoClassifier && l.e.classifier != nil && l.e.classifier.Trained()
+}
+
+// record parks a simulated observation of sample idx for barrier replay.
+// Race-free: each index is owned by exactly one worker at a time.
+func (l *batchLabeler) record(idx int, u linalg.Vector, failed bool) {
+	if l.e.Opts.NoClassifier {
+		return
+	}
+	l.pending[idx] = append(l.pending[idx], labelObs{u: u, failed: failed})
+}
+
+// flushRange replays the parked observations of samples [lo, hi) into the
+// classifier in index order and re-freezes the trained flag. Must be called
+// single-threaded, at a barrier.
+func (l *batchLabeler) flushRange(lo, hi int) {
+	if l.e.Opts.NoClassifier {
+		return
+	}
+	for idx := lo; idx < hi; idx++ {
+		for _, o := range l.pending[idx] {
+			l.e.classifier.Update(o.u, o.failed)
+		}
+		l.pending[idx] = l.pending[idx][:0]
+	}
+	l.trained = l.e.classifier.Trained()
+}
+
+// score evaluates the frozen classifier through a pooled per-goroutine
+// scorer (the shared Classifier scratch buffer would race).
+func (l *batchLabeler) score(u linalg.Vector) float64 {
+	sc := l.scorers.Get().(*svm.Scorer)
+	s := sc.Score(u)
+	l.scorers.Put(sc)
+	return s
+}
+
+// labelStage1 is the stage-1 labeling rule under the batch contract: a
+// TrainFrac share of calls (decided by the sample's own substream) is
+// simulated and parked for replay; the rest is classified against the
+// frozen weights.
+func (l *batchLabeler) labelStage1(rng *rand.Rand, idx int, u linalg.Vector) bool {
+	e := l.e
+	if e.Opts.NoClassifier || !l.trained || rng.Float64() < e.Opts.TrainFrac {
+		failed := e.simulate(u)
+		l.record(idx, u, failed)
+		return failed
+	}
+	atomic.AddInt64(&e.classified, 1)
+	return l.score(u) > 0
+}
+
+// labelStage2 is the stage-2 rule: confident in-trust-region samples are
+// classified for free; uncertain-band samples, out-of-trust-region samples
+// and the NoClassifier ablation are simulated (and parked for replay). One
+// score evaluation decides both the band test and the prediction.
+func (l *batchLabeler) labelStage2(idx int, u linalg.Vector) bool {
+	e := l.e
+	if !e.Opts.NoClassifier && l.trained && (e.trustR <= 0 || u.Norm() <= e.trustR) {
+		if s := l.score(u); s <= -e.Opts.Band || s >= e.Opts.Band {
+			atomic.AddInt64(&e.classified, 1)
+			return s > 0
+		}
+	}
+	failed := e.simulate(u)
+	l.record(idx, u, failed)
+	return failed
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"ecripse/internal/linalg"
@@ -160,17 +161,19 @@ type GMM struct {
 	Sigma   linalg.Vector // shared per-dimension standard deviations
 	Weights []float64     // optional; non-negative, need not be normalized
 
-	// Cached terms for the fast LogPDF path (built lazily).
+	// Cached terms for the fast LogPDF path (built lazily on first LogPDF
+	// call). The sync.Once makes concurrent first calls safe: stage-2
+	// importance sampling evaluates a shared proposal from many goroutines.
+	once      sync.Once
 	invSigma  linalg.Vector
 	logCoeffs []float64 // per-component log(w_i/Σw) − Σ log σ_d − D/2·log 2π
 }
 
-// prepare builds the LogPDF caches once; Means/Sigma/Weights must not be
-// mutated afterwards.
-func (g *GMM) prepare() {
-	if g.invSigma != nil {
-		return
-	}
+// prepare builds the LogPDF caches exactly once; Means/Sigma/Weights must
+// not be mutated after the first LogPDF/PDF call.
+func (g *GMM) prepare() { g.once.Do(g.buildCaches) }
+
+func (g *GMM) buildCaches() {
 	d := len(g.Sigma)
 	g.invSigma = make(linalg.Vector, d)
 	base := -0.5 * float64(d) * randx.Log2Pi

@@ -1,19 +1,82 @@
 package montecarlo
 
 import (
+	"context"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
 	"ecripse/internal/stats"
 )
 
+// ParFor evaluates fn(worker, i) for every i in [0, n) across workers
+// goroutines (0 = GOMAXPROCS; clamped to n). Indices are handed out
+// dynamically from a shared atomic counter, so uneven per-index cost —
+// classified-for-free versus fully simulated samples — load-balances
+// automatically. Determinism is the caller's contract: fn must confine its
+// effects to index-i state (write slot i, draw from substream i), so the
+// outcome is independent of which worker runs which index and of the order
+// indices complete. workers == 1 runs inline with no goroutines.
+func ParFor(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ClampWorkers resolves a worker-count option against a unit-of-work count:
+// 0 (or negative) means GOMAXPROCS, and the result never exceeds n or drops
+// below 1. Callers use it to size per-worker scratch before a ParFor.
+func ClampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // NaiveParallel runs n naive Monte Carlo trials across workers goroutines
-// (0 = GOMAXPROCS), each with its own deterministic substream derived from
-// seed, and merges the results. The trial function must be safe for
-// concurrent use (the SRAM indicator is: cells are never mutated during
-// evaluation). The result is deterministic for a fixed (seed, workers)
-// pair.
+// (0 = GOMAXPROCS) and merges the results. Each trial draws from its own
+// counter-based substream keyed by the global trial index, so the estimate
+// depends only on (seed, n) — bit-identical at any worker count. The trial
+// function must be safe for concurrent use (the SRAM indicator is: cells are
+// never mutated during evaluation).
 //
 // Unlike Naive, no intermediate convergence series is recorded — parallel
 // runs are for bulk reference computations where only the final estimate
@@ -28,54 +91,126 @@ func NaiveParallel(seed int64, trial Trial, n, workers int, c *Counter) stats.Es
 	if workers > n {
 		workers = n
 	}
-
-	type partial struct {
-		n     int
-		fails int
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes the shared counter
-	per := n / workers
-	extra := n % workers
-
-	for w := 0; w < workers; w++ {
-		count := per
-		if w < extra {
-			count++
+	// Per-worker tallies, merged after the barrier — no shared mutable state
+	// inside the loop beyond the atomic index cursor.
+	fails := make([]int, workers)
+	streams := randx.NewStreams(seed, workers)
+	ParFor(workers, n, func(w, k int) {
+		if trial(streams.At(w, uint64(k))) {
+			fails[w]++
 		}
-		wg.Add(1)
-		go func(w, count int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*0x3779B97F4A7C15))
-			local := partial{}
-			for i := 0; i < count; i++ {
-				if trial(rng) {
-					local.fails++
-				}
-				local.n++
-			}
-			mu.Lock()
-			parts[w] = local
-			mu.Unlock()
-		}(w, count)
-	}
-	wg.Wait()
-
-	total, fails := 0, 0
-	for _, p := range parts {
-		total += p.n
-		fails += p.fails
+	})
+	total := 0
+	for _, f := range fails {
+		total += f
 	}
 	var run stats.Running
-	for i := 0; i < fails; i++ {
+	for i := 0; i < total; i++ {
 		run.Add(1)
 	}
-	for i := fails; i < total; i++ {
+	for i := total; i < n; i++ {
 		run.Add(0)
 	}
 	return stats.Estimate{
 		P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
-		N: total, Sims: c.Count(),
+		N: n, Sims: c.Count(),
 	}
+}
+
+// IndexedValue evaluates one importance-sampling draw: rng is positioned on
+// the substream of global sample index k, and x is the proposal draw made
+// from that same substream. The return is the (conditional) failure value in
+// [0, 1], as in Value.
+type IndexedValue func(rng *rand.Rand, k int, x linalg.Vector) float64
+
+// ParOptions configures ImportanceSamplePar.
+type ParOptions struct {
+	// Seed keys every per-sample substream; same seed ⇒ same result.
+	Seed int64
+	// Workers is the goroutine count (0 = GOMAXPROCS, 1 = inline serial).
+	Workers int
+	// Batch is the barrier size in samples. It must not depend on Workers —
+	// adaptive state evolves at batch boundaries, so changing it changes the
+	// result (deterministically). 0 selects DefaultBatch.
+	Batch int
+	// Flush, if set, is called after each batch's samples [lo, hi) have all
+	// been evaluated and before their terms are folded into the estimate.
+	// This is the barrier where the caller applies deferred stateful work
+	// (classifier updates) in index order.
+	Flush func(lo, hi int)
+}
+
+// DefaultBatch is the stage-2 barrier size: small enough that the classifier
+// adapts throughout the run and budget stops stay tight, large enough that
+// barrier synchronization is noise against per-sample simulation cost.
+const DefaultBatch = 256
+
+// ImportanceSamplePar estimates E_P[value] with n draws from proposal q
+// (paper eq. (19)) evaluated in parallel batches. Sample k draws x_k and any
+// evaluation randomness from substream (Seed, k) and writes only its own
+// term slot, so the estimate — including the recorded convergence series —
+// is bit-identical for any Workers setting. Within a batch all samples see
+// the caller's state as frozen at the batch start; Flush runs at the barrier.
+//
+// Cancellation is checked at batch boundaries only: a fired context (or a
+// Counter budget, which cancels via SetLimit) lets the in-flight batch
+// complete and then returns the partial series — a deterministic stop,
+// because batch membership does not depend on scheduling.
+func ImportanceSamplePar(ctx context.Context, q Proposal, value IndexedValue, n int, po ParOptions, c *Counter, recordEvery int) stats.Series {
+	if recordEvery <= 0 {
+		recordEvery = n/50 + 1
+	}
+	batch := po.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	workers := po.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	terms := make([]float64, batch)
+	streams := randx.NewStreams(po.Seed, workers)
+	var run stats.Running
+	var series stats.Series
+	recorded := 0 // samples folded at the last recorded point
+	for lo := 0; lo < n; lo += batch {
+		if ctx.Err() != nil {
+			return finishSeries(series, &run, c)
+		}
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		ParFor(workers, hi-lo, func(w, i int) {
+			k := lo + i
+			rng := streams.At(w, uint64(k))
+			x := q.Sample(rng)
+			v := value(rng, k, x)
+			term := 0.0
+			if v > 0 {
+				logW := randx.StdNormalLogPDF(x) - q.LogPDF(x)
+				term = v * math.Exp(logW)
+			}
+			terms[i] = term
+		})
+		if po.Flush != nil {
+			po.Flush(lo, hi)
+		}
+		// Merge strictly in index order: Welford folding is floating-point
+		// order-sensitive, so this is part of the determinism contract.
+		for i := 0; i < hi-lo; i++ {
+			run.Add(terms[i])
+		}
+		// Record at batch boundaries. The simulation-count coordinate is
+		// exact here: every simulation of samples < hi has completed and
+		// none of sample >= hi has started.
+		if hi/recordEvery > recorded/recordEvery || hi == n {
+			series = append(series, stats.Point{
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+			})
+		}
+		recorded = hi
+	}
+	return series
 }

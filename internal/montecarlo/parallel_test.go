@@ -1,0 +1,199 @@
+package montecarlo
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
+	"ecripse/internal/stats"
+)
+
+// TestParForCoversAllIndices: every index runs exactly once, for worker
+// counts spanning inline, clamped and oversubscribed cases.
+func TestParForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 93
+		var hits [n]int32
+		ParFor(workers, n, func(w, i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	ParFor(4, 0, func(w, i int) { t.Fatal("fn called for n=0") })
+}
+
+// TestParForSlotDeterminism: a function that writes substream-derived data
+// into its own slot produces identical output at any worker count.
+func TestParForSlotDeterminism(t *testing.T) {
+	run := func(workers int) []float64 {
+		const n = 500
+		out := make([]float64, n)
+		streams := randx.NewStreams(3, ClampWorkers(workers, n))
+		ParFor(workers, n, func(w, i int) {
+			out[i] = streams.At(w, uint64(i)).NormFloat64()
+		})
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ParFor output differs at workers=%d", workers)
+		}
+	}
+}
+
+// TestNaiveParallelWorkerInvariance: the estimate must be bit-identical for
+// any worker count — the post-rework contract (the old implementation was
+// only deterministic per (seed, workers) pair).
+func TestNaiveParallelWorkerInvariance(t *testing.T) {
+	trial := func(rng *rand.Rand) bool { return rng.NormFloat64() > 1.5 }
+	var c Counter
+	want := NaiveParallel(7, trial, 20000, 1, &c)
+	for _, workers := range []int{2, 3, 8} {
+		got := NaiveParallel(7, trial, 20000, workers, &c)
+		if got.P != want.P || got.CI95 != want.CI95 || got.N != want.N {
+			t.Fatalf("workers=%d: %+v != %+v", workers, got, want)
+		}
+	}
+	// And the statistics must be right: P(Z > 1.5) ≈ 0.0668.
+	if math.Abs(want.P-0.0668) > 0.005 {
+		t.Fatalf("P = %v, want ≈ 0.0668", want.P)
+	}
+}
+
+// gaussianBump is a minimal deterministic proposal for sampler tests.
+type gaussianBump struct{ dim int }
+
+func (g gaussianBump) Sample(rng *rand.Rand) linalg.Vector {
+	x := make(linalg.Vector, g.dim)
+	for i := range x {
+		x[i] = 2 + rng.NormFloat64()
+	}
+	return x
+}
+
+func (g gaussianBump) LogPDF(x linalg.Vector) float64 {
+	q := 0.0
+	for _, v := range x {
+		q += (v - 2) * (v - 2)
+	}
+	return -0.5*q - 0.5*float64(g.dim)*randx.Log2Pi
+}
+
+// TestImportanceSampleParWorkerInvariance: series and estimate bit-identical
+// across worker counts, including the recorded points.
+func TestImportanceSampleParWorkerInvariance(t *testing.T) {
+	run := func(workers int) stats.Series {
+		var c Counter
+		value := func(rng *rand.Rand, k int, x linalg.Vector) float64 {
+			c.Add(1) // pretend every draw simulates once
+			if x.Norm() > 3 {
+				return 1
+			}
+			return 0
+		}
+		return ImportanceSamplePar(context.Background(), gaussianBump{dim: 4}, value, 3000,
+			ParOptions{Seed: 11, Workers: workers, Batch: 128}, &c, 500)
+	}
+	want := run(1)
+	if len(want) == 0 || want.Final().P <= 0 {
+		t.Fatalf("degenerate baseline series: %+v", want)
+	}
+	for _, workers := range []int{2, 5, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("series differs at workers=%d:\n got  %+v\n want %+v", workers, got, want)
+		}
+	}
+}
+
+// TestImportanceSampleParFlushBarrier: Flush must see contiguous, in-order,
+// non-overlapping ranges covering [0, n) exactly once, after all samples of
+// the range have been evaluated.
+func TestImportanceSampleParFlushBarrier(t *testing.T) {
+	const n, batch = 1000, 128
+	var c Counter
+	done := make([]int32, n)
+	next := 0
+	value := func(rng *rand.Rand, k int, x linalg.Vector) float64 {
+		atomic.StoreInt32(&done[k], 1)
+		return 0
+	}
+	flush := func(lo, hi int) {
+		if lo != next {
+			t.Fatalf("flush [%d,%d): expected lo=%d", lo, hi, next)
+		}
+		for k := lo; k < hi; k++ {
+			if atomic.LoadInt32(&done[k]) != 1 {
+				t.Fatalf("flush [%d,%d): sample %d not evaluated yet", lo, hi, k)
+			}
+		}
+		next = hi
+	}
+	ImportanceSamplePar(context.Background(), gaussianBump{dim: 2}, value, n,
+		ParOptions{Seed: 1, Workers: 4, Batch: batch, Flush: flush}, &c, 0)
+	if next != n {
+		t.Fatalf("flush covered [0,%d), want [0,%d)", next, n)
+	}
+}
+
+// TestImportanceSampleParCancellation: a cancelled context stops the run at
+// a batch boundary with a partial, finishable series.
+func TestImportanceSampleParCancellation(t *testing.T) {
+	var c Counter
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := int32(0)
+	value := func(rng *rand.Rand, k int, x linalg.Vector) float64 {
+		if atomic.AddInt32(&evals, 1) == 200 {
+			cancel()
+		}
+		c.Add(1)
+		return 1
+	}
+	series := ImportanceSamplePar(ctx, gaussianBump{dim: 2}, value, 100000,
+		ParOptions{Seed: 5, Workers: 4, Batch: 64}, &c, 0)
+	total := atomic.LoadInt32(&evals)
+	if total >= 100000 {
+		t.Fatal("cancellation did not stop the run")
+	}
+	// The in-flight batch completes, so the evaluation count lands on a
+	// batch boundary — the deterministic-stop property.
+	if total%64 != 0 {
+		t.Fatalf("stopped mid-batch after %d evaluations", total)
+	}
+	if len(series) == 0 {
+		t.Fatal("partial run recorded no series")
+	}
+}
+
+// TestGMMLogPDFConcurrent exercises the lazy prepare() from many goroutines;
+// under -race this is the regression test for the sync.Once fix.
+func TestGMMLogPDFConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := &GMM{Sigma: linalg.Vector{0.5, 0.5, 0.5}}
+	for i := 0; i < 20; i++ {
+		g.Means = append(g.Means, randx.NormalVector(rng, 3))
+	}
+	x := linalg.Vector{0.1, -0.2, 0.3}
+	got := make([]float64, 64)
+	ParFor(8, 64, func(w, i int) {
+		got[i] = g.LogPDF(x)
+	})
+	want := g.LogPDF(x)
+	if math.IsNaN(want) || math.IsInf(want, 0) {
+		t.Fatalf("LogPDF degenerate: %v", want)
+	}
+	for i, v := range got {
+		if v != want {
+			t.Fatalf("concurrent LogPDF %d inconsistent: %v vs %v", i, v, want)
+		}
+	}
+}

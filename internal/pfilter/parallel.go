@@ -1,0 +1,133 @@
+package pfilter
+
+import (
+	"math"
+	"math/rand"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/randx"
+)
+
+// ParWeight scores a candidate particle like Weight, but under the
+// deterministic-parallel contract: rng is positioned on the substream of the
+// candidate's global index idx, and the function must be safe to call
+// concurrently for distinct indices (any stateful labeling is deferred to
+// the caller's flush barrier).
+type ParWeight func(rng *rand.Rand, idx int, x linalg.Vector) float64
+
+// BoundaryInitPar is BoundaryInit evaluated across workers goroutines: each
+// direction draws from its own (seed, direction-index) substream and
+// bisects independently, and the found boundary points are kept in
+// direction order — so the result depends only on seed, not on the worker
+// count or scheduling. fails must be safe for concurrent use.
+func BoundaryInitPar(seed int64, dim, directions int, rmax, rtol float64, fails func(linalg.Vector) bool, workers int) []linalg.Vector {
+	if rtol <= 0 {
+		rtol = 0.05
+	}
+	workers = montecarlo.ClampWorkers(workers, directions)
+	found := make([]linalg.Vector, directions)
+	streams := randx.NewStreams(seed, workers)
+	montecarlo.ParFor(workers, directions, func(w, k int) {
+		rng := streams.At(w, uint64(k))
+		d := randx.SphereDirection(rng, dim)
+		if !fails(d.Scale(rmax)) {
+			return
+		}
+		lo, hi := 0.0, rmax
+		for hi-lo > rtol {
+			mid := 0.5 * (lo + hi)
+			if fails(d.Scale(mid)) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		found[k] = d.Scale(hi) // just inside the failure region
+	})
+	out := make([]linalg.Vector, 0, directions)
+	for _, p := range found {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// StepPar advances every filter one prediction/measurement/resampling round
+// with the measurement step parallelized across workers goroutines. Each
+// candidate carries a global index (filter-major order across the whole
+// ensemble); its prediction draw and weight evaluation come from substream
+// (seed, index), and results land in index slots — so one round is
+// bit-identical for any worker count. After the measurement barrier, flush
+// (if non-nil) is called with the number of candidates scored, letting the
+// caller apply deferred classifier updates in index order; resampling then
+// consumes substreams at indices ≥ that count, one per filter.
+//
+// Within a round, every weight evaluation sees the caller's adaptive state
+// frozen at the round start — the round is one batch.
+func (e *Ensemble) StepPar(seed int64, weight ParWeight, flush func(scored int), workers int) []StepRecord {
+	offs := make([]int, len(e.filters)+1)
+	for fi, f := range e.filters {
+		offs[fi+1] = offs[fi] + len(f)
+	}
+	total := offs[len(e.filters)]
+	workers = montecarlo.ClampWorkers(workers, total)
+
+	cands := make([]linalg.Vector, total)
+	ws := make([]float64, total)
+	streams := randx.NewStreams(seed, workers)
+	montecarlo.ParFor(workers, total, func(w, idx int) {
+		fi := 0
+		for offs[fi+1] <= idx {
+			fi++
+		}
+		particles := e.filters[fi]
+		rng := streams.At(w, uint64(idx))
+		// Prediction (eq. (15)): mixture kernel centred on a random current
+		// particle of this candidate's filter.
+		base := particles[rng.Intn(len(particles))]
+		x := make(linalg.Vector, len(base))
+		for d := range x {
+			x[d] = base[d] + e.opts.KernelStd*rng.NormFloat64()
+		}
+		cands[idx] = x
+		ws[idx] = weight(rng, idx, x) // Measurement (eq. (16))
+	})
+	if flush != nil {
+		flush(total)
+	}
+
+	records := make([]StepRecord, len(e.filters))
+	for fi := range e.filters {
+		lo, hi := offs[fi], offs[fi+1]
+		fc, fw := cands[lo:hi:hi], ws[lo:hi:hi]
+		n := hi - lo
+		sum := 0.0
+		for _, w := range fw {
+			if w > 0 {
+				sum += w
+			}
+		}
+		var next []linalg.Vector
+		if sum <= 0 || math.IsNaN(sum) {
+			next = e.filters[fi] // degenerate round: keep previous cloud
+		} else {
+			idx := randx.SystematicResample(randx.Stream(seed, uint64(total+fi)), fw, n)
+			next = make([]linalg.Vector, n)
+			for i, j := range idx {
+				next[i] = fc[j]
+			}
+		}
+		records[fi] = StepRecord{Candidates: fc, Weights: fw, Resampled: next}
+		e.filters[fi] = next
+		// Pool positively-weighted candidates in index order, matching Step.
+		for i, w := range fw {
+			if w > 0 {
+				e.poolX = append(e.poolX, fc[i])
+				e.poolW = append(e.poolW, w)
+			}
+		}
+	}
+	return records
+}

@@ -1,0 +1,107 @@
+package pfilter
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
+)
+
+// shellFails is a deterministic, concurrency-safe indicator: failure outside
+// radius 3.
+func shellFails(x linalg.Vector) bool { return x.Norm() > 3 }
+
+// TestBoundaryInitParWorkerInvariance: the boundary set must be identical
+// for any worker count, and must actually sit on the r=3 shell.
+func TestBoundaryInitParWorkerInvariance(t *testing.T) {
+	want := BoundaryInitPar(9, 6, 64, 8, 0.05, shellFails, 1)
+	if len(want) == 0 {
+		t.Fatal("no boundary points found")
+	}
+	for _, p := range want {
+		if r := p.Norm(); r < 2.5 || r > 3.6 {
+			t.Fatalf("boundary point at radius %v, want ≈3", r)
+		}
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got := BoundaryInitPar(9, 6, 64, 8, 0.05, shellFails, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("boundary set differs at workers=%d (%d vs %d points)", workers, len(got), len(want))
+		}
+	}
+}
+
+// newTestEnsemble builds a small deterministic ensemble around the r=3 shell.
+func newTestEnsemble(t *testing.T) *Ensemble {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	initial := BoundaryInitPar(2, 6, 32, 8, 0.05, shellFails, 1)
+	if len(initial) == 0 {
+		t.Fatal("no initial particles")
+	}
+	return New(rng, Options{Particles: 20, Filters: 2, KernelStd: 0.3}, initial)
+}
+
+// TestStepParWorkerInvariance: one StepPar round — particles, records and
+// the candidate pool — must be bit-identical across worker counts.
+func TestStepParWorkerInvariance(t *testing.T) {
+	weight := func(rng *rand.Rand, idx int, x linalg.Vector) float64 {
+		if !shellFails(x) {
+			return 0
+		}
+		return randx.StdNormalPDF(x)
+	}
+	type snapshot struct {
+		particles []linalg.Vector
+		poolX     []linalg.Vector
+		poolW     []float64
+		records   []StepRecord
+	}
+	run := func(workers int) snapshot {
+		e := newTestEnsemble(t)
+		var recs []StepRecord
+		for round := 0; round < 3; round++ {
+			recs = e.StepPar(int64(100+round), weight, nil, workers)
+		}
+		return snapshot{e.Particles(), e.poolX, e.poolW, recs}
+	}
+	want := run(1)
+	if len(want.poolX) == 0 {
+		t.Fatal("no pooled candidates after 3 rounds")
+	}
+	for _, workers := range []int{2, 5, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("StepPar state differs at workers=%d", workers)
+		}
+	}
+}
+
+// TestStepParFlushAfterMeasurement: flush runs after every candidate is
+// scored and before resampling mutates the filters.
+func TestStepParFlushAfterMeasurement(t *testing.T) {
+	e := newTestEnsemble(t)
+	total := e.NumFilters() * 20
+	scored := make([]bool, total)
+	weight := func(rng *rand.Rand, idx int, x linalg.Vector) float64 {
+		scored[idx] = true
+		return 1
+	}
+	called := false
+	e.StepPar(7, weight, func(n int) {
+		called = true
+		if n != total {
+			t.Fatalf("flush reported %d candidates, want %d", n, total)
+		}
+		for idx, s := range scored {
+			if !s {
+				t.Fatalf("flush before candidate %d was scored", idx)
+			}
+		}
+	}, 4)
+	if !called {
+		t.Fatal("flush not called")
+	}
+}

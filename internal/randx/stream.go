@@ -1,0 +1,114 @@
+package randx
+
+import "math/rand"
+
+// This file implements the splittable counter-based PRNG that underpins the
+// deterministic parallel estimators: every Monte Carlo draw, particle-filter
+// candidate and boundary-search direction is assigned a global sample index,
+// and Stream(seed, index) hands that index its own statistically independent
+// substream. Workers can then evaluate disjoint index ranges in any order —
+// the randomness each sample sees depends only on (seed, index), never on
+// scheduling — so an estimate is bit-identical at any worker count. That
+// invariant is what the service-layer result cache and the crash-recovery
+// replay lean on.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood — "Fast splittable
+// pseudorandom number generators", OOPSLA 2014): a Weyl sequence advanced by
+// the golden-ratio increment, pushed through a strong 64-bit finalizer. A
+// substream is opened by hashing (seed, index) into a pseudo-random starting
+// position of the 2^64-period master sequence; with the ~2^32 substreams and
+// ~2^20 draws per substream this repository uses, the birthday bound on any
+// two substreams overlapping is far below 2^-20.
+
+// splitMixGamma is the golden-ratio Weyl increment of SplitMix64.
+const splitMixGamma = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 output finalizer (a variant of the MurmurHash3
+// fmix64 avalanche function with David Stafford's "Mix13" constants).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// SplitMix is a SplitMix64 generator positioned on one (seed, index)
+// substream. It implements rand.Source64, so wrapping it in rand.New gives
+// access to the full math/rand distribution set (NormFloat64, Intn, Perm…).
+//
+// The zero value is a valid source (substream (0, 0)); use Init or Stream to
+// position it. A SplitMix must not be shared between goroutines; the whole
+// point is to give each unit of parallel work its own.
+type SplitMix struct {
+	state uint64
+}
+
+// Init positions the source at the start of substream (seed, index),
+// discarding any previous state. Reusing one SplitMix across many indices
+// (Init, draw, Init, draw…) is the allocation-free pattern for tight loops.
+func (s *SplitMix) Init(seed int64, index uint64) {
+	// Hash the seed and the index through independent mix rounds so that
+	// neighbouring indices land at unrelated positions of the master Weyl
+	// sequence (index*gamma alone would make stream k a one-step shift of
+	// stream k-1, i.e. a total overlap).
+	s.state = mix64(mix64(uint64(seed)) + mix64(index+splitMixGamma))
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *SplitMix) Uint64() uint64 {
+	s.state += splitMixGamma
+	return mix64(s.state)
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source: it positions the source at substream (seed, 0).
+func (s *SplitMix) Seed(seed int64) { s.Init(seed, 0) }
+
+// Stream returns a *rand.Rand on substream (seed, index). Draws from
+// distinct indices are statistically independent; draws from equal
+// (seed, index) pairs are identical. One allocation per call — hot loops
+// that open a stream per sample should use a Streams pool and re-position
+// a per-worker source between samples instead.
+func Stream(seed int64, index uint64) *rand.Rand {
+	src := &SplitMix{}
+	src.Init(seed, index)
+	return rand.New(src)
+}
+
+// Streams is a fixed pool of per-worker substream generators sharing one
+// seed. Worker w calls At(w, index) to re-position its generator on the
+// index's substream without allocating; two workers may use the pool
+// concurrently as long as each sticks to its own slot.
+type Streams struct {
+	seed int64
+	srcs []SplitMix
+	rngs []*rand.Rand
+}
+
+// NewStreams builds a pool of workers generators for the given seed.
+func NewStreams(seed int64, workers int) *Streams {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Streams{
+		seed: seed,
+		srcs: make([]SplitMix, workers),
+		rngs: make([]*rand.Rand, workers),
+	}
+	for w := range s.rngs {
+		s.rngs[w] = rand.New(&s.srcs[w])
+	}
+	return s
+}
+
+// At positions worker w's generator at the start of substream
+// (seed, index) and returns it. The returned *rand.Rand is owned by slot w
+// and is only valid until the next At(w, ·) call.
+func (s *Streams) At(w int, index uint64) *rand.Rand {
+	s.srcs[w].Init(s.seed, index)
+	return s.rngs[w]
+}

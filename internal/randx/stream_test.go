@@ -1,0 +1,164 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStreamDeterminism: equal (seed, index) pairs must generate identical
+// draws — the property the whole deterministic-parallelism design rests on.
+func TestStreamDeterminism(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for _, idx := range []uint64{0, 1, 255, 1 << 33} {
+			a, b := Stream(seed, idx), Stream(seed, idx)
+			for k := 0; k < 64; k++ {
+				if av, bv := a.Uint64(), b.Uint64(); av != bv {
+					t.Fatalf("stream (%d,%d) diverged at draw %d: %x vs %x", seed, idx, k, av, bv)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamDistinctness: different indices (and different seeds) must give
+// different streams; in particular stream k must not be a shifted copy of
+// stream k+1 (the classic counter-PRNG mistake).
+func TestStreamDistinctness(t *testing.T) {
+	const draws = 32
+	seqs := map[uint64][]uint64{}
+	for idx := uint64(0); idx < 64; idx++ {
+		r := Stream(42, idx)
+		s := make([]uint64, draws)
+		for k := range s {
+			s[k] = r.Uint64()
+		}
+		seqs[idx] = s
+	}
+	// No first draw collides, and no stream's tail equals another's head
+	// (shift-by-one overlap).
+	seen := map[uint64]uint64{}
+	for idx, s := range seqs {
+		if prev, dup := seen[s[0]]; dup {
+			t.Fatalf("streams %d and %d share their first draw", prev, idx)
+		}
+		seen[s[0]] = idx
+	}
+	for idx := uint64(0); idx+1 < 64; idx++ {
+		a, b := seqs[idx], seqs[idx+1]
+		overlap := 0
+		for k := 0; k+1 < draws; k++ {
+			if a[k+1] == b[k] {
+				overlap++
+			}
+		}
+		if overlap > 0 {
+			t.Fatalf("stream %d is a shifted copy of stream %d (%d overlapping draws)", idx+1, idx, overlap)
+		}
+	}
+
+	if Stream(1, 0).Uint64() == Stream(2, 0).Uint64() {
+		t.Fatal("different seeds produced the same stream 0")
+	}
+}
+
+// TestStreamUniformity: pooled across many substreams, Float64 draws must
+// look U(0,1) — mean 1/2, variance 1/12 — and NormFloat64 draws standard
+// normal. Loose 5-sigma-ish bands; the point is catching a broken mixer,
+// not certifying the generator.
+func TestStreamUniformity(t *testing.T) {
+	const streams, draws = 512, 64
+	var n float64
+	var sum, sum2 float64
+	var nsum, nsum2 float64
+	for idx := uint64(0); idx < streams; idx++ {
+		r := Stream(7, idx)
+		for k := 0; k < draws; k++ {
+			u := r.Float64()
+			if u < 0 || u >= 1 {
+				t.Fatalf("Float64 out of range: %v", u)
+			}
+			sum += u
+			sum2 += u * u
+			g := r.NormFloat64()
+			nsum += g
+			nsum2 += g * g
+			n++
+		}
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance %v, want ~%v", variance, 1.0/12)
+	}
+	nmean := nsum / n
+	nvar := nsum2/n - nmean*nmean
+	if math.Abs(nmean) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", nmean)
+	}
+	if math.Abs(nvar-1) > 0.05 {
+		t.Errorf("normal variance %v, want ~1", nvar)
+	}
+}
+
+// TestStreamCrossCorrelation: neighbouring substreams must be uncorrelated —
+// the sample correlation of streams (k, k+1) over many pairs stays near 0.
+func TestStreamCrossCorrelation(t *testing.T) {
+	const pairs, draws = 256, 128
+	for lag := uint64(1); lag <= 2; lag++ {
+		var sxy, sx, sy, sx2, sy2, n float64
+		for idx := uint64(0); idx < pairs; idx++ {
+			a, b := Stream(11, idx), Stream(11, idx+lag)
+			for k := 0; k < draws; k++ {
+				x, y := a.Float64(), b.Float64()
+				sxy += x * y
+				sx += x
+				sy += y
+				sx2 += x * x
+				sy2 += y * y
+				n++
+			}
+		}
+		cov := sxy/n - (sx/n)*(sy/n)
+		sd := math.Sqrt((sx2/n - (sx/n)*(sx/n)) * (sy2/n - (sy/n)*(sy/n)))
+		if corr := cov / sd; math.Abs(corr) > 0.02 {
+			t.Errorf("lag-%d cross-stream correlation %v, want ~0", lag, corr)
+		}
+	}
+}
+
+// TestStreamsPoolMatchesStream: the allocation-free per-worker pool must
+// reproduce exactly what a fresh Stream produces, across re-positioning.
+func TestStreamsPoolMatchesStream(t *testing.T) {
+	pool := NewStreams(99, 3)
+	for _, idx := range []uint64{5, 0, 1 << 20, 5} {
+		want := Stream(99, idx)
+		got := pool.At(1, idx)
+		for k := 0; k < 16; k++ {
+			w, g := want.NormFloat64(), got.NormFloat64()
+			if w != g {
+				t.Fatalf("pool draw %d of stream %d: got %v want %v", k, idx, g, w)
+			}
+		}
+	}
+}
+
+// TestSplitMixSourceInterface: the raw source must satisfy the Source64
+// contract (Int63 in [0, 2^63)) and Seed must reposition to substream 0.
+func TestSplitMixSourceInterface(t *testing.T) {
+	var s SplitMix
+	s.Seed(123)
+	for k := 0; k < 1000; k++ {
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+	var a, b SplitMix
+	a.Seed(55)
+	b.Init(55, 0)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Seed(s) must equal Init(s, 0)")
+	}
+}

@@ -166,6 +166,7 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 	case EstECRIPSE:
 		eng := core.NewEngine(cell, counter, core.Options{
 			NIS: s.N, M: s.M, Mode: mode, NoClassifier: s.NoClassifier,
+			Parallelism: s.Parallelism,
 		})
 		if len(s.Sweep) > 0 {
 			cfg := rtn.TableIConfig(cell)

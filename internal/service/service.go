@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,7 +21,16 @@ var ErrNotFound = errors.New("service: no such job")
 type Config struct {
 	Workers       int // worker pool size (default 4)
 	QueueCapacity int // bounded FIFO depth (default 64)
-	CacheCapacity int // LRU result-cache entries (default 256; negative disables)
+	CacheCapacity int // LRU result-cache entries (negative disables; default 256)
+
+	// MaxJobParallelism caps the per-job intra-estimator worker count
+	// requested via JobSpec.Parallelism, so pool-level concurrency (Workers
+	// jobs at once) and intra-job parallelism compose instead of
+	// oversubscribing the machine. 0 selects max(1, GOMAXPROCS/Workers);
+	// negative disables intra-job parallelism entirely (every job runs
+	// serial). Results are unaffected either way — estimates are
+	// bit-identical at any parallelism level.
+	MaxJobParallelism int
 
 	// Store persists job events and results across restarts. Nil selects
 	// the in-memory no-op store (nothing survives the process).
@@ -35,6 +45,14 @@ type Config struct {
 func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.MaxJobParallelism == 0 {
+		if c.MaxJobParallelism = runtime.GOMAXPROCS(0) / c.Workers; c.MaxJobParallelism < 1 {
+			c.MaxJobParallelism = 1
+		}
+	}
+	if c.MaxJobParallelism < 0 {
+		c.MaxJobParallelism = 1
 	}
 	if c.QueueCapacity <= 0 {
 		c.QueueCapacity = 64
@@ -130,6 +148,12 @@ func (s *Service) restore(rj RecoveredJob, results map[string]json.RawMessage) {
 		log.Printf("service: recovery: job %s has undecodable spec, dropping: %v", rj.ID, err)
 		return
 	}
+	// Re-apply the parallelism cap: the journal may predate a config change.
+	// Harmless for correctness (the cache key ignores the field and results
+	// are parallelism-independent), purely a resource bound.
+	if spec.Parallelism > s.cfg.MaxJobParallelism {
+		spec.Parallelism = s.cfg.MaxJobParallelism
+	}
 	if rj.State.Terminal() {
 		var res json.RawMessage
 		if rj.State == StateDone {
@@ -168,6 +192,13 @@ func (s *Service) onJobState(j *Job, state State, errMsg string, at time.Time) {
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, err
+	}
+	// Cap intra-job parallelism so Workers concurrent jobs cannot
+	// oversubscribe the machine. Done after Normalize and before Key — but
+	// Key ignores the field anyway, so capped and uncapped submissions of
+	// the same work share one cache entry.
+	if spec.Parallelism > s.cfg.MaxJobParallelism {
+		spec.Parallelism = s.cfg.MaxJobParallelism
 	}
 	key := spec.Key()
 

@@ -70,6 +70,12 @@ type JobSpec struct {
 	// MaxSims optionally bounds the transistor-level simulations; the job
 	// stops cleanly at the budget and reports the partial series.
 	MaxSims int64 `json:"max_sims,omitempty"`
+	// Parallelism is the intra-job worker count for the ecripse estimator's
+	// hot loops (0 = serial). It is an execution knob, not part of the
+	// result: estimates are bit-identical at any level, so Key ignores it
+	// and the service caps it so pool-level and intra-job parallelism
+	// compose (see Config.MaxJobParallelism).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Normalize applies the documented defaults in place and validates the
@@ -165,6 +171,12 @@ func (s *JobSpec) Normalize() error {
 	if s.NoClassifier && s.Estimator != EstECRIPSE {
 		return fmt.Errorf("spec: no_classifier applies to estimator=ecripse only")
 	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("spec: negative parallelism")
+	}
+	if s.Parallelism != 0 && s.Estimator != EstECRIPSE {
+		return fmt.Errorf("spec: parallelism applies to estimator=ecripse only")
+	}
 	return nil
 }
 
@@ -173,7 +185,11 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // Key returns the content address of the (normalized) spec: the hex SHA-256
 // of its canonical JSON encoding. Struct fields marshal in declaration
 // order, so the encoding — and therefore the cache key — is deterministic.
+// Parallelism is excluded (zeroed on the value receiver's copy): it only
+// chooses how many goroutines compute the result, never what the result is,
+// so specs differing only in it must share a cache entry.
 func (s JobSpec) Key() string {
+	s.Parallelism = 0
 	b, err := json.Marshal(s)
 	if err != nil {
 		panic("service: spec marshal: " + err.Error()) // structurally impossible

@@ -3,6 +3,7 @@ package sram
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // SNMOptions controls the butterfly sampling used for noise margins.
@@ -83,32 +84,84 @@ func (c *Cell) Butterfly(sh Shifts, opts *SNMOptions) (a, b Curve) {
 	return a, b
 }
 
+// snmScratch carries every buffer a NoiseMargin evaluation needs: the two
+// sampled VTCs and their rotated forms. Pooled so the indicator hot path —
+// millions of calls per estimate, from many goroutines — allocates nothing
+// per call.
+type snmScratch struct {
+	aIn, aOut, bIn, bOut []float64
+	ra, rb               rotCurve
+}
+
+var snmPool = sync.Pool{New: func() any { return new(snmScratch) }}
+
+// growF resizes a float buffer to length n, reusing capacity when possible.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func (s *snmScratch) resize(n int) {
+	s.aIn, s.aOut = growF(s.aIn, n), growF(s.aOut, n)
+	s.bIn, s.bOut = growF(s.bIn, n), growF(s.bOut, n)
+	s.ra.u, s.ra.w = growF(s.ra.u, n), growF(s.ra.w, n)
+	s.rb.u, s.rb.w = growF(s.rb.u, n), growF(s.rb.w, n)
+}
+
 // NoiseMargin computes the static noise margin of the butterfly via the
 // Seevinck rotation: in the 45°-rotated frame both curves are single-valued
 // functions of u (a monotone-decreasing VTC has strictly increasing
 // u = (x−y)/√2); the margin of each lobe is the extreme of the curve
-// difference divided by √2.
+// difference divided by √2. Safe for concurrent use; all working memory
+// comes from a pool.
 func (c *Cell) NoiseMargin(sh Shifts, opts *SNMOptions) SNMResult {
-	a, b := c.Butterfly(sh, opts)
-	return noiseMarginFromCurves(a, b)
+	var o SNMOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold}
+	vo.fill(c.Vdd)
+
+	s := snmPool.Get().(*snmScratch)
+	s.resize(o.GridN + 1)
+	c.readVTCInto(Right, sh, o.GridN, vo, s.aIn, s.aOut)
+	c.readVTCInto(Left, sh, o.GridN, vo, s.bIn, s.bOut)
+	rotateCurves(s.aIn, s.aOut, s.bIn, s.bOut, s.ra, s.rb)
+	res := marginFromRot(s.ra, s.rb)
+	snmPool.Put(s)
+	return res
 }
 
+// noiseMarginFromCurves is the allocating path over pre-sampled butterfly
+// curves (kept for callers that already hold Curve values).
 func noiseMarginFromCurves(a, b Curve) SNMResult {
-	// Curve A: points (x=In, y=Out). Curve B: points (x=Out, y=In).
 	ra := rotCurve{u: make([]float64, len(a.In)), w: make([]float64, len(a.In))}
-	for i := range a.In {
-		ra.u[i], ra.w[i] = rotPoint(a.In[i], a.Out[i])
-	}
 	rb := rotCurve{u: make([]float64, len(b.In)), w: make([]float64, len(b.In))}
-	for i := range b.In {
+	rotateCurves(a.In, a.Out, b.In, b.Out, ra, rb)
+	return marginFromRot(ra, rb)
+}
+
+// rotateCurves fills ra/rb (pre-sized to the sample counts) with the
+// Seevinck-rotated curves. Curve A: points (x=In, y=Out). Curve B: points
+// (x=Out, y=In).
+func rotateCurves(aIn, aOut, bIn, bOut []float64, ra, rb rotCurve) {
+	for i := range aIn {
+		ra.u[i], ra.w[i] = rotPoint(aIn[i], aOut[i])
+	}
+	for i := range bIn {
 		// Reverse order so u increases: for curve B, u = (Out−In)/√2
 		// decreases along the sweep.
-		j := len(b.In) - 1 - i
-		rb.u[i], rb.w[i] = rotPoint(b.Out[j], b.In[j])
+		j := len(bIn) - 1 - i
+		rb.u[i], rb.w[i] = rotPoint(bOut[j], bIn[j])
 	}
 	ensureIncreasing(ra)
 	ensureIncreasing(rb)
+}
 
+func marginFromRot(ra, rb rotCurve) SNMResult {
 	lo := math.Max(ra.u[0], rb.u[0])
 	hi := math.Min(ra.u[len(ra.u)-1], rb.u[len(rb.u)-1])
 	if !(hi > lo) {

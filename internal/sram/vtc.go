@@ -169,17 +169,23 @@ func (c *Cell) ReadVTC(side Side, sh Shifts, n int, opts *VTCOptions) Curve {
 		o = *opts
 	}
 	o.fill(c.Vdd)
-	h := c.half(side, sh, &o)
-
 	cur := Curve{In: make([]float64, n+1), Out: make([]float64, n+1)}
+	c.readVTCInto(side, sh, n, &o, cur.In, cur.Out)
+	return cur
+}
+
+// readVTCInto is the allocation-free core of ReadVTC: it fills the
+// caller-provided in/out buffers (length n+1) from already-filled options.
+// The indicator hot path calls it with pooled buffers.
+func (c *Cell) readVTCInto(side Side, sh Shifts, n int, o *VTCOptions, in, out []float64) {
+	h := c.half(side, sh, o)
 	hi := c.Vdd + 0.2
 	for i := 0; i <= n; i++ {
 		vin := c.Vdd * float64(i) / float64(n)
-		out := h.solve(vin, -0.2, hi, o.BisectIter)
-		cur.In[i] = vin
-		cur.Out[i] = out
-		// The VTC is non-increasing: the next root lies at or below out.
-		hi = out + 1e-6
+		v := h.solve(vin, -0.2, hi, o.BisectIter)
+		in[i] = vin
+		out[i] = v
+		// The VTC is non-increasing: the next root lies at or below v.
+		hi = v + 1e-6
 	}
-	return cur
 }

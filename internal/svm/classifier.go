@@ -102,14 +102,43 @@ func (c *Classifier) Train(rng *rand.Rand, xs []linalg.Vector, fails []bool, epo
 
 // Update performs a single incremental step with a freshly simulated label,
 // continuing the existing step-size schedule (the stage-2 "incrementally
-// train the classifier" path).
+// train the classifier" path). The feature transform reuses the classifier's
+// scratch buffer, so the hot retraining path allocates nothing.
 func (c *Classifier) Update(x linalg.Vector, failed bool) {
 	y := -1.0
 	if failed {
 		y = 1
 	}
-	c.step(c.Features.Transform(x), y)
+	if c.scratch == nil {
+		c.scratch = make(linalg.Vector, c.Features.NumFeatures())
+	}
+	c.Features.TransformInto(x, c.scratch)
+	c.step(c.scratch, y)
 }
+
+// Scorer is a read-only scoring view of a Classifier with its own feature
+// scratch buffer. Any number of Scorers may evaluate concurrently as long as
+// no Train/Update runs at the same time — exactly the batch-barrier contract
+// of the parallel estimator, which freezes the weights while workers score
+// and applies updates single-threaded at the barrier.
+type Scorer struct {
+	c       *Classifier
+	scratch linalg.Vector
+}
+
+// NewScorer builds a scoring view over the classifier.
+func (c *Classifier) NewScorer() *Scorer {
+	return &Scorer{c: c, scratch: make(linalg.Vector, c.Features.NumFeatures())}
+}
+
+// Score returns the signed decision value w·f(x), like Classifier.Score.
+func (s *Scorer) Score(x linalg.Vector) float64 {
+	s.c.Features.TransformInto(x, s.scratch)
+	return s.c.w.Dot(s.scratch)
+}
+
+// Predict reports the predicted failure label of x.
+func (s *Scorer) Predict(x linalg.Vector) bool { return s.Score(x) > 0 }
 
 // Accuracy returns the fraction of correct predictions on a labelled set.
 func (c *Classifier) Accuracy(xs []linalg.Vector, fails []bool) float64 {

@@ -1,0 +1,86 @@
+package svm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
+)
+
+// trainedClassifier builds a small classifier separating ‖x‖ > 2.
+func trainedClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	c := NewClassifier(NewPolyFeatures(3, 2, 0), 1e-3)
+	var xs []linalg.Vector
+	var ys []bool
+	for i := 0; i < 400; i++ {
+		x := randx.NormalVector(rng, 3).Scale(1.5)
+		xs = append(xs, x)
+		ys = append(ys, x.Norm() > 2)
+	}
+	c.Train(rng, xs, ys, 20)
+	return c
+}
+
+// TestScorerMatchesClassifier: a Scorer must agree exactly with the owning
+// classifier's Score/Predict.
+func TestScorerMatchesClassifier(t *testing.T) {
+	c := trainedClassifier(t)
+	s := c.NewScorer()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x := randx.NormalVector(rng, 3).Scale(2)
+		if got, want := s.Score(x), c.Score(x); got != want {
+			t.Fatalf("Score mismatch at %v: %v vs %v", x, got, want)
+		}
+		if s.Predict(x) != c.Predict(x) {
+			t.Fatalf("Predict mismatch at %v", x)
+		}
+	}
+}
+
+// TestScorerConcurrent hammers independent Scorers from many goroutines
+// while no updates run — the frozen-weights phase of the batch-barrier
+// contract. Run under -race this guards the per-scorer scratch isolation
+// (the shared Classifier scratch would trip the detector immediately).
+func TestScorerConcurrent(t *testing.T) {
+	c := trainedClassifier(t)
+	points := make([]linalg.Vector, 256)
+	want := make([]float64, len(points))
+	rng := rand.New(rand.NewSource(6))
+	for i := range points {
+		points[i] = randx.NormalVector(rng, 3).Scale(2)
+		want[i] = c.Score(points[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := c.NewScorer()
+			for rep := 0; rep < 50; rep++ {
+				for i, x := range points {
+					if got := s.Score(x); got != want[i] {
+						t.Errorf("concurrent Score(%d) = %v, want %v", i, got, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestUpdateNoAlloc: the incremental-retrain path must not allocate (it sits
+// inside the stage-2 barrier on the hot path).
+func TestUpdateNoAlloc(t *testing.T) {
+	c := trainedClassifier(t)
+	x := linalg.Vector{0.5, -1, 2}
+	allocs := testing.AllocsPerRun(100, func() { c.Update(x, true) })
+	if allocs > 0 {
+		t.Fatalf("Update allocates %.1f objects per call, want 0", allocs)
+	}
+}
