@@ -2,11 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke figures figures-full clean
+.PHONY: all build test race bench bench-diff bench-smoke figures figures-full clean
 
 # Fig-6/7/8 end-to-end benchmarks plus the hot kernels and the engine
 # parallelism scaling sweep.
-BENCH_PATTERN ?= Fig6|Fig7|Fig8|EngineParallelism|IndicatorEvaluation|DeviceIds|GMMLogPDF|ClassifierPredict|PoissonSampler|RTNSample
+BENCH_PATTERN ?= Fig6|Fig7|Fig8|EngineParallelism|IndicatorEvaluation|DeviceIds|GMMLogPDF|ClassifierPredict|PolyScore|NoiseMargin|PoissonSampler|RTNSample
+
+# Baseline document that bench-diff compares against (the oldest committed
+# trajectory point by default; override on the command line).
+BENCH_BASELINE ?= results/bench/BENCH_2026-08-06.json
 
 all: build test
 
@@ -27,7 +31,18 @@ bench:
 	mkdir -p results/bench
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x -count 5 -run XXX -timeout 60m . \
 		| tee results/bench/bench_raw.txt
-	$(GO) run ./cmd/benchjson -o results/bench/BENCH_$$(date -u +%F).json < results/bench/bench_raw.txt
+	out=results/bench/BENCH_$$(date -u +%F).json; \
+	if [ -e $$out ]; then out=results/bench/BENCH_$$(date -u +%F)-$$(date -u +%H%M%S).json; fi; \
+	$(GO) run ./cmd/benchjson -o $$out < results/bench/bench_raw.txt
+
+# Run the suite once and diff it against the committed baseline
+# ($(BENCH_BASELINE)); prints per-benchmark ratios and the geomean.
+bench-diff:
+	mkdir -p results/bench
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime 1x -count 3 -run XXX -timeout 60m . \
+		> results/bench/bench_new_raw.txt
+	$(GO) run ./cmd/benchjson -o results/bench/bench_new.json < results/bench/bench_new_raw.txt
+	$(GO) run ./cmd/benchjson diff -threshold 1.15 $(BENCH_BASELINE) results/bench/bench_new.json
 
 # Quick single-pass run of every benchmark (no recording) — the CI smoke.
 bench-smoke:
@@ -53,4 +68,5 @@ figures-full:
 	$(GO) run ./cmd/dutysweep -scale full                     > results/fig8_full.csv
 
 clean:
-	rm -f test_output.txt bench_output.txt results/bench/bench_raw.txt
+	rm -f test_output.txt bench_output.txt results/bench/bench_raw.txt \
+		results/bench/bench_new_raw.txt results/bench/bench_new.json

@@ -266,6 +266,68 @@ func BenchmarkClassifierPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkPolyScore is the compiled blockade query: the same degree-4
+// transform and linear score as ClassifierPredict, through the compiled
+// incremental-product kernel (bit-identical scores).
+func BenchmarkPolyScore(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pf := svm.NewPolyFeatures(6, 4, 0)
+	c := svm.NewClassifier(pf, 0)
+	xs := make([]linalg.Vector, 200)
+	ys := make([]bool, 200)
+	for i := range xs {
+		xs[i] = randx.NormalVector(rng, 6).Scale(4)
+		ys[i] = xs[i].Norm() > 4
+	}
+	c.Train(rng, xs, ys, 5)
+	s := c.Compile()
+	x := randx.NormalVector(rng, 6).Scale(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(x)
+	}
+}
+
+// BenchmarkPolyScoreBatch is the SoA batch-scoring path used at the
+// estimators' 256-sample batch barriers; ns/op is per sample.
+func BenchmarkPolyScoreBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pf := svm.NewPolyFeatures(6, 4, 0)
+	c := svm.NewClassifier(pf, 0)
+	xs := make([]linalg.Vector, 200)
+	ys := make([]bool, 200)
+	for i := range xs {
+		xs[i] = randx.NormalVector(rng, 6).Scale(4)
+		ys[i] = xs[i].Norm() > 4
+	}
+	c.Train(rng, xs, ys, 5)
+	s := c.Compile()
+	const batch = 256
+	probe := make([]linalg.Vector, batch)
+	for i := range probe {
+		probe[i] = randx.NormalVector(rng, 6).Scale(4)
+	}
+	out := make([]float64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		s.ScoreBatch(probe, out)
+	}
+}
+
+// BenchmarkNoiseMargin is one full Seevinck margin extraction on the
+// fast indicator grid (two warm-started VTC sweeps plus the rotation).
+func BenchmarkNoiseMargin(b *testing.B) {
+	cell := sram.NewCell(device.VddNominal)
+	opt := &sram.SNMOptions{GridN: 24, BisectIter: 24}
+	sh := sram.Shifts{0.01, -0.01, 0.02, 0, -0.01, 0.015}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cell.NoiseMargin(sh, opt)
+	}
+}
+
 // BenchmarkPoissonSampler draws the eq.-(10) trap counts.
 func BenchmarkPoissonSampler(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))

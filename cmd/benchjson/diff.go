@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// diffRow is one benchmark's old-vs-new comparison for a single metric.
+// Ratio is new/old: above 1 the benchmark got slower (for cost-like metrics
+// such as ns/op), below 1 faster.
+type diffRow struct {
+	Name     string
+	Procs    int
+	Old, New float64
+	Ratio    float64
+}
+
+func (r diffRow) label() string {
+	if r.Procs > 0 {
+		return fmt.Sprintf("%s-%d", r.Name, r.Procs)
+	}
+	return r.Name
+}
+
+// medians aggregates repeated records (from -count N runs) to one value per
+// benchmark: the median is robust to a single noisy repetition.
+func medians(recs []Record, metric string) map[string]diffRow {
+	byKey := map[string][]float64{}
+	meta := map[string]diffRow{}
+	for _, rec := range recs {
+		v, ok := rec.Metrics[metric]
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%s\x00%d", rec.Name, rec.Procs)
+		byKey[key] = append(byKey[key], v)
+		meta[key] = diffRow{Name: rec.Name, Procs: rec.Procs}
+	}
+	out := map[string]diffRow{}
+	for key, vs := range byKey {
+		sort.Float64s(vs)
+		m := vs[len(vs)/2]
+		if len(vs)%2 == 0 {
+			m = 0.5 * (vs[len(vs)/2-1] + vs[len(vs)/2])
+		}
+		row := meta[key]
+		row.Old = m // caller reassigns; medians is side-agnostic
+		out[key] = row
+	}
+	return out
+}
+
+// diffDocs compares the shared benchmarks of two documents on one metric,
+// sorted by name. Benchmarks present on only one side are skipped (they
+// have no baseline to regress against).
+func diffDocs(oldDoc, newDoc Document, metric string) []diffRow {
+	oldMed := medians(oldDoc.Records, metric)
+	newMed := medians(newDoc.Records, metric)
+	var rows []diffRow
+	for key, o := range oldMed {
+		n, ok := newMed[key]
+		if !ok || o.Old == 0 {
+			continue
+		}
+		rows = append(rows, diffRow{
+			Name: o.Name, Procs: o.Procs,
+			Old: o.Old, New: n.Old, Ratio: n.Old / o.Old,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].label() < rows[j].label() })
+	return rows
+}
+
+// geomean is the geometric mean of the rows' ratios — the usual headline
+// number for a benchmark suite comparison.
+func geomean(rows []diffRow) float64 {
+	if len(rows) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += math.Log(r.Ratio)
+	}
+	return math.Exp(sum / float64(len(rows)))
+}
+
+func loadDoc(path string) (Document, error) {
+	var doc Document
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runDiff implements the `benchjson diff` subcommand: compare two benchmark
+// JSON documents per benchmark and summarize with a geometric-mean ratio.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
+	metric := fs.String("metric", "ns/op", "metric to compare")
+	threshold := fs.Float64("threshold", 1.10, "new/old ratio above which a benchmark counts as regressed")
+	failOnRegress := fs.Bool("fail", false, "exit nonzero when any benchmark regresses past -threshold")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson diff: %v\n", err)
+		os.Exit(1)
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson diff: %v\n", err)
+		os.Exit(1)
+	}
+	rows := diffDocs(oldDoc, newDoc, *metric)
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson diff: no shared benchmarks report %q\n", *metric)
+		os.Exit(1)
+	}
+	var regressed []diffRow
+	fmt.Printf("%-52s %14s %14s %8s %8s\n", "benchmark", "old "+*metric, "new "+*metric, "ratio", "delta")
+	for _, r := range rows {
+		fmt.Printf("%-52s %14.1f %14.1f %7.3fx %+7.1f%%\n",
+			r.label(), r.Old, r.New, r.Ratio, 100*(r.Ratio-1))
+		if r.Ratio > *threshold {
+			regressed = append(regressed, r)
+		}
+	}
+	fmt.Printf("\ngeomean ratio (%s, %s -> %s): %.3fx\n", *metric, oldDoc.Date, newDoc.Date, geomean(rows))
+	if len(regressed) > 0 {
+		fmt.Printf("%d benchmark(s) regressed past %.2fx:\n", len(regressed), *threshold)
+		for _, r := range regressed {
+			fmt.Printf("  %s: %.3fx\n", r.label(), r.Ratio)
+		}
+		if *failOnRegress {
+			os.Exit(1)
+		}
+	}
+}

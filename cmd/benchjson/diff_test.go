@@ -1,0 +1,73 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func rec(name string, procs int, ns float64) Record {
+	return Record{Name: name, Procs: procs, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestMediansAggregateRepetitions(t *testing.T) {
+	rows := medians([]Record{
+		rec("BenchmarkA", 8, 100),
+		rec("BenchmarkA", 8, 300), // noisy outlier
+		rec("BenchmarkA", 8, 110),
+		rec("BenchmarkB", 8, 50),
+	}, "ns/op")
+	if got := rows["BenchmarkA\x008"].Old; got != 110 {
+		t.Fatalf("median of {100,300,110} = %v, want 110", got)
+	}
+	if got := rows["BenchmarkB\x008"].Old; got != 50 {
+		t.Fatalf("single-record median = %v, want 50", got)
+	}
+}
+
+func TestMediansEvenCountAverages(t *testing.T) {
+	rows := medians([]Record{rec("BenchmarkA", 0, 100), rec("BenchmarkA", 0, 200)}, "ns/op")
+	if got := rows["BenchmarkA\x000"].Old; got != 150 {
+		t.Fatalf("even-count median = %v, want 150", got)
+	}
+}
+
+func TestDiffDocsRatiosAndGeomean(t *testing.T) {
+	oldDoc := Document{Records: []Record{
+		rec("BenchmarkA", 8, 200),
+		rec("BenchmarkB", 8, 100),
+		rec("BenchmarkOldOnly", 8, 10),
+	}}
+	newDoc := Document{Records: []Record{
+		rec("BenchmarkA", 8, 100), // 2x faster
+		rec("BenchmarkB", 8, 200), // 2x slower
+		rec("BenchmarkNewOnly", 8, 10),
+	}}
+	rows := diffDocs(oldDoc, newDoc, "ns/op")
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (one-sided benchmarks skipped)", len(rows))
+	}
+	if rows[0].Name != "BenchmarkA" || rows[0].Ratio != 0.5 {
+		t.Fatalf("row 0 = %+v, want BenchmarkA at 0.5x", rows[0])
+	}
+	if rows[1].Name != "BenchmarkB" || rows[1].Ratio != 2.0 {
+		t.Fatalf("row 1 = %+v, want BenchmarkB at 2.0x", rows[1])
+	}
+	if g := geomean(rows); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("geomean of {0.5, 2.0} = %v, want 1", g)
+	}
+}
+
+func TestDiffDocsSkipsMissingMetric(t *testing.T) {
+	oldDoc := Document{Records: []Record{
+		{Name: "BenchmarkA", Iterations: 1, Metrics: map[string]float64{"sims": 4096}},
+	}}
+	newDoc := Document{Records: []Record{
+		{Name: "BenchmarkA", Iterations: 1, Metrics: map[string]float64{"sims": 4096}},
+	}}
+	if rows := diffDocs(oldDoc, newDoc, "ns/op"); len(rows) != 0 {
+		t.Fatalf("benchmarks without the metric should be skipped, got %d rows", len(rows))
+	}
+	if rows := diffDocs(oldDoc, newDoc, "sims"); len(rows) != 1 || rows[0].Ratio != 1 {
+		t.Fatalf("sims metric diff = %+v, want one 1.0x row", rows)
+	}
+}

@@ -4,6 +4,13 @@
 // Usage:
 //
 //	go test -bench . -benchmem -benchtime 1x -count 5 | benchjson -o BENCH_2026-08-06.json
+//	benchjson diff [-metric ns/op] [-threshold 1.10] [-fail] old.json new.json
+//
+// The diff subcommand compares two such documents benchmark-by-benchmark
+// (median per benchmark when -count produced repetitions), prints the
+// per-benchmark ratio and the geometric-mean ratio, and lists benchmarks
+// whose new/old ratio exceeds -threshold; with -fail those make the exit
+// status nonzero, which is how CI turns the report into a gate.
 //
 // Each benchmark result line
 //
@@ -95,6 +102,10 @@ func parse(r io.Reader) ([]Record, error) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	out := flag.String("o", "", "output file (default stdout)")
 	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "run date stamped into the document")
 	flag.Parse()

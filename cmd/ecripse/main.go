@@ -32,6 +32,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the hot loops (results are identical at any value)")
 		noClass    = flag.Bool("noclassifier", false, "disable the SVM blockade (every sample simulated)")
+		adaptive   = flag.Bool("adaptive", false, "tiered-fidelity indicator: coarse VTC grid first, full grid only near the failure boundary")
 		mode       = flag.String("mode", "read", "failure criterion: read, write or hold")
 		conditions = flag.Bool("conditions", false, "print the Table I experimental conditions and exit")
 		seriesPath = flag.String("series", "", "write the convergence series CSV to this file")
@@ -61,7 +62,7 @@ func main() {
 	cell := ecripse.NewCell(*vdd)
 	est := ecripse.New(cell, ecripse.Options{
 		NIS: *nis, M: *m, NoClassifier: *noClass, Mode: failMode,
-		Parallelism: *parallel,
+		AdaptiveGrid: *adaptive, Parallelism: *parallel,
 	})
 
 	// Budget plumbing: a wall-clock deadline and/or a simulation budget both
@@ -103,6 +104,11 @@ func main() {
 	fmt.Printf("  cost: init=%d warmup=%d stage1=%d stage2=%d transistor-level simulations  wall=%s (%d workers)\n",
 		res.InitSims, res.WarmupSims, res.Stage1Sims, res.Stage2Sims,
 		elapsed.Round(time.Millisecond), *parallel)
+	fmt.Printf("  solver: %d root solves, %d iterations\n", res.RootSolves, res.SolverIters)
+	if *adaptive && res.CoarseSims > 0 {
+		fmt.Printf("  adaptive: %d coarse-tier samples, %d escalated to the full grid (%.1f%%)\n",
+			res.CoarseSims, res.Escalated, 100*float64(res.Escalated)/float64(res.CoarseSims))
+	}
 
 	if *seriesPath != "" {
 		f, err := os.Create(*seriesPath)

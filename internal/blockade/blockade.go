@@ -127,30 +127,69 @@ func EstimateCtx(ctx context.Context, rng *rand.Rand, dim int, fails func(linalg
 		run.Add(v)
 	}
 
+	// The stream is processed in fixed-size batches so the classifier scores
+	// go through the compiled SoA kernel. Only the draws consume the rng, and
+	// the batch draw replicates randx.NormalVector's per-component order, so
+	// the sample stream — and with it every simulate/block decision — is
+	// bit-identical to the per-sample loop. The filter condition folds to a
+	// single threshold: Predict ∨ Uncertain ⇔ score > −Band.
+	const scoreBatchN = 256
+	var scorer *svm.CompiledScorer
+	if trained {
+		scorer = cls.Compile()
+	}
+	backing := make(linalg.Vector, scoreBatchN*dim)
+	batch := make([]linalg.Vector, 0, scoreBatchN)
+	scores := make([]float64, scoreBatchN)
+
 	res := Result{TrainSims: trainSims}
 	var series stats.Series
-	for k := 0; k < n; k++ {
-		if ctx.Err() != nil {
-			break
+outer:
+	for k := 0; k < n; {
+		m := n - k
+		if m > scoreBatchN {
+			m = scoreBatchN
 		}
-		x := randx.NormalVector(rng, dim)
-		var failed bool
-		if !trained || cls.Predict(x) || cls.Uncertain(x, o.Band) {
-			failed = fails(x) // candidate failure (or no filter): simulate
-			res.Passed++
-		} else {
-			failed = false // blockaded: trusted pass
-			res.Blocked++
+		batch = batch[:0]
+		for j := 0; j < m; j++ {
+			if ctx.Err() != nil {
+				break
+			}
+			x := backing[j*dim : (j+1)*dim : (j+1)*dim]
+			for d := range x {
+				x[d] = rng.NormFloat64()
+			}
+			batch = append(batch, x)
 		}
-		v := 0.0
-		if failed {
-			v = 1
+		if scorer != nil && len(batch) > 0 {
+			scorer.ScoreBatch(batch, scores[:len(batch)])
 		}
-		run.Add(v)
-		if (k+1)%o.RecordEvery == 0 || k == n-1 {
-			series = append(series, stats.Point{
-				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
-			})
+		for j, x := range batch {
+			if ctx.Err() != nil {
+				break outer
+			}
+			var failed bool
+			if scorer == nil || scores[j] > -o.Band {
+				failed = fails(x) // candidate failure (or no filter): simulate
+				res.Passed++
+			} else {
+				failed = false // blockaded: trusted pass
+				res.Blocked++
+			}
+			v := 0.0
+			if failed {
+				v = 1
+			}
+			run.Add(v)
+			if (k+1)%o.RecordEvery == 0 || k == n-1 {
+				series = append(series, stats.Point{
+					Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+				})
+			}
+			k++
+		}
+		if len(batch) < m {
+			break // cancelled mid-draw
 		}
 	}
 	if ctx.Err() != nil && run.N() > 0 && (len(series) == 0 || series.Final().Sims != c.Count()) {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecripse/internal/randx"
+	"ecripse/internal/sram"
+)
+
+// TestAdaptiveAgreesWithExact probes the tiered-fidelity indicator against
+// the exact full-grid indicator on >10^4 shift vectors chosen to span both
+// failure lobes of the butterfly. The escalation band is conservative by
+// design: a label flip would need the coarse margin to be wrong by more
+// than the band, so the adaptive indicator must agree everywhere.
+func TestAdaptiveAgreesWithExact(t *testing.T) {
+	cell := sram.NewCell(0.5) // low-Vdd cell: failures are reachable
+	exact := NewEngine(cell, nil, Options{})
+	adaptive := NewEngine(cell, nil, Options{AdaptiveGrid: true})
+	sigma := cell.SigmaVth()
+	full := &sram.SNMOptions{GridN: 24, BisectIter: 24}
+
+	rng := rand.New(rand.NewSource(7))
+	dim := sram.NumTransistors
+	const n = 10500
+	flips, fails, lobe1, lobe2 := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		// Mix radial probes (concentrated around the failure boundary at
+		// r ~ 4-8 sigma) with inflated nominal draws, so passes, deep
+		// failures, and near-boundary points all appear.
+		var u = randx.SphereDirection(rng, dim).Scale(rng.Float64() * 8)
+		if i%3 == 0 {
+			u = randx.NormalVector(rng, dim).Scale(1 + 2*rng.Float64())
+		}
+		got := adaptive.simulate(u)
+		want := exact.simulate(u)
+		if got != want {
+			flips++
+			t.Errorf("probe %d: adaptive=%v exact=%v (u=%v)", i, got, want, u)
+			if flips > 5 {
+				t.Fatal("too many label flips")
+			}
+		}
+		if want {
+			fails++
+			var sh sram.Shifts
+			for j := range sh {
+				sh[j] = u[j] * sigma[j]
+			}
+			res := cell.NoiseMargin(sh, full)
+			if res.Lobe1 < res.Lobe2 {
+				lobe1++
+			} else {
+				lobe2++
+			}
+		}
+	}
+	if fails < 100 || lobe1 == 0 || lobe2 == 0 {
+		t.Fatalf("probe set does not span both failure lobes: fails=%d lobe1=%d lobe2=%d",
+			fails, lobe1, lobe2)
+	}
+	coarse := adaptive.coarseSims
+	esc := adaptive.escalated
+	if coarse != n {
+		t.Fatalf("coarse tier answered %d of %d probes", coarse, n)
+	}
+	if esc == 0 || esc == coarse {
+		t.Fatalf("degenerate escalation count %d of %d (band does nothing or everything)", esc, coarse)
+	}
+	t.Logf("probes=%d fails=%d (lobe1=%d lobe2=%d) escalated=%d (%.1f%%)",
+		n, fails, lobe1, lobe2, esc, 100*float64(esc)/float64(coarse))
+}
+
+// TestExactModeUntouchedByAdaptiveFields pins that AdaptiveGrid off (the
+// default) never consults the coarse tier.
+func TestExactModeUntouchedByAdaptiveFields(t *testing.T) {
+	cell := sram.NewCell(0.5)
+	eng := NewEngine(cell, nil, Options{})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		eng.simulate(randx.NormalVector(rng, sram.NumTransistors).Scale(5))
+	}
+	if eng.coarseSims != 0 || eng.escalated != 0 {
+		t.Fatalf("exact mode touched the coarse tier: coarse=%d escalated=%d",
+			eng.coarseSims, eng.escalated)
+	}
+	if eng.solver.Solves.Load() == 0 {
+		t.Fatal("solver telemetry not wired")
+	}
+}

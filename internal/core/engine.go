@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sync/atomic"
 
@@ -34,7 +35,8 @@ type Engine struct {
 
 	sigma      linalg.Vector // per-transistor RDF sigma [V]
 	whiten     *linalg.Whitener
-	snmOpts    *sram.SNMOptions
+	snmOpts    *sram.SNMOptions // full-fidelity grid (the exact indicator)
+	coarseOpts *sram.SNMOptions // coarse first-tier grid (AdaptiveGrid only)
 	classifier *svm.Classifier
 	initial    []linalg.Vector // shared boundary particles (normalized space)
 	trustR     float64         // classifier trust radius (normalized units)
@@ -43,6 +45,9 @@ type Engine struct {
 	initSims   int64
 	warmupSims int64
 	classified int64 // labels answered by the classifier (free); atomic
+	coarseSims int64 // adaptive samples answered at the coarse tier; atomic
+	escalated  int64 // adaptive samples escalated to the full grid; atomic
+	solver     sram.SolveTelemetry
 }
 
 // NewEngine builds an estimator for the cell. The counter may be shared
@@ -59,6 +64,8 @@ func NewEngine(cell *sram.Cell, counter *montecarlo.Counter, opts Options) *Engi
 		sigma:   cell.SigmaVth(),
 		snmOpts: &sram.SNMOptions{GridN: 24, BisectIter: 24},
 	}
+	e.snmOpts.Telemetry = &e.solver
+	e.coarseOpts = &sram.SNMOptions{GridN: 16, BisectIter: 24, Telemetry: &e.solver}
 	if opts.Covariance != nil {
 		w, err := linalg.NewWhitener(linalg.NewVector(sram.NumTransistors), opts.Covariance)
 		if err != nil {
@@ -86,13 +93,31 @@ func (e *Engine) simulate(u linalg.Vector) bool {
 			sh[i] = u[i] * e.sigma[i]
 		}
 	}
+	if e.Opts.AdaptiveGrid {
+		// Tiered fidelity: a coarse-grid margin decides most samples; only
+		// those inside the conservative band around zero pay for the full
+		// grid. Both tiers are pure functions of sh, so the label — and the
+		// escalation decision itself — is deterministic and independent of
+		// worker scheduling.
+		atomic.AddInt64(&e.coarseSims, 1)
+		if m := e.margin(sh, e.coarseOpts); math.Abs(m) >= e.Opts.EscalationBand {
+			return m < 0
+		}
+		atomic.AddInt64(&e.escalated, 1)
+	}
+	return e.margin(sh, e.snmOpts) < 0
+}
+
+// margin evaluates the mode's signed margin [V]; every failure criterion is
+// margin < 0 (read/hold: Seevinck SNM, write: static write margin).
+func (e *Engine) margin(sh sram.Shifts, opts *sram.SNMOptions) float64 {
 	switch e.Opts.Mode {
 	case WriteFailure:
-		return e.Cell.WriteFails(sh, e.snmOpts)
+		return e.Cell.WriteMargin(sh, opts)
 	case HoldFailure:
-		return e.Cell.HoldSNM(sh, e.snmOpts) < 0
+		return e.Cell.HoldSNM(sh, opts)
 	default:
-		return e.Cell.Fails(sh, e.snmOpts)
+		return e.Cell.ReadSNM(sh, opts)
 	}
 }
 
@@ -218,6 +243,9 @@ func (e *Engine) Run(rng *rand.Rand, sampler *rtn.Sampler) Result {
 func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sampler) (Result, error) {
 	start := e.Counter.Count()
 	classifiedStart := atomic.LoadInt64(&e.classified)
+	coarseStart := atomic.LoadInt64(&e.coarseSims)
+	escalatedStart := atomic.LoadInt64(&e.escalated)
+	solvesStart, itersStart := e.solver.Totals()
 	e.Init(rng)
 
 	m := 1
@@ -278,17 +306,22 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 	stage2Sims := e.Counter.Count() - stage2Start
 
 	fin := series.Final()
+	solves, iters := e.solver.Totals()
 	return Result{
 		Series: series,
 		Estimate: stats.Estimate{
 			P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr,
 			N: e.Opts.NIS, Sims: e.Counter.Count() - start,
 		},
-		InitSims:   e.initSims,
-		WarmupSims: e.warmupSims,
-		Stage1Sims: stage1Sims,
-		Stage2Sims: stage2Sims,
-		Classified: atomic.LoadInt64(&e.classified) - classifiedStart,
-		Proposal:   q,
+		InitSims:    e.initSims,
+		WarmupSims:  e.warmupSims,
+		Stage1Sims:  stage1Sims,
+		Stage2Sims:  stage2Sims,
+		Classified:  atomic.LoadInt64(&e.classified) - classifiedStart,
+		RootSolves:  solves - solvesStart,
+		SolverIters: iters - itersStart,
+		CoarseSims:  atomic.LoadInt64(&e.coarseSims) - coarseStart,
+		Escalated:   atomic.LoadInt64(&e.escalated) - escalatedStart,
+		Proposal:    q,
 	}, ctx.Err()
 }

@@ -74,6 +74,21 @@ type Options struct {
 	Rho         float64 // defensive-mixture weight of the nominal P (default 0.1)
 	RecordEvery int     // convergence-series resolution in simulations
 
+	// AdaptiveGrid enables the tiered-fidelity indicator: each simulated
+	// sample first evaluates its margin on a coarse VTC grid (16 points per
+	// curve instead of 24) and escalates to the full grid only when the
+	// coarse margin falls inside the conservative EscalationBand around
+	// zero. The tier decision is a pure function of the shift vector, so
+	// determinism across Parallelism settings is unaffected. Default off:
+	// exact mode evaluates every sample on the full grid and is bit-
+	// identical to earlier releases.
+	AdaptiveGrid bool
+	// EscalationBand is the |margin| threshold [V] below which an adaptive
+	// sample escalates to the full grid (default 0.025 — several times the
+	// observed coarse-vs-full margin discrepancy, so label flips require a
+	// coarse error larger than the band).
+	EscalationBand float64
+
 	// Parallelism is the worker-goroutine count for the engine's hot loops
 	// (boundary search, classifier warm-up, particle-filter measurement,
 	// stage-2 importance sampling). Results are bit-identical for any value:
@@ -132,6 +147,9 @@ func (o *Options) fill() {
 	}
 	if o.Rho == 0 {
 		o.Rho = 0.1
+	}
+	if o.EscalationBand == 0 {
+		o.EscalationBand = 0.025
 	}
 	if o.Parallelism < 1 {
 		o.Parallelism = 1

@@ -21,11 +21,21 @@ type Result struct {
 	Stage2Sims int64 // stage-2 uncertain-band simulations
 	Classified int64 // labels answered by the classifier (no simulation)
 
+	// Solver effort and tiered-fidelity accounting for this run.
+	RootSolves  int64 // half-cell root solves spent
+	SolverIters int64 // residual evaluations inside the root-search loops
+	CoarseSims  int64 // adaptive samples evaluated at the coarse tier (0 in exact mode)
+	Escalated   int64 // adaptive samples escalated to the full grid
+
 	Proposal *montecarlo.GMM
 }
 
 // String summarizes the run in one line.
 func (r Result) String() string {
-	return fmt.Sprintf("%v  (init=%d warmup=%d stage1=%d stage2=%d classified=%d)",
-		r.Estimate, r.InitSims, r.WarmupSims, r.Stage1Sims, r.Stage2Sims, r.Classified)
+	s := fmt.Sprintf("%v  (init=%d warmup=%d stage1=%d stage2=%d classified=%d solves=%d)",
+		r.Estimate, r.InitSims, r.WarmupSims, r.Stage1Sims, r.Stage2Sims, r.Classified, r.RootSolves)
+	if r.CoarseSims > 0 {
+		s += fmt.Sprintf(" [adaptive: coarse=%d escalated=%d]", r.CoarseSims, r.Escalated)
+	}
+	return s
 }

@@ -1,0 +1,106 @@
+package device
+
+import "math"
+
+// Resolved is a Device with every bias-independent derived quantity
+// precomputed: the thermal voltage, the specific current (which hides a
+// math.Pow for the mobility temperature scaling), the threshold constants
+// and the body-effect reference √Φ. The SRAM half-cell solver evaluates
+// Ids thousands of times per indicator call on a fixed device triple, so
+// hoisting this work out of the inner loop is a large share of the
+// per-sample cost.
+//
+// Resolved.Ids returns exactly the same float64 as Device.Ids for every
+// bias: the precomputed values are produced by the identical expressions
+// (same operand order, same association) the per-call path used, and the
+// remaining arithmetic is untouched. TestResolvedMatchesDevice pins this
+// bit-for-bit.
+type Resolved struct {
+	pol Polarity
+
+	vt0     float64 // VT0 + DVth: threshold magnitude incl. the sample shift
+	gamma   float64
+	phi     float64
+	sqrtPhi float64 // √Φ, the body-effect reference
+	dibl    float64
+	lambda  float64
+	theta   float64
+	slope   float64
+
+	ut      float64 // thermal voltage kT/q at the device temperature
+	slopeUt float64 // n·kT/q, the overdrive scale of the degradation term
+	tcvTerm float64 // TCV·(T−300): the threshold temperature shift
+	ispec   float64 // EKV specific current (carries the Pow(T/300,−1.5))
+
+	// fastVsb0 allows the Vsb = 0 shortcut: with the source tied to the
+	// bulk the body-effect term is exactly zero and the sqrt-floor branch
+	// cannot trigger (only when Φ itself clears the floor).
+	fastVsb0 bool
+}
+
+// argFloor is the smooth clamp knee of the body-effect sqrt argument,
+// shared with Device.idsN.
+const argFloor = 0.05
+
+// Resolve precomputes the bias-independent parts of the device model.
+func (d *Device) Resolve() Resolved {
+	r := Resolved{
+		pol:     d.Pol,
+		vt0:     d.VT0 + d.DVth,
+		gamma:   d.Gamma,
+		phi:     d.Phi,
+		sqrtPhi: math.Sqrt(d.Phi),
+		dibl:    d.DIBL,
+		lambda:  d.Lambda,
+		theta:   d.Theta,
+		slope:   d.Slope,
+		ut:      d.ut(),
+		tcvTerm: d.tcv() * (d.temp() - RoomTempK),
+		ispec:   d.ispec(),
+	}
+	r.slopeUt = r.slope * r.ut
+	r.fastVsb0 = d.Phi >= argFloor
+	return r
+}
+
+// Ids returns the DC drain current, identically to Device.Ids.
+func (r *Resolved) Ids(vg, vd, vs, vb float64) float64 {
+	if r.pol == PMOS {
+		return -r.idsN(-vg, -vd, -vs, -vb)
+	}
+	return r.idsN(vg, vd, vs, vb)
+}
+
+func (r *Resolved) idsN(vg, vd, vs, vb float64) float64 {
+	if vd < vs {
+		return -r.idsN(vg, vs, vd, vb)
+	}
+	vds := vd - vs
+
+	vsb := vs - vb
+	var vt float64
+	if vsb == 0 && r.fastVsb0 {
+		// Source tied to bulk: the body-effect term is exactly
+		// Gamma·(√Φ−√Φ) = 0, so only the DIBL and temperature shifts remain.
+		vt = r.vt0 - r.dibl*vds - r.tcvTerm
+	} else {
+		arg := r.phi + vsb
+		if arg < argFloor {
+			arg = argFloor * math.Exp((arg-argFloor)/argFloor)
+		}
+		vt = r.vt0 + r.gamma*(math.Sqrt(arg)-r.sqrtPhi) - r.dibl*vds - r.tcvTerm
+	}
+
+	vp := (vg - vb - vt) / r.slope
+
+	fwd := ekvF((vp - (vs - vb)) / r.ut)
+	rev := ekvF((vp - (vd - vb)) / r.ut)
+	clm := 1 + r.lambda*vds
+
+	deg := 1.0
+	if r.theta > 0 {
+		od := r.slopeUt * softplus((vp-(vs-vb))/r.ut)
+		deg = 1 / (1 + r.theta*od)
+	}
+	return r.ispec * (fwd - rev) * clm * deg
+}

@@ -1,0 +1,74 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestResolvedMatchesDevice pins the bit-for-bit equivalence of the hoisted
+// evaluator: the SRAM solver swaps Device.Ids for Resolved.Ids in its inner
+// loop, which is only sound if every bias produces the identical float64.
+func TestResolvedMatchesDevice(t *testing.T) {
+	devices := []*Device{
+		NewDevice(PTM16HPNMOS(), 30e-9, 16e-9),
+		NewDevice(PTM16HPPMOS(), 60e-9, 16e-9),
+	}
+	// Shifted, heated, and degradation-free variants exercise every
+	// precomputed constant (vt0, tcvTerm, ispec's Pow, the Theta branch).
+	shifted := NewDevice(PTM16HPNMOS(), 30e-9, 16e-9)
+	shifted.DVth = 0.083
+	devices = append(devices, shifted)
+	hot := NewDevice(PTM16HPPMOS(), 60e-9, 16e-9)
+	hot.TempK = 358
+	hot.DVth = -0.02
+	devices = append(devices, hot)
+	noTheta := NewDevice(PTM16HPNMOS(), 30e-9, 16e-9)
+	noTheta.Theta = 0
+	devices = append(devices, noTheta)
+	// A low-Phi device drives the smooth sqrt floor (and disables the
+	// Vsb = 0 fast path).
+	lowPhi := NewDevice(PTM16HPNMOS(), 30e-9, 16e-9)
+	lowPhi.Phi = 0.03
+	devices = append(devices, lowPhi)
+
+	rng := rand.New(rand.NewSource(7))
+	grid := []float64{-0.9, -0.2, -1e-6, 0, 1e-6, 0.05, 0.35, 0.7, 0.9, 1.3}
+	for di, d := range devices {
+		r := d.Resolve()
+		check := func(vg, vd, vs, vb float64) {
+			want := d.Ids(vg, vd, vs, vb)
+			got := r.Ids(vg, vd, vs, vb)
+			if got != want {
+				t.Fatalf("device %d (%s): Ids(%g,%g,%g,%g) = %g, resolved %g",
+					di, d.Pol, vg, vd, vs, vb, want, got)
+			}
+		}
+		// Dense structured grid: hits Vsb = 0, source/drain swaps, forward
+		// body bias (sqrt floor), and both polarities' mirror path.
+		for _, vg := range grid {
+			for _, vd := range grid {
+				for _, vs := range grid {
+					check(vg, vd, vs, 0)
+					check(vg, vd, vs, 0.7)
+				}
+			}
+		}
+		for k := 0; k < 2000; k++ {
+			vg := rng.Float64()*2.4 - 0.9
+			vd := rng.Float64()*2.4 - 0.9
+			vs := rng.Float64()*2.4 - 0.9
+			vb := rng.Float64()*2.4 - 0.9
+			check(vg, vd, vs, vb)
+		}
+	}
+}
+
+func BenchmarkResolvedIds(b *testing.B) {
+	d := NewDevice(PTM16HPNMOS(), 30e-9, 16e-9)
+	r := d.Resolve()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += r.Ids(0.35, 0.7, 0, 0)
+	}
+	_ = sink
+}

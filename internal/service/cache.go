@@ -10,19 +10,33 @@ import (
 // value = the marshaled result payload. Because job results are
 // deterministic in (spec, seed), serving a hit is byte-identical to
 // re-running the job — at zero transistor-level simulations.
+//
+// Eviction is cost-weighted: entries differ enormously in what they cost to
+// reproduce (a cached sweep may stand for millions of transistor-level
+// simulations, a budget-capped probe for a few thousand), so when the cache
+// is over capacity it scans the evictScan least-recently-used entries and
+// drops the cheapest-to-recompute one rather than blindly the oldest.
 type cache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used
-	entries map[string]*list.Element
-	hits    int64
-	misses  int64
+	mu          sync.Mutex
+	cap         int
+	ll          *list.List // front = most recently used
+	entries     map[string]*list.Element
+	hits        int64
+	misses      int64
+	evictions   int64
+	evictedCost int64 // summed recompute cost (simulations) of evicted entries
 }
 
 type cacheEntry struct {
-	key string
-	val json.RawMessage
+	key  string
+	val  json.RawMessage
+	cost int64 // simulations spent producing the payload
 }
+
+// evictScan bounds how far from the LRU end the cost scan looks. Small
+// enough to keep eviction O(1)-ish, large enough that one expensive entry
+// stuck at the tail cannot be evicted while cheap neighbours survive.
+const evictScan = 8
 
 func newCache(capacity int) *cache {
 	if capacity < 0 {
@@ -44,30 +58,72 @@ func (c *cache) get(key string) (json.RawMessage, bool) {
 	return nil, false
 }
 
-// put stores the payload, evicting the least recently used entry beyond
-// capacity. Re-putting an existing key refreshes its recency.
-func (c *cache) put(key string, val json.RawMessage) {
+// put stores the payload with its recompute cost (simulations spent
+// producing it), evicting the cheapest entry among the evictScan least
+// recently used ones when over capacity. Re-putting an existing key
+// refreshes its recency and cost.
+func (c *cache) put(key string, val json.RawMessage, cost int64) {
 	if c.cap == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val, e.cost = val, cost
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, cost: cost})
 	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		// Strictly-less comparison scanning from the LRU end: cost ties
+		// fall back to plain LRU order.
+		victim := c.ll.Back()
+		scan := victim
+		for k := 1; k < evictScan && scan != nil; k++ {
+			scan = scan.Prev()
+			if scan != nil && scan.Value.(*cacheEntry).cost < victim.Value.(*cacheEntry).cost {
+				victim = scan
+			}
+		}
+		e := victim.Value.(*cacheEntry)
+		c.ll.Remove(victim)
+		delete(c.entries, e.key)
+		c.evictions++
+		c.evictedCost += e.cost
 	}
 }
 
-// stats returns the hit/miss counters and the current size.
-func (c *cache) stats() (hits, misses int64, size int) {
+// costFromPayload recovers the recompute cost of a persisted result payload
+// for a boot-restored cache entry, by partially unmarshaling the cost split.
+// A payload it cannot read costs 0 — first in line for eviction, which is
+// the safe direction for an unreadable entry.
+func costFromPayload(p json.RawMessage) int64 {
+	var probe struct {
+		Cost struct {
+			Total int64 `json:"total"`
+		} `json:"cost"`
+	}
+	if json.Unmarshal(p, &probe) != nil {
+		return 0
+	}
+	return probe.Cost.Total
+}
+
+// cacheStats is the counter snapshot served through /metrics.
+type cacheStats struct {
+	hits, misses int64
+	size         int
+	evictions    int64
+	evictedCost  int64
+}
+
+// stats returns the counters and the current size.
+func (c *cache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	return cacheStats{
+		hits: c.hits, misses: c.misses, size: c.ll.Len(),
+		evictions: c.evictions, evictedCost: c.evictedCost,
+	}
 }

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestCacheEvictsByCostNotCount pins the cost-weighted eviction policy: when
+// the cache overflows, the cheapest entry near the LRU end goes first, not
+// blindly the oldest.
+func TestCacheEvictsByCostNotCount(t *testing.T) {
+	c := newCache(4)
+	pay := func(i int) json.RawMessage { return json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)) }
+
+	// Oldest entry is the most expensive; the next three are cheap.
+	c.put("expensive", pay(0), 1_000_000)
+	c.put("cheap1", pay(1), 10)
+	c.put("cheap2", pay(2), 10)
+	c.put("cheap3", pay(3), 10)
+	c.put("new", pay(4), 500) // overflows: should evict a cheap one, not "expensive"
+
+	if _, ok := c.get("expensive"); !ok {
+		t.Fatal("cost-weighted eviction dropped the most expensive entry")
+	}
+	if _, ok := c.get("cheap1"); ok {
+		t.Fatal("expected the oldest cheap entry to be the eviction victim")
+	}
+	st := c.stats()
+	if st.evictions != 1 || st.evictedCost != 10 {
+		t.Fatalf("eviction counters = (%d, %d), want (1, 10)", st.evictions, st.evictedCost)
+	}
+	if st.size != 4 {
+		t.Fatalf("size = %d, want 4", st.size)
+	}
+}
+
+// TestCacheEqualCostFallsBackToLRU pins the tie-break: equal costs evict in
+// plain LRU order.
+func TestCacheEqualCostFallsBackToLRU(t *testing.T) {
+	c := newCache(3)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), json.RawMessage(`{}`), 7)
+	}
+	c.get("k0") // refresh k0: k1 becomes least recently used
+	c.put("k3", json.RawMessage(`{}`), 7)
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("equal-cost eviction did not follow LRU order")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %s evicted unexpectedly", k)
+		}
+	}
+}
+
+// TestCostFromPayload pins the partial unmarshal used to restore costs for
+// boot-recovered cache entries.
+func TestCostFromPayload(t *testing.T) {
+	if got := costFromPayload(json.RawMessage(`{"estimate":{"p":1e-9},"cost":{"stage2":5,"total":1234}}`)); got != 1234 {
+		t.Fatalf("costFromPayload = %d, want 1234", got)
+	}
+	if got := costFromPayload(json.RawMessage(`not json`)); got != 0 {
+		t.Fatalf("unreadable payload cost = %d, want 0", got)
+	}
+}

@@ -102,6 +102,15 @@ type CostSplit struct {
 	Stage2     int64 `json:"stage2,omitempty"`
 	Classified int64 `json:"classified,omitempty"`
 	Total      int64 `json:"total"`
+
+	// Solver effort underneath the indicator calls (root solves and
+	// Illinois iterations), and the tiered-fidelity split when the job ran
+	// with adaptive_grid: Coarse counts samples answered at the coarse
+	// tier, Escalated those that also paid for the full grid.
+	RootSolves  int64 `json:"root_solves,omitempty"`
+	SolverIters int64 `json:"solver_iters,omitempty"`
+	Coarse      int64 `json:"coarse,omitempty"`
+	Escalated   int64 `json:"escalated,omitempty"`
 }
 
 // SweepPoint is one duty-ratio point of a Fig. 8-style sweep job.
@@ -141,7 +150,10 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 	cell := s.buildCell()
 	rng := rand.New(rand.NewSource(s.Seed))
 	sigma := cell.SigmaVth()
-	snm := &sram.SNMOptions{GridN: 24, BisectIter: 24}
+	// Per-job solver telemetry for the non-ecripse estimators (the ecripse
+	// engine carries its own and reports it through core.Result).
+	tel := &sram.SolveTelemetry{}
+	snm := &sram.SNMOptions{GridN: 24, BisectIter: 24, Telemetry: tel}
 	mode := s.failureMode()
 
 	// fails is the counted 0/1 indicator in the normalized space, matching
@@ -166,7 +178,7 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 	case EstECRIPSE:
 		eng := core.NewEngine(cell, counter, core.Options{
 			NIS: s.N, M: s.M, Mode: mode, NoClassifier: s.NoClassifier,
-			Parallelism: s.Parallelism,
+			AdaptiveGrid: s.AdaptiveGrid, Parallelism: s.Parallelism,
 		})
 		if len(s.Sweep) > 0 {
 			cfg := rtn.TableIConfig(cell)
@@ -224,12 +236,14 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 		}
 		series := montecarlo.NaiveCtx(ctx, rng, trial, s.N, counter, 0)
 		fin := series.Final()
-		return &RunResult{
+		out := &RunResult{
 			Estimate: toEstimate(stats.Estimate{
 				P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr, N: s.N, Sims: counter.Count(),
 			}),
 			Series: toSeries(series),
-		}, ctx.Err()
+		}
+		out.Cost.RootSolves, out.Cost.SolverIters = tel.Totals()
+		return out, ctx.Err()
 
 	case EstSIS:
 		value := func(x linalg.Vector) float64 {
@@ -239,19 +253,23 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 			return 0
 		}
 		r, err := sis.EstimateCtx(ctx, rng, sram.NumTransistors, value, counter, &sis.Options{NIS: s.N}, nil)
-		return &RunResult{
+		out := &RunResult{
 			Estimate: toEstimate(r.Estimate),
 			Series:   toSeries(r.Series),
 			Cost:     CostSplit{Init: r.InitSims, Stage1: r.PFSims, Stage2: r.ISSims},
-		}, err
+		}
+		out.Cost.RootSolves, out.Cost.SolverIters = tel.Totals()
+		return out, err
 
 	case EstBlockade:
 		r, err := blockade.EstimateCtx(ctx, rng, sram.NumTransistors, fails, counter, s.N, nil)
-		return &RunResult{
+		out := &RunResult{
 			Estimate: toEstimate(r.Estimate),
 			Series:   toSeries(r.Series),
 			Cost:     CostSplit{Warmup: r.TrainSims, Stage2: r.Passed, Classified: r.Blocked},
-		}, err
+		}
+		out.Cost.RootSolves, out.Cost.SolverIters = tel.Totals()
+		return out, err
 
 	case EstSubset:
 		g := func(x linalg.Vector) float64 {
@@ -270,7 +288,9 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 			}
 		}
 		r, err := subset.EstimateCtx(ctx, rng, sram.NumTransistors, g, &subset.Options{N: s.N})
-		return &RunResult{Estimate: toEstimate(r.Estimate)}, err
+		out := &RunResult{Estimate: toEstimate(r.Estimate)}
+		out.Cost.RootSolves, out.Cost.SolverIters = tel.Totals()
+		return out, err
 	}
 	// Normalize guarantees a known estimator; this is unreachable.
 	return &RunResult{}, nil
@@ -285,4 +305,8 @@ func addCost(c *CostSplit, r core.Result) {
 	c.Stage1 += r.Stage1Sims
 	c.Stage2 += r.Stage2Sims
 	c.Classified += r.Classified
+	c.RootSolves += r.RootSolves
+	c.SolverIters += r.SolverIters
+	c.Coarse += r.CoarseSims
+	c.Escalated += r.Escalated
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ecripse/internal/montecarlo"
+	"ecripse/internal/sram"
 )
 
 // ErrNotFound is returned for unknown job IDs.
@@ -126,7 +127,7 @@ func New(cfg Config) *Service {
 		jobs:       make(map[string]*Job),
 	}
 	for key, payload := range rec.Results {
-		s.cache.put(key, payload)
+		s.cache.put(key, payload, costFromPayload(payload))
 	}
 	for _, rj := range rec.Jobs {
 		s.restore(rj, rec.Results)
@@ -352,7 +353,7 @@ func (s *Service) execute(j *Job) {
 		j.finish(StateCanceled, payload, err.Error())
 		return
 	}
-	s.cache.put(j.Key, payload)
+	s.cache.put(j.Key, payload, res.Cost.Total)
 	// Result before the done record: a crash between the two replays the
 	// job as running and re-derives the identical payload.
 	if perr := s.st.AppendResult(j.Key, payload); perr != nil {
@@ -373,8 +374,17 @@ type Metrics struct {
 	CacheMisses   int64         `json:"cache_misses"`
 	CacheSize     int           `json:"cache_size"`
 	CacheHitRate  float64       `json:"cache_hit_rate"`
-	SimsTotal     int64         `json:"sims_total"`
-	Draining      bool          `json:"draining"`
+	// CacheEvictions / CacheEvictedCost expose the cost-weighted eviction
+	// policy: evicted-cost is the total simulations the service would have
+	// to re-spend if every evicted entry were requested again.
+	CacheEvictions   int64 `json:"cache_evictions"`
+	CacheEvictedCost int64 `json:"cache_evicted_cost"`
+	SimsTotal        int64 `json:"sims_total"`
+	// Solver effort underneath the indicator calls, process-wide: how many
+	// half-cell root solves ran and how many Illinois iterations they took.
+	SolverRootSolves int64 `json:"solver_root_solves"`
+	SolverIters      int64 `json:"solver_iters"`
+	Draining         bool  `json:"draining"`
 	// ReplayedJobs counts jobs re-enqueued (or re-answered from the
 	// restored cache) during boot recovery.
 	ReplayedJobs int `json:"replayed_jobs,omitempty"`
@@ -398,10 +408,13 @@ func (s *Service) Snapshot() Metrics {
 		st.AppendErrors = s.appendErrs.Load()
 		m.Store = &st
 	}
-	m.CacheHits, m.CacheMisses, m.CacheSize = s.cache.stats()
+	cs := s.cache.stats()
+	m.CacheHits, m.CacheMisses, m.CacheSize = cs.hits, cs.misses, cs.size
+	m.CacheEvictions, m.CacheEvictedCost = cs.evictions, cs.evictedCost
 	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
 	}
+	m.SolverRootSolves, m.SolverIters = sram.TotalSolveTelemetry()
 	for _, j := range s.Jobs() {
 		m.Jobs[j.State()]++
 		m.SimsTotal += j.Sims()

@@ -67,6 +67,12 @@ type JobSpec struct {
 	M int `json:"m,omitempty"`
 	// NoClassifier disables the SVM blockade of the ecripse estimator.
 	NoClassifier bool `json:"no_classifier,omitempty"`
+	// AdaptiveGrid enables the ecripse estimator's tiered-fidelity
+	// indicator: coarse-grid margins answer most samples and only near-zero
+	// margins escalate to the full grid. It changes which solver tier
+	// produces each label, so — unlike Parallelism — it is part of the
+	// cache key.
+	AdaptiveGrid bool `json:"adaptive_grid,omitempty"`
 	// MaxSims optionally bounds the transistor-level simulations; the job
 	// stops cleanly at the budget and reports the partial series.
 	MaxSims int64 `json:"max_sims,omitempty"`
@@ -170,6 +176,9 @@ func (s *JobSpec) Normalize() error {
 	}
 	if s.NoClassifier && s.Estimator != EstECRIPSE {
 		return fmt.Errorf("spec: no_classifier applies to estimator=ecripse only")
+	}
+	if s.AdaptiveGrid && s.Estimator != EstECRIPSE {
+		return fmt.Errorf("spec: adaptive_grid applies to estimator=ecripse only")
 	}
 	if s.Parallelism < 0 {
 		return fmt.Errorf("spec: negative parallelism")

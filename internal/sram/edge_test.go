@@ -1,0 +1,161 @@
+package sram
+
+import (
+	"math"
+	"testing"
+)
+
+// --- marginFromRot edge geometry -----------------------------------------
+//
+// These tests drive the Seevinck margin extraction with hand-built rotated
+// curves, covering the degenerate geometries that real butterflies only
+// produce under extreme shift vectors.
+
+func TestMarginFromRotNonOverlappingCurves(t *testing.T) {
+	ra := rotCurve{u: []float64{1, 2}, w: []float64{0, 0}}
+	rb := rotCurve{u: []float64{3, 4}, w: []float64{0, 0}}
+	res := marginFromRot(ra, rb)
+	if res.Lobe1 != -1 || res.Lobe2 != -1 {
+		t.Fatalf("non-overlapping curves: %+v, want {-1, -1}", res)
+	}
+	if !res.Fails() {
+		t.Fatal("non-overlapping curves must classify as failed")
+	}
+}
+
+func TestMarginFromRotOverlapEntirelyPositive(t *testing.T) {
+	// Overlap [2, 3] lies wholly at u > 0: lobe 1 has no samples and must
+	// come out as the negated overlap width, a definite failure.
+	ra := rotCurve{u: []float64{1, 3}, w: []float64{0, 0}}
+	rb := rotCurve{u: []float64{2, 4}, w: []float64{1, 1}}
+	res := marginFromRot(ra, rb)
+	if want := -1 / sqrt2; math.Abs(res.Lobe1-want) > 1e-15 {
+		t.Fatalf("Lobe1 = %v, want -(hi-lo)/sqrt2 = %v", res.Lobe1, want)
+	}
+	// d = ra - rb = -1 on the overlap, so min2 = -1 and lobe 2 is +1/sqrt2.
+	if want := 1 / sqrt2; math.Abs(res.Lobe2-want) > 1e-15 {
+		t.Fatalf("Lobe2 = %v, want %v", res.Lobe2, want)
+	}
+}
+
+func TestMarginFromRotOverlapEntirelyNegative(t *testing.T) {
+	// Mirror case: overlap [-3, -2] wholly at u < 0, lobe 2 unsampled.
+	ra := rotCurve{u: []float64{-3, -1}, w: []float64{2, 2}}
+	rb := rotCurve{u: []float64{-4, -2}, w: []float64{0, 0}}
+	res := marginFromRot(ra, rb)
+	if want := -1 / sqrt2; math.Abs(res.Lobe2-want) > 1e-15 {
+		t.Fatalf("Lobe2 = %v, want -(hi-lo)/sqrt2 = %v", res.Lobe2, want)
+	}
+	if want := 2 / sqrt2; math.Abs(res.Lobe1-want) > 1e-15 {
+		t.Fatalf("Lobe1 = %v, want %v", res.Lobe1, want)
+	}
+}
+
+func TestMarginFromRotVanishedEyeIsNegativeClosestApproach(t *testing.T) {
+	// Curve A runs below curve B everywhere at u <= 0: the V2 > V1 eye has
+	// vanished. Lobe 1 must report the closest approach as a *negative*
+	// margin (distance still to collapse), not clamp at zero.
+	ra := rotCurve{u: []float64{-2, 0, 2}, w: []float64{0, 0, 0}}
+	rb := rotCurve{u: []float64{-2, 0, 2}, w: []float64{0.5, 0.3, -1}}
+	res := marginFromRot(ra, rb)
+	if want := -0.3 / sqrt2; math.Abs(res.Lobe1-want) > 1e-15 {
+		t.Fatalf("Lobe1 = %v, want closest approach %v", res.Lobe1, want)
+	}
+	if !res.Fails() {
+		t.Fatal("vanished eye must classify as failed")
+	}
+}
+
+func TestEnsureIncreasingRepairsTies(t *testing.T) {
+	r := rotCurve{u: []float64{0, 0, -1, 0.5}, w: []float64{0, 0, 0, 0}}
+	ensureIncreasing(r)
+	for i := 1; i < len(r.u); i++ {
+		if r.u[i] <= r.u[i-1] {
+			t.Fatalf("u not strictly increasing after repair: %v", r.u)
+		}
+	}
+	if r.u[3] != 0.5 {
+		t.Fatalf("already-increasing sample moved: %v", r.u)
+	}
+}
+
+// --- root-solve degenerate bracket ---------------------------------------
+
+func TestSolveDegenerateBracketFallsBackToEndpoint(t *testing.T) {
+	c := NewCell(0.8)
+	var o VTCOptions
+	o.fill(c.Vdd)
+	h := c.half(Left, Shifts{}, &o)
+
+	// A bracket entirely above the root (~Vdd), beyond what the 8-step
+	// expansion can recover: the solver must return the endpoint with the
+	// smaller residual instead of iterating or panicking.
+	v, iters := h.solve(0, 5, 5.1, o.BisectIter)
+	if iters != 0 {
+		t.Fatalf("degenerate bracket spent %d iterations, want 0", iters)
+	}
+	// The expansion walks lo down 8 x 0.2; the returned endpoint must be
+	// that expanded lo (smaller |residual| on a monotone current).
+	if want := 5 - 8*0.2; math.Abs(v-want) > 1e-12 {
+		t.Fatalf("degenerate fallback returned %v, want expanded lo %v", v, want)
+	}
+}
+
+func TestSolveAgreesAcrossBrackets(t *testing.T) {
+	// The warm-started sweep feeds solve tightened brackets; the root must
+	// not depend on the bracket (up to tolerance).
+	c := NewCell(0.8)
+	var o VTCOptions
+	o.fill(c.Vdd)
+	h := c.half(Left, Shifts{}, &o)
+	wide, _ := h.solve(0.3, -0.2, c.Vdd+0.2, o.BisectIter)
+	tight, _ := h.solve(0.3, wide-0.05, wide+0.05, o.BisectIter)
+	if math.Abs(wide-tight) > 1e-5 {
+		t.Fatalf("root moved with the bracket: wide=%v tight=%v", wide, tight)
+	}
+}
+
+// --- VTCOptions explicit-zero sentinel -----------------------------------
+
+func TestVTCOptionsExplicitZeroBitLine(t *testing.T) {
+	c := NewCell(0.8)
+	var sh Shifts
+	// Regression for the zero-value trap: an explicit 0 V bit line used to
+	// be silently rewritten to Vdd. With the set flag it must act as a real
+	// 0 V bias and therefore differ from the default read condition.
+	def := c.HalfVTC(Left, 0, sh, nil)
+	gnd := c.HalfVTC(Left, 0, sh, &VTCOptions{BitLine: 0, BitLineSet: true})
+	if math.Abs(def-gnd) < 1e-3 {
+		t.Fatalf("explicit BitLine=0 behaves like the default Vdd precharge: def=%v gnd=%v", def, gnd)
+	}
+	// NaN spells the same explicit zero.
+	nan := c.HalfVTC(Left, 0, sh, &VTCOptions{BitLine: math.NaN()})
+	if nan != gnd {
+		t.Fatalf("NaN bit line %v != set-flag zero %v", nan, gnd)
+	}
+}
+
+func TestVTCOptionsExplicitZeroWordLineMatchesAccessOff(t *testing.T) {
+	c := NewCell(0.8)
+	var sh Shifts
+	for _, vin := range []float64{0, 0.25, 0.5, 0.8} {
+		hold := c.HalfVTC(Left, vin, sh, &VTCOptions{AccessOff: true})
+		wl0 := c.HalfVTC(Left, vin, sh, &VTCOptions{WordLine: 0, WordLineSet: true})
+		nan := c.HalfVTC(Left, vin, sh, &VTCOptions{WordLine: math.NaN()})
+		if wl0 != hold || nan != hold {
+			t.Fatalf("vin=%v: explicit WL=0 (%v) / NaN (%v) differ from AccessOff (%v)",
+				vin, wl0, nan, hold)
+		}
+	}
+}
+
+func TestVTCOptionsDefaultStillReadCondition(t *testing.T) {
+	c := NewCell(0.8)
+	var sh Shifts
+	// The zero value must keep meaning the read condition (WL = BL = Vdd).
+	def := c.HalfVTC(Left, 0, sh, nil)
+	read := c.HalfVTC(Left, 0, sh, &VTCOptions{WordLine: c.Vdd, BitLine: c.Vdd})
+	if def != read {
+		t.Fatalf("zero-value options %v != explicit read condition %v", def, read)
+	}
+}

@@ -32,9 +32,9 @@ func (c *Cell) Leakage(sh Shifts, opts *SNMOptions) LeakageResult {
 	right := c.half(Right, sh, vo)
 	// V2 follows input V1≈0; V1 follows input V2≈Vdd; one fixed-point pass
 	// suffices at these strongly-driven levels.
-	v2 := right.solve(0, -0.2, c.Vdd+0.2, vo.BisectIter)
-	v1 := left.solve(v2, -0.2, c.Vdd+0.2, vo.BisectIter)
-	v2 = right.solve(v1, -0.2, c.Vdd+0.2, vo.BisectIter)
+	v2, _ := right.solve(0, -0.2, c.Vdd+0.2, vo.BisectIter)
+	v1, _ := left.solve(v2, -0.2, c.Vdd+0.2, vo.BisectIter)
+	v2, _ = right.solve(v1, -0.2, c.Vdd+0.2, vo.BisectIter)
 
 	var res LeakageResult
 	res.V1, res.V2 = v1, v2

@@ -31,7 +31,7 @@ func (c *Cell) NCurve(sh Shifts, n int, opts *SNMOptions) (v, i []float64) {
 	for k := 0; k <= n; k++ {
 		v1 := c.Vdd * float64(k) / float64(n)
 		// Opposite node follows its own half-cell equilibrium.
-		v2 := right.solve(v1, -0.2, hi, vo.BisectIter)
+		v2, _ := right.solve(v1, -0.2, hi, vo.BisectIter)
 		hi = v2 + 1e-6
 		// Injected current balances the net current leaving node V1.
 		v[k] = v1

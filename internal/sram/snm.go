@@ -11,6 +11,11 @@ type SNMOptions struct {
 	GridN      int  // VTC sample points per curve (default 64)
 	BisectIter int  // half-cell bisection iterations (default 40)
 	Hold       bool // compute the hold margin (WL = 0) instead of read
+
+	// Telemetry optionally accumulates root-solve effort counters across
+	// every margin evaluation that uses these options (safe to share
+	// between goroutines; the counters are atomic).
+	Telemetry *SolveTelemetry
 }
 
 func (o *SNMOptions) fill() {
@@ -78,7 +83,7 @@ func (c *Cell) Butterfly(sh Shifts, opts *SNMOptions) (a, b Curve) {
 		o = *opts
 	}
 	o.fill()
-	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold}
+	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold, Telemetry: o.Telemetry}
 	a = c.ReadVTC(Right, sh, o.GridN, vo)
 	b = c.ReadVTC(Left, sh, o.GridN, vo)
 	return a, b
@@ -122,7 +127,7 @@ func (c *Cell) NoiseMargin(sh Shifts, opts *SNMOptions) SNMResult {
 		o = *opts
 	}
 	o.fill()
-	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold}
+	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold, Telemetry: o.Telemetry}
 	vo.fill(c.Vdd)
 
 	s := snmPool.Get().(*snmScratch)

@@ -1,0 +1,41 @@
+package sram
+
+import "sync/atomic"
+
+// SolveTelemetry accumulates root-solver effort counters. The estimators'
+// cost model counts indicator calls; these counters expose what one
+// indicator call costs underneath — how many half-cell root solves ran and
+// how many Illinois iterations (one KCL residual evaluation, i.e. three
+// Ids calls, each) they needed. Counters are plain sums of integers, so
+// they are deterministic at any parallelism level.
+//
+// A *SolveTelemetry can be attached to VTCOptions/SNMOptions; the sweep
+// routines accumulate locally and add once per curve, so the atomics stay
+// off the inner loop.
+type SolveTelemetry struct {
+	Solves atomic.Int64 // half-cell root solves
+	Iters  atomic.Int64 // Illinois iterations across those solves
+}
+
+// add folds a local tally into the telemetry (nil-safe).
+func (t *SolveTelemetry) add(solves, iters int64) {
+	if t == nil {
+		return
+	}
+	t.Solves.Add(solves)
+	t.Iters.Add(iters)
+}
+
+// Totals reads the accumulated counters.
+func (t *SolveTelemetry) Totals() (solves, iters int64) {
+	return t.Solves.Load(), t.Iters.Load()
+}
+
+// totalTelemetry is the process-wide tally behind TotalSolveTelemetry.
+var totalTelemetry SolveTelemetry
+
+// TotalSolveTelemetry reports the process-wide root-solve and iteration
+// totals since start — the figures the service's /metrics endpoint exposes.
+func TotalSolveTelemetry() (solves, iters int64) {
+	return totalTelemetry.Solves.Load(), totalTelemetry.Iters.Load()
+}

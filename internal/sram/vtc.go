@@ -24,21 +24,38 @@ func (s Side) devices() (load, driver, access int) {
 }
 
 // VTCOptions controls the half-cell solver.
+//
+// WordLine and BitLine default to Vdd (the read condition) when left at
+// their zero value. A genuine 0 V bias is expressed either by setting the
+// matching *Set flag or by passing NaN (both mean "this zero is explicit,
+// not unset"); a bare WordLine: 0 keeps its historical default-to-Vdd
+// meaning so zero-valued options stay the read condition.
 type VTCOptions struct {
-	BisectIter int     // root-search iteration cap (default 40)
-	WordLine   float64 // WL voltage; defaults to Vdd (read condition)
-	BitLine    float64 // BL voltage; defaults to Vdd (read condition)
-	AccessOff  bool    // true for the hold condition (WL = 0)
+	BisectIter  int     // root-search iteration cap (default 40)
+	WordLine    float64 // WL voltage; defaults to Vdd unless WordLineSet (NaN = explicit 0)
+	BitLine     float64 // BL voltage; defaults to Vdd unless BitLineSet (NaN = explicit 0)
+	WordLineSet bool    // treat WordLine as explicit even when it is 0
+	BitLineSet  bool    // treat BitLine as explicit even when it is 0
+	AccessOff   bool    // true for the hold condition (WL = 0)
+
+	// Telemetry optionally accumulates root-solve effort counters.
+	Telemetry *SolveTelemetry
 }
 
 func (o *VTCOptions) fill(vdd float64) {
 	if o.BisectIter == 0 {
 		o.BisectIter = 40
 	}
-	if o.WordLine == 0 && !o.AccessOff {
+	if math.IsNaN(o.WordLine) {
+		o.WordLine, o.WordLineSet = 0, true
+	}
+	if math.IsNaN(o.BitLine) {
+		o.BitLine, o.BitLineSet = 0, true
+	}
+	if o.WordLine == 0 && !o.WordLineSet && !o.AccessOff {
 		o.WordLine = vdd
 	}
-	if o.BitLine == 0 {
+	if o.BitLine == 0 && !o.BitLineSet {
 		o.BitLine = vdd
 	}
 	if o.AccessOff {
@@ -47,18 +64,22 @@ func (o *VTCOptions) fill(vdd float64) {
 }
 
 // halfCell is the resolved device triple of one cell half with shifts
-// applied, hoisted out of the root-search inner loop.
+// applied and every derived device constant precomputed, hoisted out of
+// the root-search inner loop.
 type halfCell struct {
-	load, driver, access device.Device
+	load, driver, access device.Resolved
 	vdd, wl, bl          float64
 }
 
 func (c *Cell) half(side Side, sh Shifts, o *VTCOptions) halfCell {
 	li, di, ai := side.devices()
+	load := c.shifted(li, sh[li])
+	driver := c.shifted(di, sh[di])
+	access := c.shifted(ai, sh[ai])
 	return halfCell{
-		load:   c.shifted(li, sh[li]),
-		driver: c.shifted(di, sh[di]),
-		access: c.shifted(ai, sh[ai]),
+		load:   load.Resolve(),
+		driver: driver.Resolve(),
+		access: access.Resolve(),
 		vdd:    c.Vdd,
 		wl:     o.WordLine,
 		bl:     o.BitLine,
@@ -78,11 +99,26 @@ func (h *halfCell) current(vin, v float64) float64 {
 	return iDrv + iLoad + iAcc
 }
 
+// Root-solve tolerances. xtol bounds the bracket width; the residual early
+// exit accepts a root once |f| falls below solveFtolRel times the entry
+// bracket's residual scale. The relative form matters: the KCL residual
+// spans microamps at nominal supply down to picoamps in a data-retention
+// search at tens of millivolts, so no absolute threshold is simultaneously
+// safe and useful. Dividing by the local conductance, a 1e-6-relative
+// residual pins the root to well under a microvolt of bracket width —
+// far inside every downstream tolerance — while skipping the last
+// interpolation steps, whose residuals shrink superlinearly.
+const (
+	solveXtol    = 1e-10
+	solveFtolRel = 1e-6
+)
+
 // solve finds the output voltage root of current(vin, ·) within [lo, hi]
 // using the Illinois variant of regula falsi (superlinear on this smooth
 // monotone residual), falling back to plain bisection steps whenever the
-// interpolated point stalls.
-func (h *halfCell) solve(vin, lo, hi float64, maxIter int) float64 {
+// interpolated point stalls. The second return is the number of residual
+// evaluations spent inside the iteration loop (solver telemetry).
+func (h *halfCell) solve(vin, lo, hi float64, maxIter int) (float64, int) {
 	flo := h.current(vin, lo)
 	fhi := h.current(vin, hi)
 	// Expand the bracket in the rare case the root is outside.
@@ -97,20 +133,21 @@ func (h *halfCell) solve(vin, lo, hi float64, maxIter int) float64 {
 	if flo > 0 || fhi < 0 {
 		// Degenerate bias: return the end with the smaller |residual|.
 		if math.Abs(flo) < math.Abs(fhi) {
-			return lo
+			return lo, 0
 		}
-		return hi
+		return hi, 0
 	}
-	if flo == 0 {
-		return lo
+	ftol := solveFtolRel * math.Max(-flo, fhi)
+	if flo >= -ftol {
+		return lo, 0
 	}
-	if fhi == 0 {
-		return hi
+	if fhi <= ftol {
+		return hi, 0
 	}
 
-	const xtol = 1e-10
 	side := 0
-	for i := 0; i < maxIter && hi-lo > xtol; i++ {
+	iters := 0
+	for i := 0; i < maxIter && hi-lo > solveXtol; i++ {
 		var mid float64
 		if fhi != flo {
 			mid = lo - flo*(hi-lo)/(fhi-flo)
@@ -120,8 +157,9 @@ func (h *halfCell) solve(vin, lo, hi float64, maxIter int) float64 {
 			mid = 0.5 * (lo + hi)
 		}
 		fm := h.current(vin, mid)
-		if fm == 0 {
-			return mid
+		iters++
+		if fm >= -ftol && fm <= ftol {
+			return mid, iters
 		}
 		if fm > 0 {
 			hi, fhi = mid, fm
@@ -137,7 +175,7 @@ func (h *halfCell) solve(vin, lo, hi float64, maxIter int) float64 {
 			side = -1
 		}
 	}
-	return 0.5 * (lo + hi)
+	return 0.5 * (lo + hi), iters
 }
 
 // HalfVTC solves the half-cell output voltage for input vin.
@@ -148,7 +186,10 @@ func (c *Cell) HalfVTC(side Side, vin float64, sh Shifts, opts *VTCOptions) floa
 	}
 	o.fill(c.Vdd)
 	h := c.half(side, sh, &o)
-	return h.solve(vin, -0.2, c.Vdd+0.2, o.BisectIter)
+	v, iters := h.solve(vin, -0.2, c.Vdd+0.2, o.BisectIter)
+	o.Telemetry.add(1, int64(iters))
+	totalTelemetry.add(1, int64(iters))
+	return v
 }
 
 // Curve is a sampled voltage-transfer characteristic: Out[i] is the output
@@ -177,15 +218,37 @@ func (c *Cell) ReadVTC(side Side, sh Shifts, n int, opts *VTCOptions) Curve {
 // readVTCInto is the allocation-free core of ReadVTC: it fills the
 // caller-provided in/out buffers (length n+1) from already-filled options.
 // The indicator hot path calls it with pooled buffers.
+//
+// The sweep exploits monotonicity from both ends. The anchor solve at
+// vin = Vdd yields the curve's minimum output, which tightens the lower
+// bracket endpoint of every grid point; the previous root tightens the
+// upper one (the VTC is non-increasing). Warm brackets roughly halve the
+// Illinois iterations per point, and the anchor doubles as the last grid
+// point, so an n-point sweep still costs n+1 solves.
 func (c *Cell) readVTCInto(side Side, sh Shifts, n int, o *VTCOptions, in, out []float64) {
 	h := c.half(side, sh, o)
+	vmin, it := h.solve(c.Vdd, -0.2, c.Vdd+0.2, o.BisectIter)
+	solves, iters := int64(1), int64(it)
+	// Guard band below the anchor: vmin is itself a solver output, so the
+	// true minimum may sit a solver tolerance beneath it. solve re-expands
+	// the bracket if even that is optimistic.
+	lo := vmin - 1e-6
 	hi := c.Vdd + 0.2
 	for i := 0; i <= n; i++ {
 		vin := c.Vdd * float64(i) / float64(n)
-		v := h.solve(vin, -0.2, hi, o.BisectIter)
+		var v float64
+		if i == n {
+			v = vmin // the anchor already solved this grid point
+		} else {
+			v, it = h.solve(vin, lo, hi, o.BisectIter)
+			solves++
+			iters += int64(it)
+		}
 		in[i] = vin
 		out[i] = v
 		// The VTC is non-increasing: the next root lies at or below v.
 		hi = v + 1e-6
 	}
+	o.Telemetry.add(solves, iters)
+	totalTelemetry.add(solves, iters)
 }

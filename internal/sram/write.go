@@ -22,10 +22,11 @@ func (c *Cell) WriteMargin(sh Shifts, opts *SNMOptions) float64 {
 	}
 	o.fill()
 
-	// V1 half under write bias: access pulls V1 to BL = 0.
-	writeOpts := &VTCOptions{BisectIter: o.BisectIter, BitLine: 1e-9}
+	// V1 half under write bias: access pulls V1 to BL = 0. BitLineSet marks
+	// the zero as an explicit bias (a bare 0 means "default to Vdd").
+	writeOpts := &VTCOptions{BisectIter: o.BisectIter, BitLine: 0, BitLineSet: true, Telemetry: o.Telemetry}
 	// V2 half keeps the read bias: BLB stays precharged at Vdd.
-	readOpts := &VTCOptions{BisectIter: o.BisectIter}
+	readOpts := &VTCOptions{BisectIter: o.BisectIter, Telemetry: o.Telemetry}
 
 	// Curve B: V1 = fL(V2) under write bias; curve A: V2 = fR(V1) as usual.
 	a := c.ReadVTC(Right, sh, o.GridN, readOpts)
@@ -38,23 +39,16 @@ func (c *Cell) WriteMargin(sh Shifts, opts *SNMOptions) float64 {
 }
 
 // readVTCWith samples a transfer curve with explicit VTC options (ReadVTC
-// always applies the read bias).
+// always applies the read bias). It shares the warm-started sweep core of
+// ReadVTC.
 func (c *Cell) readVTCWith(side Side, sh Shifts, n int, opts *VTCOptions) Curve {
 	var o VTCOptions
 	if opts != nil {
 		o = *opts
 	}
 	o.fill(c.Vdd)
-	h := c.half(side, sh, &o)
 	cur := Curve{In: make([]float64, n+1), Out: make([]float64, n+1)}
-	hi := c.Vdd + 0.2
-	for i := 0; i <= n; i++ {
-		vin := c.Vdd * float64(i) / float64(n)
-		out := h.solve(vin, -0.2, hi, o.BisectIter)
-		cur.In[i] = vin
-		cur.Out[i] = out
-		hi = out + 1e-6
-	}
+	c.readVTCInto(side, sh, n, &o, cur.In, cur.Out)
 	return cur
 }
 

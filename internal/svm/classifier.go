@@ -1,6 +1,7 @@
 package svm
 
 import (
+	"fmt"
 	"math/rand"
 
 	"ecripse/internal/linalg"
@@ -124,17 +125,28 @@ func (c *Classifier) Update(x linalg.Vector, failed bool) {
 type Scorer struct {
 	c       *Classifier
 	scratch linalg.Vector
+	pows    []float64
 }
 
 // NewScorer builds a scoring view over the classifier.
 func (c *Classifier) NewScorer() *Scorer {
-	return &Scorer{c: c, scratch: make(linalg.Vector, c.Features.NumFeatures())}
+	return &Scorer{
+		c:       c,
+		scratch: make(linalg.Vector, c.Features.NumFeatures()),
+		pows:    make([]float64, c.Features.Dim*(c.Features.Degree+1)),
+	}
 }
 
-// Score returns the signed decision value w·f(x), like Classifier.Score.
+// Score returns the signed decision value w·f(x), bit-identical to
+// Classifier.Score against the same (frozen) weights: the fused
+// program pass accumulates the dot product in feature-index order.
 func (s *Scorer) Score(x linalg.Vector) float64 {
-	s.c.Features.TransformInto(x, s.scratch)
-	return s.c.w.Dot(s.scratch)
+	pf := s.c.Features
+	if len(x) != pf.Dim {
+		panic(fmt.Sprintf("svm: input dim %d, want %d", len(x), pf.Dim))
+	}
+	pf.fillPows(x, s.pows)
+	return pf.prog.score(s.c.w, s.pows, s.scratch)
 }
 
 // Predict reports the predicted failure label of x.

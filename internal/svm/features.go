@@ -23,6 +23,7 @@ type PolyFeatures struct {
 	// magnitudes up to ~6-8).
 	Scale float64
 	exps  [][]int // one exponent tuple per feature
+	prog  program // compiled incremental-product evaluation plan
 }
 
 // NewPolyFeatures enumerates the monomial basis. scale <= 0 defaults to 4.
@@ -50,6 +51,7 @@ func NewPolyFeatures(dim, degree int, scale float64) *PolyFeatures {
 		exp[pos] = 0
 	}
 	rec(0, degree)
+	pf.prog = pf.compile()
 	return pf
 }
 
@@ -66,7 +68,9 @@ func (pf *PolyFeatures) Transform(x linalg.Vector) linalg.Vector {
 // TransformInto computes the feature vector of x into dst, which must have
 // length NumFeatures. It performs no allocations beyond a small fixed-size
 // power table, so hot paths (the blockade answers millions of queries per
-// estimate) can reuse buffers.
+// estimate) can reuse buffers. The evaluation runs the compiled incremental
+// program — one multiply per feature — and is bit-identical to the naive
+// per-tuple walk (see program for the argument).
 func (pf *PolyFeatures) TransformInto(x linalg.Vector, dst linalg.Vector) {
 	if len(x) != pf.Dim {
 		panic(fmt.Sprintf("svm: input dim %d, want %d", len(x), pf.Dim))
@@ -84,20 +88,6 @@ func (pf *PolyFeatures) TransformInto(x linalg.Vector, dst linalg.Vector) {
 	} else {
 		pows = make([]float64, pf.Dim*stride)
 	}
-	for d := 0; d < pf.Dim; d++ {
-		pows[d*stride] = 1
-		xv := x[d] / pf.Scale
-		for k := 1; k <= pf.Degree; k++ {
-			pows[d*stride+k] = pows[d*stride+k-1] * xv
-		}
-	}
-	for i, tup := range pf.exps {
-		v := 1.0
-		for d, e := range tup {
-			if e > 0 {
-				v *= pows[d*stride+e]
-			}
-		}
-		dst[i] = v
-	}
+	pf.fillPows(x, pows)
+	pf.prog.features(pows, dst)
 }

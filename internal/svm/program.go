@@ -1,0 +1,206 @@
+package svm
+
+import (
+	"fmt"
+
+	"ecripse/internal/linalg"
+)
+
+// program is the compiled evaluation plan of a monomial basis. The naive
+// transform walks every exponent tuple and multiplies one power-table
+// factor per nonzero dimension — ~Dim branchy operations per feature. The
+// program exploits the enumeration's structure instead: every monomial
+// extends an earlier ("parent") monomial — the same tuple with its last
+// nonzero dimension zeroed — by exactly one power-table factor, so the
+// whole feature vector is one sequential pass of a single multiply each.
+//
+// The incremental product reproduces the tuple walk bit-for-bit: the walk
+// computes each feature as a left-fold v = ((t_{d1}·t_{d2})·…)·t_{dk} over
+// its nonzero dimensions in increasing-dimension order, and the parent's
+// value is exactly the fold over the first k−1 factors. The basis
+// enumeration emits parents before children (lexicographic order, smaller
+// last exponent first), so one forward pass suffices.
+//
+// A program is weight-independent — pure basis structure — so it is built
+// once in NewPolyFeatures and shared by every classifier, scorer and
+// compiled scorer over the basis, no matter how the weights evolve.
+type program struct {
+	parent []int32 // feature index this monomial extends (entry 0 unused)
+	pow    []int32 // flat power-table index (dim*stride + exponent) of the extension factor
+}
+
+// compile builds the program for the enumerated basis.
+func (pf *PolyFeatures) compile() program {
+	stride := pf.Degree + 1
+	index := make(map[string]int32, len(pf.exps))
+	keyBuf := make([]byte, pf.Dim)
+	key := func(tup []int) string {
+		for d, e := range tup {
+			keyBuf[d] = byte(e)
+		}
+		return string(keyBuf)
+	}
+	for i, tup := range pf.exps {
+		index[key(tup)] = int32(i)
+	}
+	p := program{
+		parent: make([]int32, len(pf.exps)),
+		pow:    make([]int32, len(pf.exps)),
+	}
+	parentTup := make([]int, pf.Dim)
+	for i, tup := range pf.exps {
+		last := -1
+		for d, e := range tup {
+			if e > 0 {
+				last = d
+			}
+		}
+		if last < 0 {
+			continue // the constant feature; evaluated as the literal 1
+		}
+		copy(parentTup, tup)
+		parentTup[last] = 0
+		j, ok := index[key(parentTup)]
+		if !ok || int(j) >= i {
+			panic(fmt.Sprintf("svm: basis enumeration lost parent of tuple %v", tup))
+		}
+		p.parent[i] = j
+		p.pow[i] = int32(last*stride + tup[last])
+	}
+	return p
+}
+
+// fillPows fills the per-dimension power table (stride Degree+1) for x,
+// identically to the naive transform's table.
+func (pf *PolyFeatures) fillPows(x linalg.Vector, pows []float64) {
+	stride := pf.Degree + 1
+	for d := 0; d < pf.Dim; d++ {
+		pows[d*stride] = 1
+		xv := x[d] / pf.Scale
+		for k := 1; k <= pf.Degree; k++ {
+			pows[d*stride+k] = pows[d*stride+k-1] * xv
+		}
+	}
+}
+
+// features evaluates the program into f (length NumFeatures) from a filled
+// power table.
+func (p *program) features(pows, f []float64) {
+	f[0] = 1
+	for i := 1; i < len(f); i++ {
+		f[i] = f[p.parent[i]] * pows[p.pow[i]]
+	}
+}
+
+// score evaluates the program and accumulates w·f in one pass. The
+// accumulation visits features in index order, so the result is
+// bit-identical to linalg.Vector.Dot over the separately-materialized
+// feature vector.
+func (p *program) score(w linalg.Vector, pows, f []float64) float64 {
+	f[0] = 1
+	s := 0.0
+	s += w[0] // w[0]·1
+	for i := 1; i < len(f); i++ {
+		v := f[p.parent[i]] * pows[p.pow[i]]
+		f[i] = v
+		s += w[i] * v
+	}
+	return s
+}
+
+// CompiledScorer is a frozen-weight scoring kernel: a snapshot of the
+// classifier's weights bound to the shared basis program, with its own
+// scratch. Scores are bit-identical to Classifier.Score at the snapshot
+// state. Not safe for concurrent use (per-instance scratch); compile one
+// per goroutine, or one per batch under a frozen-weights barrier.
+type CompiledScorer struct {
+	pf   *PolyFeatures
+	w    linalg.Vector
+	pows []float64
+	f    []float64
+
+	// SoA batch scratch (scoreBlock samples wide), built on first ScoreBatch.
+	powsB []float64
+	fB    []float64
+}
+
+// Compile snapshots the classifier's current weights into a scoring kernel.
+// Later Train/Update calls do not affect the compiled scorer.
+func (c *Classifier) Compile() *CompiledScorer {
+	pf := c.Features
+	stride := pf.Degree + 1
+	return &CompiledScorer{
+		pf:   pf,
+		w:    append(linalg.Vector(nil), c.w...),
+		pows: make([]float64, pf.Dim*stride),
+		f:    make([]float64, pf.NumFeatures()),
+	}
+}
+
+// Score returns the signed decision value w·f(x), bit-identical to
+// Classifier.Score at the compiled snapshot.
+func (s *CompiledScorer) Score(x linalg.Vector) float64 {
+	if len(x) != s.pf.Dim {
+		panic(fmt.Sprintf("svm: input dim %d, want %d", len(x), s.pf.Dim))
+	}
+	s.pf.fillPows(x, s.pows)
+	return s.pf.prog.score(s.w, s.pows, s.f)
+}
+
+// scoreBlock is the SoA block width of ScoreBatch: wide enough for the
+// compiler to vectorize the per-feature inner loop, narrow enough that the
+// feature wavefront (NumFeatures × scoreBlock floats) stays cache-resident.
+const scoreBlock = 16
+
+// ScoreBatch scores a batch of inputs into out (len(out) >= len(xs)),
+// each bit-identical to Score. The batch is processed in SoA blocks:
+// powers and features are laid out sample-minor, so the per-feature
+// dependency chain (parent lookup) runs once per feature while the
+// per-sample multiplies within a block are independent and vectorize.
+// This is the scoring path for the estimators' fixed-size batch barriers.
+func (s *CompiledScorer) ScoreBatch(xs []linalg.Vector, out []float64) {
+	pf := s.pf
+	stride := pf.Degree + 1
+	nf := pf.NumFeatures()
+	if s.fB == nil {
+		s.powsB = make([]float64, pf.Dim*stride*scoreBlock)
+		s.fB = make([]float64, nf*scoreBlock)
+	}
+	for base := 0; base < len(xs); base += scoreBlock {
+		nb := len(xs) - base
+		if nb > scoreBlock {
+			nb = scoreBlock
+		}
+		block := xs[base : base+nb]
+		// Power tables, sample-minor: powsB[k*scoreBlock+b] = pows_b[k].
+		for b, x := range block {
+			if len(x) != pf.Dim {
+				panic(fmt.Sprintf("svm: input dim %d, want %d", len(x), pf.Dim))
+			}
+			for d := 0; d < pf.Dim; d++ {
+				s.powsB[d*stride*scoreBlock+b] = 1
+				xv := x[d] / pf.Scale
+				for k := 1; k <= pf.Degree; k++ {
+					s.powsB[(d*stride+k)*scoreBlock+b] = s.powsB[(d*stride+k-1)*scoreBlock+b] * xv
+				}
+			}
+			out[base+b] = s.w[0] // w[0]·1, the constant feature
+		}
+		prog := &pf.prog
+		fB := s.fB
+		for b := 0; b < nb; b++ {
+			fB[b] = 1
+		}
+		for i := 1; i < nf; i++ {
+			pRow := fB[int(prog.parent[i])*scoreBlock:]
+			powRow := s.powsB[int(prog.pow[i])*scoreBlock:]
+			fRow := fB[i*scoreBlock:]
+			wi := s.w[i]
+			for b := 0; b < nb; b++ {
+				v := pRow[b] * powRow[b]
+				fRow[b] = v
+				out[base+b] += wi * v
+			}
+		}
+	}
+}

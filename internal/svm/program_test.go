@@ -1,0 +1,125 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecripse/internal/linalg"
+)
+
+// naiveTransform is the original per-tuple walk, kept as the reference the
+// compiled program must reproduce bit-for-bit.
+func naiveTransform(pf *PolyFeatures, x linalg.Vector, dst linalg.Vector) {
+	stride := pf.Degree + 1
+	pows := make([]float64, pf.Dim*stride)
+	for d := 0; d < pf.Dim; d++ {
+		pows[d*stride] = 1
+		xv := x[d] / pf.Scale
+		for k := 1; k <= pf.Degree; k++ {
+			pows[d*stride+k] = pows[d*stride+k-1] * xv
+		}
+	}
+	for i, tup := range pf.exps {
+		v := 1.0
+		for d, e := range tup {
+			if e > 0 {
+				v *= pows[d*stride+e]
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// TestProgramMatchesNaiveTransform pins the bit-for-bit equivalence of the
+// compiled incremental-product transform and the tuple walk, across shapes.
+func TestProgramMatchesNaiveTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := []struct{ dim, degree int }{
+		{1, 1}, {1, 4}, {2, 2}, {3, 5}, {6, 4}, {8, 3},
+	}
+	for _, sh := range shapes {
+		pf := NewPolyFeatures(sh.dim, sh.degree, 0)
+		want := make(linalg.Vector, pf.NumFeatures())
+		got := make(linalg.Vector, pf.NumFeatures())
+		for trial := 0; trial < 200; trial++ {
+			x := make(linalg.Vector, sh.dim)
+			for d := range x {
+				x[d] = rng.NormFloat64() * 5
+			}
+			naiveTransform(pf, x, want)
+			pf.TransformInto(x, got)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("dim=%d deg=%d feature %d: naive %g, program %g",
+						sh.dim, sh.degree, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledScorerMatchesClassifier pins Score/ScoreBatch/Scorer against
+// Classifier.Score: all four paths must produce the identical float64, and
+// the compiled snapshot must stay frozen across later updates.
+func TestCompiledScorerMatchesClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pf := NewPolyFeatures(6, 4, 0)
+	c := NewClassifier(pf, 1e-4)
+	// Train on a signed-distance toy problem so the weights are dense.
+	xs := make([]linalg.Vector, 400)
+	ys := make([]bool, 400)
+	for i := range xs {
+		x := make(linalg.Vector, 6)
+		for d := range x {
+			x[d] = rng.NormFloat64() * 4
+		}
+		xs[i] = x
+		ys[i] = x.Norm() > 4
+	}
+	c.Train(rng, xs, ys, 5)
+
+	compiled := c.Compile()
+	scorer := c.NewScorer()
+	probe := make([]linalg.Vector, 100)
+	for i := range probe {
+		x := make(linalg.Vector, 6)
+		for d := range x {
+			x[d] = rng.NormFloat64() * 4
+		}
+		probe[i] = x
+	}
+	batch := make([]float64, len(probe))
+	compiled.ScoreBatch(probe, batch)
+	for i, x := range probe {
+		want := c.Score(x)
+		if got := compiled.Score(x); got != want {
+			t.Fatalf("compiled.Score(%d) = %g, classifier %g", i, got, want)
+		}
+		if got := scorer.Score(x); got != want {
+			t.Fatalf("scorer.Score(%d) = %g, classifier %g", i, got, want)
+		}
+		if batch[i] != want {
+			t.Fatalf("ScoreBatch[%d] = %g, classifier %g", i, batch[i], want)
+		}
+	}
+
+	// The snapshot is frozen: updating the classifier must not move it.
+	before := compiled.Score(probe[0])
+	c.Update(probe[0], true)
+	if got := compiled.Score(probe[0]); got != before {
+		t.Fatalf("compiled scorer drifted after Update: %g -> %g", before, got)
+	}
+	if c.Score(probe[0]) == before {
+		t.Fatal("classifier did not move after Update (test is vacuous)")
+	}
+}
+
+func BenchmarkTransformInto(b *testing.B) {
+	pf := NewPolyFeatures(6, 4, 0)
+	x := linalg.Vector{0.3, -1.2, 2.4, 0.1, -0.7, 1.9}
+	dst := make(linalg.Vector, pf.NumFeatures())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf.TransformInto(x, dst)
+	}
+}
