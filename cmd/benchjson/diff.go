@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -88,6 +89,26 @@ func geomean(rows []diffRow) float64 {
 	return math.Exp(sum / float64(len(rows)))
 }
 
+// matchRows keeps the rows whose benchmark name matches pattern (all rows
+// when pattern is empty) — the -match flag, so a CI gate can compare just
+// the suite it cares about.
+func matchRows(rows []diffRow, pattern string) ([]diffRow, error) {
+	if pattern == "" {
+		return rows, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	kept := rows[:0]
+	for _, r := range rows {
+		if re.MatchString(r.Name) {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
+}
+
 func loadDoc(path string) (Document, error) {
 	var doc Document
 	b, err := os.ReadFile(path)
@@ -107,6 +128,7 @@ func runDiff(args []string) {
 	metric := fs.String("metric", "ns/op", "metric to compare")
 	threshold := fs.Float64("threshold", 1.10, "new/old ratio above which a benchmark counts as regressed")
 	failOnRegress := fs.Bool("fail", false, "exit nonzero when any benchmark regresses past -threshold")
+	match := fs.String("match", "", "compare only benchmarks whose name matches this regexp")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson diff [flags] old.json new.json")
 		fs.PrintDefaults()
@@ -126,7 +148,11 @@ func runDiff(args []string) {
 		fmt.Fprintf(os.Stderr, "benchjson diff: %v\n", err)
 		os.Exit(1)
 	}
-	rows := diffDocs(oldDoc, newDoc, *metric)
+	rows, err := matchRows(diffDocs(oldDoc, newDoc, *metric), *match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson diff: bad -match: %v\n", err)
+		os.Exit(2)
+	}
 	if len(rows) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson diff: no shared benchmarks report %q\n", *metric)
 		os.Exit(1)

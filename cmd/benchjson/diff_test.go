@@ -57,6 +57,25 @@ func TestDiffDocsRatiosAndGeomean(t *testing.T) {
 	}
 }
 
+func TestMatchRowsFiltersByName(t *testing.T) {
+	rows := []diffRow{
+		{Name: "BenchmarkFig7Smoke"}, {Name: "BenchmarkFig8Smoke"}, {Name: "BenchmarkVTC"},
+	}
+	got, err := matchRows(rows, "Fig7|Fig8")
+	if err != nil {
+		t.Fatalf("matchRows: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "BenchmarkFig7Smoke" || got[1].Name != "BenchmarkFig8Smoke" {
+		t.Fatalf("matched rows = %+v", got)
+	}
+	if all, _ := matchRows(rows[:2], ""); len(all) != 2 {
+		t.Fatalf("empty pattern should keep all rows, got %+v", all)
+	}
+	if _, err := matchRows(rows, "("); err == nil {
+		t.Fatal("invalid pattern did not error")
+	}
+}
+
 func TestDiffDocsSkipsMissingMetric(t *testing.T) {
 	oldDoc := Document{Records: []Record{
 		{Name: "BenchmarkA", Iterations: 1, Metrics: map[string]float64{"sims": 4096}},

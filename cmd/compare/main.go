@@ -22,6 +22,7 @@ func main() {
 	both := flag.Bool("both", false, "-fig 7: run both panels (alpha 0.3 then 0.5) with shared initialization")
 	seed := flag.Int64("seed", 1, "random seed")
 	scaleFlag := flag.String("scale", "default", "workload scale: smoke, default or full")
+	diag := flag.Bool("diag", false, "append the proposed run's stage-1 convergence diagnostics")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -32,7 +33,11 @@ func main() {
 
 	switch *fig {
 	case 6:
-		experiments.Fig6(*seed, scale).Write(os.Stdout)
+		r := experiments.Fig6(*seed, scale)
+		r.Write(os.Stdout)
+		if *diag {
+			experiments.WriteDiag(os.Stdout, r.Proposed.Name, r.ProposedDiag)
+		}
 	case 7:
 		if *both {
 			r1, eng := experiments.Fig7(*seed, scale, 0.3, nil)
@@ -41,9 +46,16 @@ func main() {
 			r2.Write(os.Stdout)
 			fmt.Printf("# shared initialization: panel (b) used %d sims vs panel (a) %d\n",
 				r2.Proposed.Estimate.Sims, r1.Proposed.Estimate.Sims)
+			if *diag {
+				experiments.WriteDiag(os.Stdout, r1.Proposed.Name, r1.ProposedDiag)
+				experiments.WriteDiag(os.Stdout, r2.Proposed.Name, r2.ProposedDiag)
+			}
 		} else {
 			r, _ := experiments.Fig7(*seed, scale, *alpha, nil)
 			r.Write(os.Stdout)
+			if *diag {
+				experiments.WriteDiag(os.Stdout, r.Proposed.Name, r.ProposedDiag)
+			}
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "compare: -fig must be 6 or 7")

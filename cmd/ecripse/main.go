@@ -16,11 +16,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"ecripse"
 	"ecripse/internal/experiments"
+	"ecripse/internal/obsv"
 )
+
+// splitLines splits rendered multi-line text for re-indentation.
+func splitLines(s string) []string {
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
 
 func main() {
 	var (
@@ -38,6 +45,7 @@ func main() {
 		seriesPath = flag.String("series", "", "write the convergence series CSV to this file")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget; the run stops cleanly and reports the partial series")
 		maxSims    = flag.Int64("max-sims", 0, "transistor-level simulation budget; the run stops cleanly at the budget")
+		trace      = flag.Bool("trace", false, "print the stage span timeline and per-round convergence diagnostics")
 	)
 	flag.Parse()
 
@@ -79,6 +87,11 @@ func main() {
 	if *maxSims > 0 {
 		est.LimitSims(*maxSims, cancel)
 	}
+	var tr *obsv.Trace
+	if *trace {
+		tr = obsv.NewTrace()
+		ctx = obsv.WithTrace(ctx, tr)
+	}
 
 	runStart := time.Now()
 	var res ecripse.Result
@@ -108,6 +121,21 @@ func main() {
 	if *adaptive && res.CoarseSims > 0 {
 		fmt.Printf("  adaptive: %d coarse-tier samples, %d escalated to the full grid (%.1f%%)\n",
 			res.CoarseSims, res.Escalated, 100*float64(res.Escalated)/float64(res.CoarseSims))
+	}
+
+	if *trace {
+		fmt.Printf("  trace:\n")
+		for _, line := range splitLines(tr.Timeline()) {
+			fmt.Printf("    %s\n", line)
+		}
+		if len(res.PFRounds) > 0 {
+			fmt.Printf("  stage-1 convergence (per round: min ESS, max weight fraction, min unique survivors):\n")
+			for _, r := range res.PFRounds {
+				minESS, maxFrac, minUnique := ecripse.RoundSummary(r.Filters)
+				fmt.Printf("    round %d: sims=%d ess=%.1f max_w=%.3f unique=%d\n",
+					r.Round, r.Sims, minESS, maxFrac, minUnique)
+			}
+		}
 	}
 
 	if *seriesPath != "" {

@@ -15,18 +15,25 @@
 // memory as before.
 //
 // Endpoints: POST/GET/DELETE /v1/jobs[/{id}], GET /v1/jobs/{id}/events
-// (SSE progress), GET /metrics, GET /healthz. See the README's "Running the
-// service" and "Durability" sections for a walkthrough. SIGINT/SIGTERM
-// trigger a graceful drain: intake stops, running jobs finish, then the
-// process exits.
+// (SSE progress and convergence diagnostics), GET /v1/jobs/{id}/trace (span
+// timeline), GET /metrics (JSON; ?format=prometheus for text exposition),
+// GET /healthz. With -debug-addr set, net/http/pprof and expvar are served
+// on a separate listener (keep it private — it exposes heap and goroutine
+// internals). See the README's "Running the service" and "Observability"
+// sections for a walkthrough. SIGINT/SIGTERM trigger a graceful drain:
+// intake stops, running jobs finish, then the process exits.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -46,64 +53,95 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "journal job events and results here; empty keeps state in memory")
 		fsync        = flag.Bool("fsync", true, "fsync the journal on every append (power-loss durability)")
 		compactBytes = flag.Int64("compact-bytes", 8<<20, "journal segment size that triggers snapshot compaction (<0 disables)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("invalid -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	cfg := service.Config{
 		Workers:           *workers,
 		QueueCapacity:     *queueCap,
 		CacheCapacity:     *cacheCap,
 		MaxJobParallelism: *jobParallel,
+		Logger:            logger,
 	}
 	var closeStore func()
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir, store.Options{
 			NoSync:       !*fsync,
 			CompactBytes: *compactBytes,
+			Logf: func(format string, args ...any) {
+				logger.Info("store", "msg", fmt.Sprintf(format, args...))
+			},
 		})
 		if err != nil {
-			log.Fatalf("ecripsed: open store: %v", err)
+			logger.Error("open store", "dir", *dataDir, "err", err)
+			os.Exit(1)
 		}
 		cfg.Store = st
 		closeStore = func() {
 			if err := st.Close(); err != nil {
-				log.Printf("ecripsed: close store: %v", err)
+				logger.Error("close store", "err", err)
 			}
 		}
-		log.Printf("ecripsed: journaling to %s (fsync=%v compact-bytes=%d)", *dataDir, *fsync, *compactBytes)
+		logger.Info("journaling", "dir", *dataDir, "fsync", *fsync, "compact_bytes", *compactBytes)
 	}
 
 	svc := service.New(cfg)
 	if m := svc.Snapshot(); m.ReplayedJobs > 0 {
-		log.Printf("ecripsed: recovery replayed %d interrupted job(s)", m.ReplayedJobs)
+		logger.Info("recovery replayed interrupted jobs", "jobs", m.ReplayedJobs)
 	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc)}
+
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("ecripsed: listening on %s (workers=%d queue=%d cache=%d)",
-		*addr, *workers, *queueCap, *cacheCap)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queueCap, "cache", *cacheCap)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("ecripsed: serve: %v", err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("ecripsed: signal received, draining (deadline %s)", *drainTimeout)
+	logger.Info("signal received, draining", "deadline", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Drain(drainCtx); err != nil {
-		log.Printf("ecripsed: %v", err)
+		logger.Warn("drain", "err", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("ecripsed: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if closeStore != nil {
 		closeStore()
 	}
-	log.Printf("ecripsed: bye")
+	logger.Info("bye")
 }

@@ -2,6 +2,9 @@
 // paper's Fig. 4: boundary-search initialization, weighted candidates after
 // a prediction/measurement round, and the resampled cloud, on a 2-D slice
 // (ΔVth of D1 and A1) of the variability space.
+//
+// With -diag it also prints the per-round convergence diagnostics (ESS,
+// weight concentration, resampling diversity per lobe).
 package main
 
 import (
@@ -13,6 +16,11 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
+	diag := flag.Bool("diag", false, "append per-round convergence diagnostics")
 	flag.Parse()
-	experiments.Fig4(*seed).WriteCSV(os.Stdout)
+	r := experiments.Fig4(*seed)
+	r.WriteCSV(os.Stdout)
+	if *diag {
+		experiments.WriteDiag(os.Stdout, "fig4 ensemble", r.Diag)
+	}
 }

@@ -76,7 +76,19 @@ type (
 	FailureMode = core.FailureMode
 	// CellSpec describes a custom 6T geometry for design-space exploration.
 	CellSpec = sram.CellSpec
+	// PFRoundDiag is one round of stage-1 convergence diagnostics
+	// (Result.PFRounds).
+	PFRoundDiag = core.PFRoundDiag
+	// FilterDiag is one particle filter's convergence state within a round.
+	FilterDiag = core.FilterDiag
 )
+
+// RoundSummary reduces a round's per-filter diagnostics to its worst-case
+// collapse signals: minimum effective sample size, maximum single-weight
+// fraction, and minimum count of unique resampling survivors.
+func RoundSummary(filters []FilterDiag) (minESS, maxFrac float64, minUnique int) {
+	return core.RoundSummary(filters)
+}
 
 // Failure modes: the paper's read-stability criterion plus the write and
 // hold extensions (set Options.Mode).

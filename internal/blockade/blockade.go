@@ -183,7 +183,7 @@ outer:
 			run.Add(v)
 			if (k+1)%o.RecordEvery == 0 || k == n-1 {
 				series = append(series, stats.Point{
-					Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+					Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(), Var: run.Var(),
 				})
 			}
 			k++
@@ -195,7 +195,7 @@ outer:
 	if ctx.Err() != nil && run.N() > 0 && (len(series) == 0 || series.Final().Sims != c.Count()) {
 		// Cancelled: close the partial trace at the stopping state.
 		series = append(series, stats.Point{
-			Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+			Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(), Var: run.Var(),
 		})
 	}
 	res.Series = series

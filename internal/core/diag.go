@@ -1,0 +1,91 @@
+package core
+
+import (
+	"ecripse/internal/pfilter"
+	"ecripse/internal/stats"
+)
+
+// FilterDiag is the convergence state of one particle filter after one
+// prediction/measurement/resampling round. All fields are pure functions of
+// the deterministic weights and resampling indices, so they are identical at
+// any Parallelism setting and safe to cache with the result.
+type FilterDiag struct {
+	// Particles is the filter's cloud size (the per-lobe particle split —
+	// every filter tracks one failure lobe).
+	Particles int `json:"particles"`
+	// ESS is the effective sample size (Σw)²/Σw² of the round's measurement
+	// weights. ESS near Particles means a healthy spread; ESS near 1 means
+	// one candidate dominates.
+	ESS float64 `json:"ess"`
+	// MaxWeightFrac is the largest single weight divided by the weight sum —
+	// the complementary collapse signal (→1 as the filter degenerates).
+	MaxWeightFrac float64 `json:"max_weight_frac"`
+	// Unique is the number of distinct candidates surviving resampling
+	// (0 on a degenerate round where the previous cloud was kept).
+	Unique int `json:"unique"`
+}
+
+// PFRoundDiag aggregates one stage-1 round across the ensemble.
+type PFRoundDiag struct {
+	Round   int          `json:"round"` // 0-based
+	Sims    int64        `json:"sims"`  // cumulative simulation count after the round
+	Filters []FilterDiag `json:"filters"`
+}
+
+// ISBatchDiag is the stage-2 estimator state at one batch barrier: the
+// running estimate, its 95% CI half-width, and the variance of the
+// importance weights — the diagnostic that flags a proposal mismatch (the
+// CI stops shrinking because Var stops falling).
+type ISBatchDiag struct {
+	Samples int     `json:"samples"` // IS draws folded so far
+	Sims    int64   `json:"sims"`    // cumulative simulation count
+	P       float64 `json:"p"`       // running estimate
+	CIHalf  float64 `json:"ci_half"` // 95% CI half-width
+	Var     float64 `json:"var"`     // sample variance of the IS terms
+}
+
+// NewFilterDiag derives the diagnostics from one filter's step record.
+func NewFilterDiag(rec pfilter.StepRecord) FilterDiag {
+	var sum, max float64
+	for _, w := range rec.Weights {
+		if w > 0 {
+			sum += w
+			if w > max {
+				max = w
+			}
+		}
+	}
+	frac := 0.0
+	if sum > 0 {
+		frac = max / sum
+	}
+	return FilterDiag{
+		Particles:     len(rec.Resampled),
+		ESS:           pfilter.ESS(rec.Weights),
+		MaxWeightFrac: frac,
+		Unique:        rec.Unique,
+	}
+}
+
+// newISBatchDiag converts a stage-2 barrier point into its diagnostic form.
+func newISBatchDiag(samples int, pt stats.Point) ISBatchDiag {
+	return ISBatchDiag{Samples: samples, Sims: pt.Sims, P: pt.P, CIHalf: pt.CI95, Var: pt.Var}
+}
+
+// RoundSummary reduces per-filter diagnostics to the round's worst-case
+// collapse signals (min ESS, max max-weight fraction, min unique survivors)
+// for span attributes and one-line renderings.
+func RoundSummary(filters []FilterDiag) (minESS, maxFrac float64, minUnique int) {
+	for i, f := range filters {
+		if i == 0 || f.ESS < minESS {
+			minESS = f.ESS
+		}
+		if f.MaxWeightFrac > maxFrac {
+			maxFrac = f.MaxWeightFrac
+		}
+		if i == 0 || f.Unique < minUnique {
+			minUnique = f.Unique
+		}
+	}
+	return
+}

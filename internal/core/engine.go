@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"ecripse/internal/linalg"
 	"ecripse/internal/montecarlo"
+	"ecripse/internal/obsv"
 	"ecripse/internal/pfilter"
 	"ecripse/internal/randx"
 	"ecripse/internal/rtn"
@@ -82,8 +84,22 @@ func (e *Engine) Sigma() linalg.Vector { return e.sigma.Clone() }
 // simulate evaluates the true indicator at a *total* normalized shift
 // vector u (RDF + RTN combined, in units of the RDF sigma). One call is one
 // transistor-level simulation. Safe for concurrent use: the counter is
-// atomic and the cell is never mutated during evaluation.
+// atomic and the cell is never mutated during evaluation. When
+// Opts.IndicatorHist is set the call is timed into it; the timing never
+// feeds back into the result.
 func (e *Engine) simulate(u linalg.Vector) bool {
+	h := e.Opts.IndicatorHist
+	if h == nil {
+		return e.indicator(u)
+	}
+	t0 := time.Now()
+	failed := e.indicator(u)
+	h.Observe(time.Since(t0).Seconds())
+	return failed
+}
+
+// indicator is the untimed indicator body.
+func (e *Engine) indicator(u linalg.Vector) bool {
 	e.Counter.Add(1)
 	var sh sram.Shifts
 	if e.whiten != nil {
@@ -154,12 +170,20 @@ func (e *Engine) rtnValue(rng *rand.Rand, sampler *rtn.Sampler, m int, x linalg.
 // under Opts.Parallelism workers; each direction and each warm-up sample
 // draws from its own substream, so the outcome depends only on rng's state.
 func (e *Engine) Init(rng *rand.Rand) {
+	e.InitCtx(context.Background(), rng)
+}
+
+// InitCtx is Init with span recording: when ctx carries an obsv.Trace the
+// boundary search and classifier warm-up appear as child spans. Randomness
+// consumption is identical to Init.
+func (e *Engine) InitCtx(ctx context.Context, rng *rand.Rand) {
 	if e.initial != nil {
 		return
 	}
 	start := e.Counter.Count()
 	dim := sram.NumTransistors
 	bseed := rng.Int63()
+	_, bspan := obsv.StartSpan(ctx, "boundary.init")
 	e.initial = pfilter.BoundaryInitPar(bseed, dim, e.Opts.Directions, e.Opts.RMax, e.Opts.RTol, e.simulate, e.Opts.Parallelism)
 	if len(e.initial) == 0 {
 		// Pathological cell: fall back to a ring at RMax so downstream code
@@ -169,6 +193,8 @@ func (e *Engine) Init(rng *rand.Rand) {
 		}
 	}
 	e.initSims = e.Counter.Count() - start
+	bspan.SetAttr(obsv.I("directions", int64(e.Opts.Directions)), obsv.I("found", int64(len(e.initial))), obsv.I("sims", e.initSims))
+	bspan.End()
 
 	// Trust the classifier only up to just beyond the farthest boundary
 	// point it will be trained around; the tail beyond carries little
@@ -188,6 +214,7 @@ func (e *Engine) Init(rng *rand.Rand) {
 	// scaled-in pass points and scaled-out failure points so the polynomial
 	// does not wander far from the data. Simulation of the warm-up set is
 	// parallel (slot writes only); training stays sequential on rng.
+	_, wspan := obsv.StartSpan(ctx, "blockade.train")
 	start = e.Counter.Count()
 	e.classifier = svm.NewClassifier(svm.NewPolyFeatures(dim, e.Opts.PolyDegree, 0), e.Opts.Lambda)
 	wseed := rng.Int63()
@@ -212,6 +239,8 @@ func (e *Engine) Init(rng *rand.Rand) {
 	})
 	e.classifier.Train(rng, xs, ys, e.Opts.Epochs)
 	e.warmupSims = e.Counter.Count() - start
+	wspan.SetAttr(obsv.I("train_points", int64(e.Opts.WarmupTrain)), obsv.I("sims", e.warmupSims))
+	wspan.End()
 }
 
 // SetInitial installs boundary particles from another engine (shared
@@ -246,7 +275,12 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 	coarseStart := atomic.LoadInt64(&e.coarseSims)
 	escalatedStart := atomic.LoadInt64(&e.escalated)
 	solvesStart, itersStart := e.solver.Totals()
-	e.Init(rng)
+	// Telemetry carriers, resolved once: spans record the phase timeline,
+	// the emitter streams convergence diagnostics. Both are nil/no-op when
+	// the context carries neither, and both operate strictly at phase/round/
+	// batch barriers — never inside the sample loops.
+	emit := obsv.EmitterFrom(ctx)
+	e.InitCtx(ctx, rng)
 
 	m := 1
 	if sampler != nil {
@@ -276,10 +310,30 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		KernelStd: e.Opts.Kernel,
 	}, e.initial)
 	perRound := ens.NumFilters() * e.Opts.Particles
+	var pfRounds []PFRoundDiag
 	for it := 0; it < e.Opts.PFIters && ctx.Err() == nil; it++ {
 		roundSeed := rng.Int63()
 		lab.begin(perRound)
-		ens.StepPar(roundSeed, weight, func(scored int) { lab.flushRange(0, scored) }, workers)
+		_, rspan := obsv.StartSpan(ctx, "pf.round", obsv.I("round", int64(it)))
+		recs := ens.StepPar(roundSeed, weight, func(scored int) { lab.flushRange(0, scored) }, workers)
+		diag := PFRoundDiag{Round: it, Sims: e.Counter.Count() - start, Filters: make([]FilterDiag, len(recs))}
+		for fi, rec := range recs {
+			diag.Filters[fi] = NewFilterDiag(rec)
+		}
+		pfRounds = append(pfRounds, diag)
+		if rspan != nil {
+			minESS, maxFrac, minUnique := RoundSummary(diag.Filters)
+			rspan.SetAttr(
+				obsv.F("ess", minESS),
+				obsv.F("max_weight_frac", maxFrac),
+				obsv.I("unique", int64(minUnique)),
+				obsv.I("filters", int64(len(diag.Filters))),
+			)
+			rspan.End()
+		}
+		if emit != nil {
+			emit("pf_round", diag)
+		}
 	}
 	stage1Sims := e.Counter.Count() - stage1Start
 
@@ -297,13 +351,26 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 			return lab.labelStage2(k, u)
 		})
 	}
+	_, s2span := obsv.StartSpan(ctx, "stage2.is", obsv.I("n_is", int64(e.Opts.NIS)))
+	var onBatch func(samples int, pt stats.Point)
+	if emit != nil {
+		onBatch = func(samples int, pt stats.Point) {
+			emit("is_batch", newISBatchDiag(samples, pt))
+		}
+	}
 	series := montecarlo.ImportanceSamplePar(ctx, proposal, value, e.Opts.NIS, montecarlo.ParOptions{
 		Seed:    seed2,
 		Workers: workers,
 		Batch:   stage2Batch,
 		Flush:   lab.flushRange,
+		OnBatch: onBatch,
 	}, e.Counter, e.Opts.RecordEvery)
 	stage2Sims := e.Counter.Count() - stage2Start
+	if s2span != nil {
+		fin := series.Final()
+		s2span.SetAttr(obsv.F("p", fin.P), obsv.F("ci_half", fin.CI95), obsv.I("sims", stage2Sims))
+		s2span.End()
+	}
 
 	fin := series.Final()
 	solves, iters := e.solver.Totals()
@@ -322,6 +389,7 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		SolverIters: iters - itersStart,
 		CoarseSims:  atomic.LoadInt64(&e.coarseSims) - coarseStart,
 		Escalated:   atomic.LoadInt64(&e.escalated) - escalatedStart,
+		PFRounds:    pfRounds,
 		Proposal:    q,
 	}, ctx.Err()
 }

@@ -5,7 +5,10 @@
 // sweep that regenerates Fig. 8.
 package core
 
-import "ecripse/internal/linalg"
+import (
+	"ecripse/internal/linalg"
+	"ecripse/internal/obsv"
+)
 
 // FailureMode selects which cell specification the indicator checks.
 type FailureMode int
@@ -88,6 +91,13 @@ type Options struct {
 	// observed coarse-vs-full margin discrepancy, so label flips require a
 	// coarse error larger than the band).
 	EscalationBand float64
+
+	// IndicatorHist, when non-nil, receives the wall-clock seconds of every
+	// true-indicator evaluation (one transistor-level simulation). Purely
+	// observational: timings go only to the histogram, never into results,
+	// so determinism is unaffected. Nil (the default) costs one pointer
+	// check per call.
+	IndicatorHist *obsv.Histogram
 
 	// Parallelism is the worker-goroutine count for the engine's hot loops
 	// (boundary search, classifier warm-up, particle-filter measurement,

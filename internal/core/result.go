@@ -27,6 +27,12 @@ type Result struct {
 	CoarseSims  int64 // adaptive samples evaluated at the coarse tier (0 in exact mode)
 	Escalated   int64 // adaptive samples escalated to the full grid
 
+	// PFRounds records the stage-1 convergence diagnostics, one entry per
+	// particle-filter round. Deterministic (derived from weights and
+	// resampling indices only), so it is cached and persisted with the rest
+	// of the result.
+	PFRounds []PFRoundDiag
+
 	Proposal *montecarlo.GMM
 }
 

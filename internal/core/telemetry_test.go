@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ecripse/internal/obsv"
+	"ecripse/internal/sram"
+)
+
+// smallOpts keeps telemetry tests fast: tiny boundary search, short stage 1,
+// modest stage 2.
+func smallOpts() Options {
+	return Options{
+		Particles:  10,
+		PFIters:    4,
+		Directions: 48,
+		NIS:        2000,
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults is the invariant the whole layer rests
+// on: running with trace + emitter + indicator histogram attached must yield
+// the bit-identical estimate, series, diagnostics and cost split of a bare
+// run with the same seed.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	cell := sram.NewCell(0.5)
+
+	run := func(withTelemetry bool) (Result, *obsv.Trace, int) {
+		opts := smallOpts()
+		ctx := context.Background()
+		var tr *obsv.Trace
+		events := 0
+		if withTelemetry {
+			tr = obsv.NewTrace()
+			ctx = obsv.WithTrace(ctx, tr)
+			ctx = obsv.WithEmitter(ctx, func(kind string, data any) { events++ })
+			opts.IndicatorHist = obsv.NewHistogram("test_indicator_seconds", "t", obsv.ExpBuckets(1e-6, 10, 6))
+		}
+		eng := NewEngine(cell, nil, opts)
+		res, err := eng.RunCtx(ctx, rand.New(rand.NewSource(7)), nil)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res, tr, events
+	}
+
+	bare, _, _ := run(false)
+	instr, tr, events := run(true)
+
+	if bare.Estimate != instr.Estimate {
+		t.Fatalf("estimate changed under telemetry:\nbare:  %+v\ninstr: %+v", bare.Estimate, instr.Estimate)
+	}
+	if !reflect.DeepEqual(bare.Series, instr.Series) {
+		t.Fatalf("series changed under telemetry")
+	}
+	if !reflect.DeepEqual(bare.PFRounds, instr.PFRounds) {
+		t.Fatalf("PF diagnostics changed under telemetry")
+	}
+	if bare.Stage1Sims != instr.Stage1Sims || bare.Stage2Sims != instr.Stage2Sims ||
+		bare.InitSims != instr.InitSims || bare.WarmupSims != instr.WarmupSims ||
+		bare.Classified != instr.Classified {
+		t.Fatalf("cost split changed under telemetry:\nbare:  %+v\ninstr: %+v", bare, instr)
+	}
+
+	// The instrumented run must actually have observed things.
+	if events == 0 {
+		t.Fatal("no diagnostic events emitted")
+	}
+	if tr.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	names := map[string]int{}
+	var pfAttrs map[string]any
+	for _, v := range tr.Spans() {
+		names[v.Name]++
+		if v.Name == "pf.round" && pfAttrs == nil {
+			pfAttrs = v.Attrs
+		}
+		if v.DurMS < 0 {
+			t.Fatalf("span %s left in flight", v.Name)
+		}
+	}
+	for _, want := range []string{"boundary.init", "blockade.train", "pf.round", "stage2.is"} {
+		if names[want] == 0 {
+			t.Fatalf("missing span %q (have %v)", want, names)
+		}
+	}
+	if names["pf.round"] != smallOpts().PFIters {
+		t.Fatalf("want %d pf.round spans, got %d", smallOpts().PFIters, names["pf.round"])
+	}
+	for _, key := range []string{"ess", "max_weight_frac", "unique"} {
+		if _, ok := pfAttrs[key]; !ok {
+			t.Fatalf("pf.round span missing attr %q: %v", key, pfAttrs)
+		}
+	}
+}
+
+// TestPFRoundDiagnostics sanity-checks the recorded convergence numbers.
+func TestPFRoundDiagnostics(t *testing.T) {
+	cell := sram.NewCell(0.5)
+	eng := NewEngine(cell, nil, smallOpts())
+	res := eng.Run(rand.New(rand.NewSource(11)), nil)
+
+	if len(res.PFRounds) != smallOpts().PFIters {
+		t.Fatalf("want %d rounds, got %d", smallOpts().PFIters, len(res.PFRounds))
+	}
+	for _, rd := range res.PFRounds {
+		if len(rd.Filters) == 0 {
+			t.Fatalf("round %d has no filter diagnostics", rd.Round)
+		}
+		for fi, f := range rd.Filters {
+			if f.Particles <= 0 {
+				t.Fatalf("round %d filter %d: no particles", rd.Round, fi)
+			}
+			if f.ESS < 0 || f.ESS > float64(f.Particles)+1e-9 {
+				t.Fatalf("round %d filter %d: ESS %v out of [0, %d]", rd.Round, fi, f.ESS, f.Particles)
+			}
+			if f.MaxWeightFrac < 0 || f.MaxWeightFrac > 1+1e-12 {
+				t.Fatalf("round %d filter %d: max weight frac %v", rd.Round, fi, f.MaxWeightFrac)
+			}
+			if f.Unique < 0 || f.Unique > f.Particles {
+				t.Fatalf("round %d filter %d: unique %d out of range", rd.Round, fi, f.Unique)
+			}
+			// A non-degenerate round resampled something.
+			if f.ESS > 0 && f.Unique == 0 {
+				t.Fatalf("round %d filter %d: positive ESS but zero unique", rd.Round, fi)
+			}
+		}
+	}
+	// Var rides the convergence series now.
+	if fin := res.Series.Final(); fin.P > 0 && fin.Var <= 0 {
+		t.Fatalf("final series point has no variance: %+v", fin)
+	}
+}

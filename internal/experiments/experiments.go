@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 
+	"ecripse/internal/core"
 	"ecripse/internal/linalg"
 	"ecripse/internal/pfilter"
 	"ecripse/internal/randx"
@@ -70,6 +71,9 @@ type Fig4Result struct {
 	Candidates []linalg.Vector
 	Weights    []float64
 	Resampled  []linalg.Vector
+	// Diag tracks the ensemble's convergence round by round (ESS, weight
+	// concentration, resampling diversity per lobe).
+	Diag []core.PFRoundDiag
 }
 
 // Fig4 reproduces the particle-filter tracking example on a 2-D slice of
@@ -93,11 +97,16 @@ func Fig4(seed int64) Fig4Result {
 	rng := rand.New(rand.NewSource(seed))
 	init := pfilter.BoundaryInit(rng, 2, 64, 10, 0.05, fails)
 	ens := pfilter.New(rng, pfilter.Options{Particles: 50, Filters: 2}, init)
+	out := Fig4Result{Initial: init}
 	var rec []pfilter.StepRecord
 	for i := 0; i < 10; i++ {
 		rec = ens.Step(rng, weight)
+		diag := core.PFRoundDiag{Round: i}
+		for _, r := range rec {
+			diag.Filters = append(diag.Filters, core.NewFilterDiag(r))
+		}
+		out.Diag = append(out.Diag, diag)
 	}
-	out := Fig4Result{Initial: init}
 	for _, r := range rec {
 		out.Candidates = append(out.Candidates, r.Candidates...)
 		out.Weights = append(out.Weights, r.Weights...)
@@ -176,5 +185,28 @@ func WriteSeries(w io.Writer, ms MethodSeries) {
 	fmt.Fprintln(w, "# sims,Pfail,CI95,relerr")
 	for _, p := range ms.Series {
 		fmt.Fprintf(w, "%d,%.6e,%.6e,%.4f\n", p.Sims, p.P, p.CI95, p.RelErr)
+	}
+}
+
+// WriteDiag renders the stage-1 convergence diagnostics as CSV: one row per
+// particle-filter round with the ensemble's worst-case collapse signals and
+// the per-lobe particle split.
+func WriteDiag(w io.Writer, name string, rounds []core.PFRoundDiag) {
+	if len(rounds) == 0 {
+		fmt.Fprintf(w, "# %s: no stage-1 diagnostics recorded\n", name)
+		return
+	}
+	fmt.Fprintf(w, "# %s: stage-1 diagnostics (%d filters)\n", name, len(rounds[0].Filters))
+	fmt.Fprintln(w, "# round,sims,min_ess,max_weight_frac,min_unique,per_lobe_particles")
+	for _, r := range rounds {
+		minESS, maxFrac, minUnique := core.RoundSummary(r.Filters)
+		split := ""
+		for i, f := range r.Filters {
+			if i > 0 {
+				split += "|"
+			}
+			split += fmt.Sprintf("%d", f.Particles)
+		}
+		fmt.Fprintf(w, "%d,%d,%.2f,%.4f,%d,%s\n", r.Round, r.Sims, minESS, maxFrac, minUnique, split)
 	}
 }

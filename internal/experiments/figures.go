@@ -48,6 +48,9 @@ type Fig6Result struct {
 	// fewer simulations / 15.6x wall clock at 1%).
 	SpeedupAtMatchedError float64
 	MatchedRelErr         float64
+	// ProposedDiag is the proposed run's per-round stage-1 convergence
+	// diagnostics (ESS, weight concentration, resampling diversity).
+	ProposedDiag []core.PFRoundDiag
 }
 
 // Fig6 runs the comparison. Proposed IS samples are mostly classified
@@ -75,7 +78,7 @@ func Fig6(seed int64, scale Scale) Fig6Result {
 		&sis.Options{NIS: nisConv, RecordEvery: nisConv / 200}, nil)
 	conventional := MethodSeries{Name: "conventional (SIS [8])", Series: resC.Series, Estimate: resC.Estimate}
 
-	out := Fig6Result{Proposed: proposed, Conventional: conventional}
+	out := Fig6Result{Proposed: proposed, Conventional: conventional, ProposedDiag: resP.PFRounds}
 	// Matched-error speedup: find the tightest error the conventional run
 	// achieved, then the simulations each method needed to reach it.
 	target := resC.Estimate.RelErr
@@ -107,6 +110,9 @@ type Fig7Result struct {
 	// Speedup is naive sims / proposed sims at the naive run's final
 	// relative error (the paper reports ~40x at alpha = 0.3).
 	Speedup float64
+	// ProposedDiag is the proposed run's per-round stage-1 convergence
+	// diagnostics.
+	ProposedDiag []core.PFRoundDiag
 }
 
 // Fig7 runs one panel (the paper shows alpha = 0.3 and 0.5). The engine may
@@ -151,7 +157,7 @@ func Fig7(seed int64, scale Scale, alpha float64, eng *core.Engine) (Fig7Result,
 	resP := eng.Run(rngP, sampler)
 	proposed := MethodSeries{Name: fmt.Sprintf("proposed (alpha=%.1f)", alpha), Series: resP.Series, Estimate: resP.Estimate}
 
-	out := Fig7Result{Alpha: alpha, Naive: naive, Proposed: proposed}
+	out := Fig7Result{Alpha: alpha, Naive: naive, Proposed: proposed, ProposedDiag: resP.PFRounds}
 	if pSims, ok := resP.Series.SimsToRelErrStable(fin.RelErr); ok && pSims > 0 {
 		out.Speedup = float64(cn.Count()) / float64(pSims)
 	}

@@ -97,7 +97,7 @@ func NaiveCtx(ctx context.Context, rng *rand.Rand, trial Trial, n int, c *Counte
 		run.Add(v)
 		if c.Count() >= nextRecord || i == n-1 {
 			series = append(series, stats.Point{
-				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(), Var: run.Var(),
 			})
 			nextRecord = c.Count() + int64(recordEvery)
 		}
@@ -115,7 +115,7 @@ func finishSeries(series stats.Series, run *stats.Running, c *Counter) stats.Ser
 		return series
 	}
 	return append(series, stats.Point{
-		Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+		Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(), Var: run.Var(),
 	})
 }
 
@@ -144,7 +144,7 @@ func NaiveQMC(dim int, value Value, n int, c *Counter, recordEvery int) stats.Se
 		run.Add(value(h.NextNormal()))
 		if (k+1)%recordEvery == 0 || k == n-1 {
 			series = append(series, stats.Point{
-				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(), Var: run.Var(),
 			})
 		}
 	}
@@ -328,7 +328,7 @@ func ImportanceSampleCtx(ctx context.Context, rng *rand.Rand, q Proposal, value 
 		// when the blockade lets a simulation through.
 		if (k+1)%recordEvery == 0 || k == n-1 {
 			series = append(series, stats.Point{
-				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
+				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(), Var: run.Var(),
 			})
 		}
 	}

@@ -138,6 +138,12 @@ type ParOptions struct {
 	// This is the barrier where the caller applies deferred stateful work
 	// (classifier updates) in index order.
 	Flush func(lo, hi int)
+	// OnBatch, if set, is called after each batch's terms have been folded,
+	// with the number of samples consumed so far and the estimator state as a
+	// Point (Sims carries the counter's simulation count). It runs on the
+	// barrier (single-threaded) and sees deterministic values, so it is safe
+	// to stream as a convergence diagnostic without perturbing results.
+	OnBatch func(samples int, pt stats.Point)
 }
 
 // DefaultBatch is the stage-2 barrier size: small enough that the classifier
@@ -205,10 +211,14 @@ func ImportanceSamplePar(ctx context.Context, q Proposal, value IndexedValue, n 
 		// Record at batch boundaries. The simulation-count coordinate is
 		// exact here: every simulation of samples < hi has completed and
 		// none of sample >= hi has started.
+		pt := stats.Point{
+			Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(), Var: run.Var(),
+		}
+		if po.OnBatch != nil {
+			po.OnBatch(hi, pt)
+		}
 		if hi/recordEvery > recorded/recordEvery || hi == n {
-			series = append(series, stats.Point{
-				Sims: c.Count(), P: run.Mean(), CI95: run.CI95(), RelErr: run.RelErr(),
-			})
+			series = append(series, pt)
 		}
 		recorded = hi
 	}

@@ -1,0 +1,551 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket cumulative-style histogram in the Prometheus
+// mold: observations land in the first bucket whose upper bound is >= the
+// value, with an implicit +Inf bucket catching the rest. All state is
+// atomic, so Observe is safe (and allocation-free) on concurrent hot paths;
+// a nil *Histogram ignores observations.
+//
+// Buckets are chosen at construction and never change — rendering a scrape
+// is a plain load of each counter.
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64      // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram creates a histogram with the given metric name, help string
+// and bucket upper bounds (sorted ascending; +Inf is implicit and must not
+// be included). It panics on an empty or unsorted bound list — histogram
+// shapes are compile-time decisions here.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obsv: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("obsv: histogram bounds must be strictly increasing")
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], +1) {
+		panic("obsv: +Inf bound is implicit")
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Name returns the metric name the histogram renders under.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one observation. Nil-safe.
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of value v in one shot (used where only a
+// batch tally is available, e.g. per-curve solver iterations averaged over
+// the curve's solves). Nil-safe; n <= 0 is ignored.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	// Linear scan: bucket lists are short (<= ~16) and the scan is branch-
+	// predictable, beating binary search at this size.
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Snapshot returns the cumulative bucket counts aligned with Bounds plus the
+// +Inf bucket as the final entry.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative
+}
+
+// ExpBuckets returns n strictly increasing bounds starting at start and
+// multiplying by factor — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obsv: invalid exponential bucket shape")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n <= 0 {
+		panic("obsv: invalid linear bucket shape")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Prometheus text exposition (format version 0.0.4). Hand-rolled — the
+// repository takes no dependencies — and covering exactly what the service
+// exposes: gauges, counters, and histograms, with optional labels.
+
+// PromWriter renders metrics in the Prometheus text format, enforcing the
+// one-HELP/TYPE-block-per-metric rule.
+type PromWriter struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// header emits the HELP/TYPE block once per metric family.
+func (p *PromWriter) header(name, typ, help string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...[2]string) {
+	p.header(name, "gauge", help)
+	p.sample(name, labels, v)
+}
+
+// Counter emits one counter sample. Counter names must end in _total (the
+// lint test enforces it).
+func (p *PromWriter) Counter(name, help string, v float64, labels ...[2]string) {
+	p.header(name, "counter", help)
+	p.sample(name, labels, v)
+}
+
+// Histogram renders h as a full histogram family: cumulative _bucket samples
+// with le labels (including +Inf), then _sum and _count.
+func (p *PromWriter) Histogram(h *Histogram) {
+	if h == nil {
+		return
+	}
+	p.header(h.name, "histogram", h.help)
+	bounds, cum := h.Snapshot()
+	for i, b := range bounds {
+		p.sample(h.name+"_bucket", [][2]string{{"le", formatFloat(b)}}, float64(cum[i]))
+	}
+	p.sample(h.name+"_bucket", [][2]string{{"le", "+Inf"}}, float64(cum[len(cum)-1]))
+	p.sample(h.name+"_sum", nil, h.Sum())
+	p.sample(h.name+"_count", nil, float64(h.count.Load()))
+}
+
+func (p *PromWriter) sample(name string, labels [][2]string, v float64) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatFloat(v))
+		return
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l[0], escapeLabel(l[1]))
+	}
+	p.printf("%s{%s} %s\n", name, strings.Join(parts, ","), formatFloat(v))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// LintProm checks a Prometheus text exposition against the promtool-style
+// rules the acceptance tests encode:
+//
+//   - metric and label names match the Prometheus grammar
+//   - every sampled metric family has exactly one HELP and one TYPE line,
+//     appearing before its first sample
+//   - counters end in _total
+//   - histogram bucket le bounds are strictly increasing and end at +Inf,
+//     bucket counts are monotonically non-decreasing, and the +Inf bucket
+//     equals the _count sample
+//   - no duplicate samples (same name and label set)
+//
+// It returns one message per violation; an empty slice means the exposition
+// is clean.
+func LintProm(text string) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	type family struct {
+		helped, typed bool
+		typ           string
+		sampled       bool
+	}
+	families := map[string]*family{}
+	fam := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{}
+			families[name] = f
+		}
+		return f
+	}
+	type histState struct {
+		les     []float64
+		counts  []float64
+		sawInf  bool
+		infVal  float64
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+		baseFam string
+	}
+	hists := map[string]*histState{}
+	seenSamples := map[string]bool{}
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			f := fam(name)
+			if f.helped {
+				addf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if f.sampled {
+				addf("line %d: HELP for %s after its samples", lineNo, name)
+			}
+			f.helped = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, _ := strings.Cut(rest, " ")
+			f := fam(name)
+			if f.typed {
+				addf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if f.sampled {
+				addf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				addf("line %d: unknown TYPE %q for %s", lineNo, typ, name)
+			}
+			f.typed = true
+			f.typ = typ
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				addf("line %d: counter %s does not end in _total", lineNo, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		if !validMetricName(name) {
+			addf("line %d: invalid metric name %q", lineNo, name)
+		}
+		for _, l := range labels {
+			if !validLabelName(l[0]) {
+				addf("line %d: invalid label name %q", lineNo, l[0])
+			}
+		}
+		sampleKey := line[:strings.LastIndex(line, " ")]
+		if seenSamples[sampleKey] {
+			addf("line %d: duplicate sample %s", lineNo, sampleKey)
+		}
+		seenSamples[sampleKey] = true
+
+		// Resolve the family: histogram/summary samples belong to the base
+		// metric.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && (f.typ == "histogram" || f.typ == "summary") {
+					base = trimmed
+				}
+				break
+			}
+		}
+		f := fam(base)
+		f.sampled = true
+		if !f.helped || !f.typed {
+			addf("line %d: sample for %s without preceding HELP+TYPE", lineNo, base)
+		}
+
+		if f.typ == "histogram" {
+			hs, ok := hists[base]
+			if !ok {
+				hs = &histState{baseFam: base}
+				hists[base] = hs
+			}
+			switch {
+			case name == base+"_bucket":
+				le := ""
+				for _, l := range labels {
+					if l[0] == "le" {
+						le = l[1]
+					}
+				}
+				if le == "" {
+					addf("line %d: histogram bucket without le label", lineNo)
+					break
+				}
+				if le == "+Inf" {
+					hs.sawInf = true
+					hs.infVal = value
+					break
+				}
+				b, perr := strconv.ParseFloat(le, 64)
+				if perr != nil {
+					addf("line %d: unparsable le %q", lineNo, le)
+					break
+				}
+				if hs.sawInf {
+					addf("line %d: bucket le=%q after +Inf", lineNo, le)
+				}
+				hs.les = append(hs.les, b)
+				hs.counts = append(hs.counts, value)
+			case name == base+"_sum":
+				hs.hasSum = true
+			case name == base+"_count":
+				hs.hasCnt = true
+				hs.count = value
+			}
+		}
+	}
+
+	for name, hs := range hists {
+		for i := 1; i < len(hs.les); i++ {
+			if !(hs.les[i] > hs.les[i-1]) {
+				addf("histogram %s: le bounds not strictly increasing (%v after %v)", name, hs.les[i], hs.les[i-1])
+			}
+		}
+		prev := math.Inf(-1)
+		for i, c := range hs.counts {
+			if c < prev {
+				addf("histogram %s: bucket counts decrease at le=%v", name, hs.les[i])
+			}
+			prev = c
+		}
+		if !hs.sawInf {
+			addf("histogram %s: missing le=\"+Inf\" bucket", name)
+		} else {
+			if len(hs.counts) > 0 && hs.infVal < hs.counts[len(hs.counts)-1] {
+				addf("histogram %s: +Inf bucket below preceding bucket", name)
+			}
+			if hs.hasCnt && hs.infVal != hs.count {
+				addf("histogram %s: +Inf bucket (%v) != _count (%v)", name, hs.infVal, hs.count)
+			}
+		}
+		if !hs.hasSum {
+			addf("histogram %s: missing _sum", name)
+		}
+		if !hs.hasCnt {
+			addf("histogram %s: missing _count", name)
+		}
+	}
+
+	// Families declared but never sampled are suspicious in a scrape built
+	// from live state.
+	var names []string
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if f := families[name]; !f.sampled {
+			addf("metric %s has HELP/TYPE but no samples", name)
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// parseSample splits one exposition sample line into name, labels and value.
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for _, pair := range splitLabels(body) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			uq, uerr := strconv.Unquote(v)
+			if uerr != nil {
+				return "", nil, 0, fmt.Errorf("malformed label value %s", v)
+			}
+			labels = append(labels, [2]string{k, uq})
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// The value may be followed by an optional timestamp; take the first
+	// token.
+	tok, _, _ := strings.Cut(rest, " ")
+	if tok == "+Inf" || tok == "-Inf" || tok == "NaN" {
+		return name, labels, math.NaN(), nil
+	}
+	value, err = strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparsable value %q", tok)
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(body string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			if i == 0 || body[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

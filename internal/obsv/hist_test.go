@@ -1,0 +1,191 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram("t_seconds", "test", []float64{1, 2, 4})
+	h.Observe(0.5) // bucket le=1
+	h.Observe(1)   // le=1 (inclusive upper bound)
+	h.Observe(3)   // le=4
+	h.Observe(100) // +Inf
+	bounds, cum := h.Snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("shape: %v %v", bounds, cum)
+	}
+	want := []int64{2, 2, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d]=%d want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-104.5) > 1e-12 {
+		t.Fatalf("sum %v", got)
+	}
+}
+
+func TestHistogramObserveN(t *testing.T) {
+	h := NewHistogram("t", "test", []float64{10})
+	h.ObserveN(5, 7)
+	h.ObserveN(5, 0)  // ignored
+	h.ObserveN(5, -3) // ignored
+	if h.Count() != 7 || h.Sum() != 35 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil histogram should be empty")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("t", "test", ExpBuckets(0.001, 2, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%50) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d want %d", h.Count(), workers*per)
+	}
+	_, cum := h.Snapshot()
+	if cum[len(cum)-1] != workers*per {
+		t.Fatalf("+Inf bucket %d", cum[len(cum)-1])
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	e := ExpBuckets(0.01, 2, 4)
+	wantE := []float64{0.01, 0.02, 0.04, 0.08}
+	for i := range wantE {
+		if math.Abs(e[i]-wantE[i]) > 1e-12 {
+			t.Fatalf("exp: %v", e)
+		}
+	}
+	l := LinearBuckets(5, 5, 3)
+	wantL := []float64{5, 10, 15}
+	for i := range wantL {
+		if l[i] != wantL[i] {
+			t.Fatalf("lin: %v", l)
+		}
+	}
+}
+
+func TestPromWriterRendering(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Gauge("ecripsed_queue_depth", "Jobs waiting in queue.", 3)
+	p.Counter("ecripsed_sims_total", "Total SPICE-equivalent simulations.", 12345)
+	p.Gauge("ecripsed_jobs", "Jobs by state.", 2, [2]string{"state", "done"})
+	p.Gauge("ecripsed_jobs", "Jobs by state.", 1, [2]string{"state", "running"})
+	h := NewHistogram("ecripsed_job_duration_seconds", "Job wall time.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(5)
+	p.Histogram(h)
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP ecripsed_queue_depth Jobs waiting in queue.\n# TYPE ecripsed_queue_depth gauge\necripsed_queue_depth 3\n",
+		"ecripsed_jobs{state=\"done\"} 2\n",
+		"ecripsed_jobs{state=\"running\"} 1\n",
+		"ecripsed_job_duration_seconds_bucket{le=\"0.1\"} 1\n",
+		"ecripsed_job_duration_seconds_bucket{le=\"+Inf\"} 2\n",
+		"ecripsed_job_duration_seconds_sum 5.05\n",
+		"ecripsed_job_duration_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The labeled gauge must have exactly one HELP/TYPE block.
+	if strings.Count(out, "# TYPE ecripsed_jobs gauge") != 1 {
+		t.Fatalf("duplicate TYPE block:\n%s", out)
+	}
+	if problems := LintProm(out); len(problems) != 0 {
+		t.Fatalf("lint problems: %v", problems)
+	}
+}
+
+func TestLintPromCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring expected in some problem
+	}{
+		{
+			"counter without _total",
+			"# HELP x_count hits\n# TYPE x_count counter\nx_count 1\n",
+			"does not end in _total",
+		},
+		{
+			"sample without help",
+			"orphan_metric 1\n",
+			"without preceding HELP+TYPE",
+		},
+		{
+			"duplicate sample",
+			"# HELP a_m m\n# TYPE a_m gauge\na_m 1\na_m 2\n",
+			"duplicate sample",
+		},
+		{
+			"histogram missing +Inf",
+			"# HELP h hist\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"missing le=\"+Inf\"",
+		},
+		{
+			"histogram count mismatch",
+			"# HELP h hist\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"!= _count",
+		},
+		{
+			"decreasing buckets",
+			"# HELP h hist\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"bucket counts decrease",
+		},
+		{
+			"unordered le",
+			"# HELP h hist\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"not strictly increasing",
+		},
+		{
+			"invalid metric name",
+			"# HELP 1bad m\n# TYPE 1bad gauge\n1bad 1\n",
+			"invalid metric name",
+		},
+		{
+			"declared but unsampled",
+			"# HELP ghost m\n# TYPE ghost gauge\n",
+			"no samples",
+		},
+	}
+	for _, tc := range cases {
+		problems := LintProm(tc.text)
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: want a problem containing %q, got %v", tc.name, tc.want, problems)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package obsv is the repository's observability layer: lightweight
+// context-propagated spans (per-job stage timelines), fixed-bucket atomic
+// histograms with a Prometheus text exposition, and a diagnostic-event
+// emitter that streams estimator convergence diagnostics to whoever is
+// listening (the service's SSE stream, the CLI's -trace summary).
+//
+// Everything is gated by presence: a context without a Trace produces no-op
+// spans, a nil Emitter swallows events, and a nil *Histogram ignores
+// observations. The engine's inner loops therefore pay one nil check when
+// telemetry is off, and never allocate on the hot path when it is on —
+// spans exist at phase/round/batch granularity only, and histogram
+// observations are atomic bucket increments.
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// appendf is fmt.Appendf under a short local name (Timeline builds its text
+// incrementally).
+func appendf(b []byte, format string, args ...any) []byte {
+	return fmt.Appendf(b, format, args...)
+}
+
+// Attr is one span attribute. Values should be numbers, strings or bools so
+// the JSON view stays flat.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// F, I and S build float, int and string attributes.
+func F(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+func I(key string, v int64) Attr   { return Attr{Key: key, Value: v} }
+func S(key string, v string) Attr  { return Attr{Key: key, Value: v} }
+
+// spanData is the recorded form of one span.
+type spanData struct {
+	name   string
+	parent int // index into the trace, -1 for roots
+	start  time.Time
+	end    time.Time
+	attrs  []Attr
+}
+
+// Trace is an append-only recorder of finished and in-flight spans,
+// typically one per job. Safe for concurrent use.
+type Trace struct {
+	mu    sync.Mutex
+	spans []spanData
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Span is a handle to one recorded span. The zero/nil span is a no-op, which
+// is what StartSpan returns when the context carries no trace.
+type Span struct {
+	tr  *Trace
+	idx int
+}
+
+// start appends an in-flight span and returns its handle.
+func (t *Trace) start(name string, parent int, attrs []Attr) *Span {
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, spanData{name: name, parent: parent, start: time.Now(), attrs: attrs})
+	t.mu.Unlock()
+	return &Span{tr: t, idx: idx}
+}
+
+// Add records an already-timed span (e.g. queue wait, reconstructed from job
+// timestamps) and returns its index for use as a parent. parent is the index
+// of the enclosing span, or -1 for a root.
+func (t *Trace) Add(name string, parent int, start, end time.Time, attrs ...Attr) int {
+	if t == nil {
+		return -1
+	}
+	t.mu.Lock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, spanData{name: name, parent: parent, start: start, end: end, attrs: attrs})
+	t.mu.Unlock()
+	return idx
+}
+
+// End marks the span finished. Nil-safe; a second End keeps the first end
+// time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if sp := &s.tr.spans[s.idx]; sp.end.IsZero() {
+		sp.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttr attaches (or overwrites) one attribute. Nil-safe.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	sp := &s.tr.spans[s.idx]
+outer:
+	for _, a := range attrs {
+		for i := range sp.attrs {
+			if sp.attrs[i].Key == a.Key {
+				sp.attrs[i].Value = a.Value
+				continue outer
+			}
+		}
+		sp.attrs = append(sp.attrs, a)
+	}
+	s.tr.mu.Unlock()
+}
+
+// Index returns the span's position in its trace (-1 for the nil span), for
+// use as an explicit parent in Trace.Add.
+func (s *Span) Index() int {
+	if s == nil {
+		return -1
+	}
+	return s.idx
+}
+
+// SpanView is the JSON form of one span. An in-flight span has no end time
+// and a negative duration.
+type SpanView struct {
+	Name   string         `json:"name"`
+	Parent int            `json:"parent"` // index into the same timeline; -1 for roots
+	Start  string         `json:"start"`  // RFC3339Nano, UTC
+	DurMS  float64        `json:"dur_ms"` // -1 while in flight
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Spans renders the timeline in recording order. The Parent indices refer to
+// positions within the returned slice.
+func (t *Trace) Spans() []SpanView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanView, len(t.spans))
+	for i, sp := range t.spans {
+		v := SpanView{
+			Name:   sp.name,
+			Parent: sp.parent,
+			Start:  sp.start.UTC().Format(time.RFC3339Nano),
+			DurMS:  -1,
+		}
+		if !sp.end.IsZero() {
+			v.DurMS = float64(sp.end.Sub(sp.start)) / float64(time.Millisecond)
+		}
+		if len(sp.attrs) > 0 {
+			v.Attrs = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				v.Attrs[a.Key] = a.Value
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Timeline renders the trace as an indented text tree (the CLI -trace
+// output): each line is a span with its duration and attributes, children
+// indented under their parents, attribute keys sorted for stable output.
+func (t *Trace) Timeline() string {
+	views := t.Spans()
+	children := make(map[int][]int)
+	var roots []int
+	for i, v := range views {
+		if v.Parent >= 0 && v.Parent < len(views) {
+			children[v.Parent] = append(children[v.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var b []byte
+	var walk func(idx, depth int)
+	walk = func(idx, depth int) {
+		v := views[idx]
+		for i := 0; i < depth; i++ {
+			b = append(b, "  "...)
+		}
+		b = append(b, v.Name...)
+		if v.DurMS >= 0 {
+			b = appendf(b, "  %.1fms", v.DurMS)
+		} else {
+			b = append(b, "  (in flight)"...)
+		}
+		if len(v.Attrs) > 0 {
+			keys := make([]string, 0, len(v.Attrs))
+			for k := range v.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				b = appendf(b, "  %s=%v", k, v.Attrs[k])
+			}
+		}
+		b = append(b, '\n')
+		for _, c := range children[idx] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return string(b)
+}
+
+// Context propagation. Two independent carriers ride the context: the span
+// trace and the diagnostic-event emitter.
+
+type traceKey struct{}
+type emitterKey struct{}
+type spanKey struct{}
+
+// WithTrace returns a context carrying the trace; spans started under it are
+// recorded there.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan starts a span named name under the context's current span (if
+// any) and returns a derived context in which the new span is current. When
+// the context carries no trace it returns ctx unchanged and a nil (no-op)
+// span — the caller never branches.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := -1
+	if ps, _ := ctx.Value(spanKey{}).(*Span); ps != nil {
+		parent = ps.idx
+	}
+	sp := t.start(name, parent, attrs)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// Emitter receives diagnostic events: kind names the event (e.g. "pf_round",
+// "is_batch") and data is a JSON-marshalable snapshot. Emitters must be safe
+// for concurrent use; the engine only emits from barrier (single-threaded)
+// code, but several jobs may share one sink.
+type Emitter func(kind string, data any)
+
+// WithEmitter returns a context carrying the emitter.
+func WithEmitter(ctx context.Context, e Emitter) context.Context {
+	return context.WithValue(ctx, emitterKey{}, e)
+}
+
+// EmitterFrom returns the context's emitter, or nil.
+func EmitterFrom(ctx context.Context) Emitter {
+	e, _ := ctx.Value(emitterKey{}).(Emitter)
+	return e
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "run", S("job", "j1"))
+	ctx2, child := StartSpan(ctx1, "pf.round", I("round", 0))
+	child.SetAttr(F("ess", 12.5), I("round", 0)) // overwrite + add
+	child.End()
+	_, sib := StartSpan(ctx2, "inner")
+	sib.End()
+	root.End()
+	root.End() // second End keeps first end time
+
+	views := tr.Spans()
+	if len(views) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(views))
+	}
+	if views[0].Parent != -1 || views[1].Parent != 0 || views[2].Parent != 1 {
+		t.Fatalf("bad parents: %+v", views)
+	}
+	if views[1].Attrs["ess"] != 12.5 {
+		t.Fatalf("attr not set: %+v", views[1].Attrs)
+	}
+	if views[0].DurMS < 0 {
+		t.Fatalf("root should be finished")
+	}
+}
+
+func TestStartSpanNoTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "orphan", S("k", "v"))
+	if sp != nil {
+		t.Fatalf("want nil span without trace")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("context should be unchanged")
+	}
+	// All methods nil-safe.
+	sp.End()
+	sp.SetAttr(F("x", 1))
+	if sp.Index() != -1 {
+		t.Fatalf("nil span index should be -1")
+	}
+}
+
+func TestTraceAddSynthesizedSpan(t *testing.T) {
+	tr := NewTrace()
+	start := time.Now().Add(-time.Second)
+	idx := tr.Add("queue.wait", -1, start, start.Add(500*time.Millisecond))
+	if idx != 0 {
+		t.Fatalf("want index 0, got %d", idx)
+	}
+	v := tr.Spans()[0]
+	if v.DurMS < 499 || v.DurMS > 501 {
+		t.Fatalf("want ~500ms, got %v", v.DurMS)
+	}
+	var nilTrace *Trace
+	if nilTrace.Add("x", -1, start, start) != -1 {
+		t.Fatalf("nil trace Add should return -1")
+	}
+	if nilTrace.Len() != 0 || nilTrace.Spans() != nil {
+		t.Fatalf("nil trace accessors should be empty")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "run")
+	_, child := StartSpan(ctx, "pf.round", F("ess", 30.2), I("unique", 17))
+	child.End()
+	root.End()
+	_, inflight := StartSpan(WithTrace(context.Background(), tr), "persist")
+	_ = inflight
+
+	tl := tr.Timeline()
+	lines := strings.Split(strings.TrimRight(tl, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), tl)
+	}
+	if !strings.HasPrefix(lines[0], "run") {
+		t.Fatalf("line 0: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  pf.round") {
+		t.Fatalf("child should be indented: %q", lines[1])
+	}
+	// Attr keys sorted: ess before unique.
+	if !strings.Contains(lines[1], "ess=30.2  unique=17") {
+		t.Fatalf("attrs missing or unsorted: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "(in flight)") {
+		t.Fatalf("in-flight marker missing: %q", lines[2])
+	}
+}
+
+func TestEmitterPropagation(t *testing.T) {
+	var got []string
+	ctx := WithEmitter(context.Background(), func(kind string, data any) {
+		got = append(got, kind)
+	})
+	if e := EmitterFrom(ctx); e == nil {
+		t.Fatal("emitter missing")
+	} else {
+		e("pf_round", nil)
+		e("is_batch", nil)
+	}
+	if EmitterFrom(context.Background()) != nil {
+		t.Fatal("want nil emitter from bare context")
+	}
+	if len(got) != 2 || got[0] != "pf_round" {
+		t.Fatalf("events: %v", got)
+	}
+}

@@ -110,6 +110,7 @@ func (e *Ensemble) StepPar(seed int64, weight ParWeight, flush func(scored int),
 			}
 		}
 		var next []linalg.Vector
+		unique := 0
 		if sum <= 0 || math.IsNaN(sum) {
 			next = e.filters[fi] // degenerate round: keep previous cloud
 		} else {
@@ -118,8 +119,9 @@ func (e *Ensemble) StepPar(seed int64, weight ParWeight, flush func(scored int),
 			for i, j := range idx {
 				next[i] = fc[j]
 			}
+			unique = uniqueSources(idx)
 		}
-		records[fi] = StepRecord{Candidates: fc, Weights: fw, Resampled: next}
+		records[fi] = StepRecord{Candidates: fc, Weights: fw, Resampled: next, Unique: unique}
 		e.filters[fi] = next
 		// Pool positively-weighted candidates in index order, matching Step.
 		for i, w := range fw {

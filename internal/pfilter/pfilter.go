@@ -131,6 +131,20 @@ type StepRecord struct {
 	Candidates []linalg.Vector
 	Weights    []float64
 	Resampled  []linalg.Vector
+	// Unique is the number of distinct candidates that survived resampling —
+	// a collapse diagnostic (Unique=1 means the filter sits on one point).
+	// Zero on a degenerate round where the previous cloud was kept.
+	Unique int
+}
+
+// uniqueSources counts the distinct source indices in a resampling index
+// vector.
+func uniqueSources(idx []int) int {
+	seen := make(map[int]struct{}, len(idx))
+	for _, j := range idx {
+		seen[j] = struct{}{}
+	}
+	return len(seen)
 }
 
 // Step advances every filter one prediction/measurement/resampling round and
@@ -161,6 +175,7 @@ func (e *Ensemble) Step(rng *rand.Rand, weight Weight) []StepRecord {
 			}
 		}
 		var next []linalg.Vector
+		unique := 0
 		if total <= 0 || math.IsNaN(total) {
 			next = particles // degenerate round: keep previous cloud
 		} else {
@@ -169,8 +184,9 @@ func (e *Ensemble) Step(rng *rand.Rand, weight Weight) []StepRecord {
 			for i, j := range idx {
 				next[i] = cands[j]
 			}
+			unique = uniqueSources(idx)
 		}
-		records[fi] = StepRecord{Candidates: cands, Weights: ws, Resampled: next}
+		records[fi] = StepRecord{Candidates: cands, Weights: ws, Resampled: next, Unique: unique}
 		e.filters[fi] = next
 		for i, w := range ws {
 			if w > 0 {

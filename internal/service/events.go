@@ -1,0 +1,62 @@
+package service
+
+import "sync"
+
+// DiagEvent is one streamed diagnostic event: Kind names the payload shape
+// ("pf_round", "is_batch"), Seq is a per-job monotonic sequence number that
+// lets a consumer detect drops.
+type DiagEvent struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	Data any    `json:"data"`
+}
+
+// eventRing is a bounded per-job buffer of diagnostic events. The engine
+// publishes at round/batch barriers; SSE consumers drain with a cursor. When
+// a consumer falls behind the ring's capacity, the oldest events are
+// discarded and the consumer learns how many it missed — slow consumers
+// never block the estimator.
+type eventRing struct {
+	mu  sync.Mutex
+	buf []DiagEvent // at most cap entries, oldest first
+	cap int
+	// next is the sequence number the next published event receives; the
+	// oldest buffered event has seq next-len(buf).
+	next uint64
+}
+
+func newEventRing(capacity int) *eventRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &eventRing{cap: capacity}
+}
+
+// publish appends one event, evicting the oldest when full.
+func (r *eventRing) publish(kind string, data any) {
+	r.mu.Lock()
+	if len(r.buf) == r.cap {
+		copy(r.buf, r.buf[1:])
+		r.buf = r.buf[:len(r.buf)-1]
+	}
+	r.buf = append(r.buf, DiagEvent{Seq: r.next, Kind: kind, Data: data})
+	r.next++
+	r.mu.Unlock()
+}
+
+// since returns the buffered events with seq >= cursor, how many events the
+// cursor missed entirely (evicted before this read), and the cursor to use
+// for the next read.
+func (r *eventRing) since(cursor uint64) (events []DiagEvent, dropped uint64, next uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest := r.next - uint64(len(r.buf))
+	if cursor < oldest {
+		dropped = oldest - cursor
+		cursor = oldest
+	}
+	if cursor < r.next {
+		events = append([]DiagEvent(nil), r.buf[cursor-oldest:]...)
+	}
+	return events, dropped, r.next
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ecripse/internal/montecarlo"
+	"ecripse/internal/obsv"
 )
 
 // State is a job lifecycle state.
@@ -40,6 +41,13 @@ type Job struct {
 	cancel  context.CancelFunc
 	done    chan struct{} // closed on entering a terminal state
 
+	// trace records the job's span timeline (service phases plus engine
+	// phases); events buffers convergence diagnostics for SSE consumers.
+	// rawTrace holds the persisted timeline of a recovered job instead.
+	trace    *obsv.Trace
+	events   *eventRing
+	rawTrace json.RawMessage
+
 	// onState observes every committed lifecycle transition (the service
 	// points it at the persistent store). It is invoked outside the job
 	// lock, by the goroutine that performed the transition; the state
@@ -58,7 +66,7 @@ type Job struct {
 }
 
 // newJob creates a queued job whose run context descends from parent.
-func newJob(parent context.Context, id string, spec JobSpec, key string) *Job {
+func newJob(parent context.Context, id string, spec JobSpec, key string, eventCap int) *Job {
 	ctx, cancel := context.WithCancel(parent)
 	return &Job{
 		ID:      id,
@@ -68,6 +76,8 @@ func newJob(parent context.Context, id string, spec JobSpec, key string) *Job {
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
+		trace:   obsv.NewTrace(),
+		events:  newEventRing(eventCap),
 		state:   StateQueued,
 		created: time.Now(),
 	}
@@ -87,6 +97,9 @@ func restoreJob(r RecoveredJob, spec JobSpec, result json.RawMessage) *Job {
 		ctx:      ctx,
 		cancel:   cancel,
 		done:     make(chan struct{}),
+		trace:    obsv.NewTrace(),
+		events:   newEventRing(0),
+		rawTrace: r.Trace,
 		state:    r.State,
 		cached:   r.Cached,
 		errMsg:   r.Error,
@@ -195,6 +208,60 @@ func (j *Job) finishCached(result json.RawMessage) {
 	j.cached = true
 	j.mu.Unlock()
 	j.finish(StateDone, result, "")
+}
+
+// publish buffers one diagnostic event for SSE consumers. Safe to call from
+// the worker at engine barriers; never blocks.
+func (j *Job) publish(kind string, data any) { j.events.publish(kind, data) }
+
+// DiagSince drains diagnostic events at or after cursor. dropped counts
+// events the cursor missed because the ring evicted them (slow consumer);
+// next is the cursor for the following call.
+func (j *Job) DiagSince(cursor uint64) (events []DiagEvent, dropped uint64, next uint64) {
+	return j.events.since(cursor)
+}
+
+// TracePayload renders the job's span timeline as JSON: the live trace for
+// jobs run by this process, or the persisted timeline of a recovered job.
+// Nil when neither exists yet.
+func (j *Job) TracePayload() json.RawMessage {
+	j.mu.Lock()
+	raw := j.rawTrace
+	j.mu.Unlock()
+	if raw != nil {
+		return raw
+	}
+	if j.trace.Len() == 0 {
+		return nil
+	}
+	b, err := json.Marshal(j.trace.Spans())
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// Timeline renders the trace as indented text (empty for recovered jobs,
+// whose spans live only in the persisted JSON).
+func (j *Job) Timeline() string { return j.trace.Timeline() }
+
+// timestamps returns the creation and start times under the job lock.
+func (j *Job) timestamps() (created, started time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created, j.started
+}
+
+// addQueueWaitSpan synthesizes the queue-wait span from the job's own
+// timestamps, once the transition to running has stamped them.
+func (j *Job) addQueueWaitSpan() {
+	j.mu.Lock()
+	created, started := j.created, j.started
+	j.mu.Unlock()
+	if started.IsZero() {
+		return
+	}
+	j.trace.Add("queue.wait", -1, created, started)
 }
 
 // View is the JSON representation of a job served by the API.

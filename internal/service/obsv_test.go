@@ -1,0 +1,350 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/obsv"
+)
+
+// TestMetricsPrometheusLint is the exposition acceptance test: after real
+// traffic, /metrics?format=prometheus must pass the promtool-style lint
+// rules, carry the expected families, and leave the JSON default untouched.
+func TestMetricsPrometheusLint(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCapacity: 4})
+	defer svc.Drain(context.Background())
+	svc.runFn = func(_ context.Context, s JobSpec, c *montecarlo.Counter) (*RunResult, error) {
+		c.Add(int64(s.N))
+		return &RunResult{}, nil
+	}
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	// One executed job and one cache hit so counters and the job-duration
+	// and queue-wait histograms all have samples.
+	for range 2 {
+		if _, status := postJob(t, ts.URL, `{"estimator": "naive", "n": 100, "seed": 9}`); status >= 300 {
+			t.Fatalf("submit status = %d", status)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for svc.Snapshot().Jobs[StateDone] == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("job never finished")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q, want text/plain exposition", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+
+	if problems := obsv.LintProm(text); len(problems) > 0 {
+		t.Fatalf("exposition fails lint:\n%s\n--- exposition ---\n%s",
+			strings.Join(problems, "\n"), text)
+	}
+	for _, want := range []string{
+		"ecripsed_jobs{state=\"done\"} ",
+		"ecripsed_cache_hits_total 1",
+		"ecripsed_workers 1",
+		"ecripsed_build_info{",
+		"ecripsed_job_duration_seconds_bucket{le=\"+Inf\"}",
+		"ecripsed_queue_wait_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The default stays JSON.
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics (json): %v", err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default metrics content type = %q", ct)
+	}
+	var m Metrics
+	if err := json.NewDecoder(resp2.Body).Decode(&m); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if m.UptimeSeconds <= 0 || m.Build.GoVersion == "" {
+		t.Fatalf("snapshot lacks uptime/build info: %+v", m)
+	}
+}
+
+// TestServerTraceEndpoint runs a real ECRIPSE job and requires the trace
+// endpoint to return the full span timeline: the service phases plus the
+// engine phases, with convergence attributes on every particle-filter round.
+func TestServerTraceEndpoint(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCapacity: 4})
+	defer svc.Drain(context.Background())
+	ts := httptest.NewServer(NewServer(svc))
+	defer ts.Close()
+
+	v, status := postJob(t, ts.URL, `{"n": 2000, "seed": 7}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	waitJobHTTP(t, ts.URL, v.ID, StateDone, 2*time.Minute)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	var tr struct {
+		ID    string          `json:"id"`
+		State State           `json:"state"`
+		Spans []obsv.SpanView `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if tr.ID != v.ID || tr.State != StateDone {
+		t.Fatalf("trace header = %+v", tr)
+	}
+
+	count := map[string]int{}
+	for _, sp := range tr.Spans {
+		count[sp.Name]++
+		if sp.DurMS < 0 {
+			t.Errorf("span %q still in flight in a terminal trace", sp.Name)
+		}
+		if sp.Name == "pf.round" {
+			for _, attr := range []string{"round", "ess", "max_weight_frac", "unique", "filters"} {
+				if _, ok := sp.Attrs[attr]; !ok {
+					t.Errorf("pf.round span lacks attr %q: %v", attr, sp.Attrs)
+				}
+			}
+		}
+	}
+	for _, name := range []string{"queue.wait", "run", "persist", "boundary.init", "blockade.train", "stage2.is"} {
+		if count[name] != 1 {
+			t.Errorf("span %q appears %d times, want 1 (spans: %v)", name, count[name], count)
+		}
+	}
+	if count["pf.round"] == 0 {
+		t.Error("no pf.round spans recorded")
+	}
+
+	// Unknown job → 404.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/jxxxxxx/trace")
+	if err != nil {
+		t.Fatalf("GET unknown trace: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events = append(events, sseEvent{event: event, data: strings.TrimPrefix(line, "data: ")})
+		}
+	}
+	return events
+}
+
+// TestServerEventsLifecycleOrdering pins the SSE contract across a full job
+// lifecycle: diagnostic events arrive in sequence order before the final
+// "done" event, which is last and carries the result.
+func TestServerEventsLifecycleOrdering(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCapacity: 4})
+	defer svc.Drain(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	svc.runFn = func(ctx context.Context, s JobSpec, c *montecarlo.Counter) (*RunResult, error) {
+		emit := obsv.EmitterFrom(ctx)
+		if emit == nil {
+			t.Error("runner context carries no emitter")
+			return &RunResult{}, nil
+		}
+		close(started)
+		<-release
+		for i := range 5 {
+			emit("pf_round", map[string]int{"round": i})
+		}
+		emit("is_batch", map[string]int{"samples": 100})
+		c.Add(int64(s.N))
+		return &RunResult{}, nil
+	}
+	srv := NewServer(svc)
+	srv.EventInterval = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	v, status := postJob(t, ts.URL, `{"estimator": "naive", "n": 100, "seed": 21}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	<-started
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	close(release)
+
+	events := readSSE(t, resp.Body)
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	if last := events[len(events)-1]; last.event != "done" {
+		t.Fatalf("last event = %q, want done", last.event)
+	}
+	var kinds []string
+	lastSeq := int64(-1)
+	for _, ev := range events {
+		if ev.event != "diag" {
+			continue
+		}
+		var de DiagEvent
+		if err := json.Unmarshal([]byte(ev.data), &de); err != nil {
+			t.Fatalf("decode diag %q: %v", ev.data, err)
+		}
+		if int64(de.Seq) <= lastSeq {
+			t.Fatalf("diag seq %d not increasing after %d", de.Seq, lastSeq)
+		}
+		lastSeq = int64(de.Seq)
+		kinds = append(kinds, de.Kind)
+	}
+	want := []string{"pf_round", "pf_round", "pf_round", "pf_round", "pf_round", "is_batch"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("diag kinds = %v, want %v", kinds, want)
+	}
+	var progress int
+	for _, ev := range events {
+		if ev.event == "progress" {
+			progress++
+		}
+	}
+	if progress == 0 {
+		t.Fatal("no progress events interleaved")
+	}
+}
+
+// TestServerEventsSlowConsumerDrop fills a small diagnostic ring before any
+// consumer connects: the stream must report how many events were evicted and
+// then deliver the survivors in order — a slow consumer never blocks or
+// crashes the estimator.
+func TestServerEventsSlowConsumerDrop(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCapacity: 4, EventBuffer: 4})
+	defer svc.Drain(context.Background())
+	emitted := make(chan struct{})
+	release := make(chan struct{})
+	svc.runFn = func(ctx context.Context, s JobSpec, c *montecarlo.Counter) (*RunResult, error) {
+		emit := obsv.EmitterFrom(ctx)
+		for i := range 10 {
+			emit("pf_round", map[string]int{"round": i})
+		}
+		close(emitted)
+		<-release
+		return &RunResult{}, nil
+	}
+	srv := NewServer(svc)
+	srv.EventInterval = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	v, status := postJob(t, ts.URL, `{"estimator": "naive", "n": 100, "seed": 22}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	<-emitted
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	close(release)
+
+	events := readSSE(t, resp.Body)
+	var missed uint64
+	var seqs []uint64
+	for _, ev := range events {
+		switch ev.event {
+		case "dropped":
+			var d map[string]uint64
+			if err := json.Unmarshal([]byte(ev.data), &d); err != nil {
+				t.Fatalf("decode dropped %q: %v", ev.data, err)
+			}
+			missed += d["missed"]
+		case "diag":
+			var de DiagEvent
+			if err := json.Unmarshal([]byte(ev.data), &de); err != nil {
+				t.Fatalf("decode diag %q: %v", ev.data, err)
+			}
+			seqs = append(seqs, de.Seq)
+		}
+	}
+	if missed != 6 {
+		t.Fatalf("dropped reported %d missed, want 6 (10 published into a ring of 4)", missed)
+	}
+	if fmt.Sprint(seqs) != fmt.Sprint([]uint64{6, 7, 8, 9}) {
+		t.Fatalf("surviving diag seqs = %v, want [6 7 8 9]", seqs)
+	}
+}
+
+// TestEventRing pins the cursor arithmetic of the diagnostic ring.
+func TestEventRing(t *testing.T) {
+	r := newEventRing(3)
+	if ev, dropped, next := r.since(0); len(ev) != 0 || dropped != 0 || next != 0 {
+		t.Fatalf("empty ring: %v %d %d", ev, dropped, next)
+	}
+	for i := range 5 {
+		r.publish("k", i)
+	}
+	ev, dropped, next := r.since(0)
+	if dropped != 2 || next != 5 {
+		t.Fatalf("since(0): dropped=%d next=%d", dropped, next)
+	}
+	if len(ev) != 3 || ev[0].Seq != 2 || ev[2].Seq != 4 {
+		t.Fatalf("since(0) events = %+v", ev)
+	}
+	// A caught-up cursor reads nothing, drops nothing.
+	if ev, dropped, _ := r.since(next); len(ev) != 0 || dropped != 0 {
+		t.Fatalf("caught-up read: %v %d", ev, dropped)
+	}
+	// A partially-behind cursor inside the buffer drops nothing.
+	if ev, dropped, _ := r.since(3); dropped != 0 || len(ev) != 2 || ev[0].Seq != 3 {
+		t.Fatalf("partial read: %v %d", ev, dropped)
+	}
+}

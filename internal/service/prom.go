@@ -1,0 +1,68 @@
+package service
+
+import (
+	"io"
+
+	"ecripse/internal/obsv"
+)
+
+// WritePrometheus renders the metrics snapshot plus the service histograms in
+// the Prometheus text exposition format (version 0.0.4). Counters here mirror
+// the JSON snapshot — both read the same underlying state, so scraping either
+// endpoint tells the same story.
+func (s *Service) WritePrometheus(w io.Writer) error {
+	m := s.Snapshot()
+	p := obsv.NewPromWriter(w)
+
+	p.Gauge("ecripsed_build_info",
+		"Build identity of the serving binary (value is always 1).", 1,
+		[2]string{"go_version", m.Build.GoVersion},
+		[2]string{"revision", m.Build.Revision})
+	p.Gauge("ecripsed_uptime_seconds",
+		"Seconds since the service started.", m.UptimeSeconds)
+
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateCanceled, StateFailed} {
+		p.Gauge("ecripsed_jobs",
+			"Jobs currently known to the service, by lifecycle state.",
+			float64(m.Jobs[st]), [2]string{"state", string(st)})
+	}
+	p.Gauge("ecripsed_queue_depth", "Jobs waiting in the queue.", float64(m.QueueDepth))
+	p.Gauge("ecripsed_queue_capacity", "Capacity of the job queue.", float64(m.QueueCapacity))
+	p.Gauge("ecripsed_workers", "Size of the worker pool.", float64(m.Workers))
+	p.Gauge("ecripsed_workers_busy", "Workers currently executing a job.", float64(m.WorkersBusy))
+	p.Gauge("ecripsed_draining", "1 while the service is draining, else 0.", boolGauge(m.Draining))
+
+	p.Counter("ecripsed_cache_hits_total", "Result-cache hits.", float64(m.CacheHits))
+	p.Counter("ecripsed_cache_misses_total", "Result-cache misses.", float64(m.CacheMisses))
+	p.Gauge("ecripsed_cache_size", "Entries in the result cache.", float64(m.CacheSize))
+	p.Counter("ecripsed_cache_evictions_total", "Result-cache evictions.", float64(m.CacheEvictions))
+	p.Counter("ecripsed_cache_evicted_cost_total",
+		"Total simulation cost of evicted cache entries.", float64(m.CacheEvictedCost))
+
+	p.Counter("ecripsed_sims_total",
+		"Transistor-level simulations consumed across all known jobs.", float64(m.SimsTotal))
+	p.Counter("ecripsed_solver_root_solves_total",
+		"Half-cell root solves, process-wide.", float64(m.SolverRootSolves))
+	p.Counter("ecripsed_solver_iterations_total",
+		"Illinois iterations spent in root solves, process-wide.", float64(m.SolverIters))
+
+	if m.Store != nil {
+		p.Counter("ecripsed_store_appends_total", "Journal records appended.", float64(m.Store.Appends))
+		p.Counter("ecripsed_store_compactions_total", "Snapshot compactions.", float64(m.Store.Compactions))
+		p.Gauge("ecripsed_store_segment_bytes", "Size of the live journal segment.", float64(m.Store.SegmentBytes))
+		p.Counter("ecripsed_store_append_errors_total", "Journal appends that failed.", float64(m.Store.AppendErrors))
+	}
+
+	p.Histogram(s.tel.jobDuration)
+	p.Histogram(s.tel.queueWait)
+	p.Histogram(s.tel.indicator)
+	p.Histogram(s.tel.rootIters)
+	return p.Err()
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

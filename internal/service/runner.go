@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"math"
 	"math/rand"
+	"time"
 
 	"ecripse/internal/blockade"
 	"ecripse/internal/core"
 	"ecripse/internal/linalg"
 	"ecripse/internal/montecarlo"
+	"ecripse/internal/obsv"
 	"ecripse/internal/rtn"
 	"ecripse/internal/sis"
 	"ecripse/internal/sram"
@@ -23,6 +25,28 @@ type RunResult struct {
 	Series   []SeriesPoint `json:"series,omitempty"`
 	Cost     CostSplit     `json:"cost"`
 	Sweep    []SweepPoint  `json:"sweep,omitempty"`
+	// PFRounds carries the ECRIPSE stage-1 convergence diagnostics (one
+	// entry per particle-filter round; a sweep reports its last run's, like
+	// Estimate/Series). Deterministic, hence cache-safe.
+	PFRounds []core.PFRoundDiag `json:"pf_rounds,omitempty"`
+}
+
+// runHooks carries the service's observational instruments into the runner.
+// They ride the context so Config.RunFunc keeps its signature; everything
+// here is optional and result-neutral.
+type runHooks struct {
+	indicatorHist *obsv.Histogram
+}
+
+type hooksKey struct{}
+
+func withRunHooks(ctx context.Context, h runHooks) context.Context {
+	return context.WithValue(ctx, hooksKey{}, h)
+}
+
+func hooksFrom(ctx context.Context) runHooks {
+	h, _ := ctx.Value(hooksKey{}).(runHooks)
+	return h
 }
 
 // jsonFloat marshals like float64 but renders non-finite values as null
@@ -79,6 +103,7 @@ type SeriesPoint struct {
 	P      float64   `json:"p"`
 	CI95   float64   `json:"ci95"`
 	RelErr jsonFloat `json:"rel_err"`
+	Var    float64   `json:"var,omitempty"`
 }
 
 func toSeries(s stats.Series) []SeriesPoint {
@@ -87,7 +112,7 @@ func toSeries(s stats.Series) []SeriesPoint {
 	}
 	out := make([]SeriesPoint, len(s))
 	for i, p := range s {
-		out[i] = SeriesPoint{Sims: p.Sims, P: p.P, CI95: p.CI95, RelErr: jsonFloat(p.RelErr)}
+		out[i] = SeriesPoint{Sims: p.Sims, P: p.P, CI95: p.CI95, RelErr: jsonFloat(p.RelErr), Var: p.Var}
 	}
 	return out
 }
@@ -156,6 +181,8 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 	snm := &sram.SNMOptions{GridN: 24, BisectIter: 24, Telemetry: tel}
 	mode := s.failureMode()
 
+	hooks := hooksFrom(ctx)
+
 	// fails is the counted 0/1 indicator in the normalized space, matching
 	// the closures of the top-level library facade exactly.
 	fails := func(x linalg.Vector) bool {
@@ -173,16 +200,26 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 			return cell.Fails(sh, snm)
 		}
 	}
+	if h := hooks.indicatorHist; h != nil {
+		inner := fails
+		fails = func(x linalg.Vector) bool {
+			t0 := time.Now()
+			failed := inner(x)
+			h.Observe(time.Since(t0).Seconds())
+			return failed
+		}
+	}
 
 	switch s.Estimator {
 	case EstECRIPSE:
 		eng := core.NewEngine(cell, counter, core.Options{
 			NIS: s.N, M: s.M, Mode: mode, NoClassifier: s.NoClassifier,
 			AdaptiveGrid: s.AdaptiveGrid, Parallelism: s.Parallelism,
+			IndicatorHist: hooks.indicatorHist,
 		})
 		if len(s.Sweep) > 0 {
 			cfg := rtn.TableIConfig(cell)
-			eng.Init(rng)
+			eng.InitCtx(ctx, rng)
 			out := &RunResult{}
 			for _, a := range s.Sweep {
 				r, err := eng.RunCtx(ctx, rng, rtn.NewSampler(cell, cfg, a))
@@ -192,8 +229,10 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 				}
 				out.Sweep = append(out.Sweep, SweepPoint{Alpha: a, Estimate: toEstimate(r.Estimate)})
 				// The last point's estimate/series double as the top-level
-				// ones so single-point sweeps read like plain jobs.
+				// ones so single-point sweeps read like plain jobs; the
+				// diagnostics follow the same convention.
 				out.Estimate, out.Series = toEstimate(r.Estimate), toSeries(r.Series)
+				out.PFRounds = r.PFRounds
 			}
 			return out, nil
 		}
@@ -202,7 +241,7 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 			sampler = rtn.NewSampler(cell, rtn.TableIConfig(cell), s.Alpha)
 		}
 		r, err := eng.RunCtx(ctx, rng, sampler)
-		out := &RunResult{Estimate: toEstimate(r.Estimate), Series: toSeries(r.Series)}
+		out := &RunResult{Estimate: toEstimate(r.Estimate), Series: toSeries(r.Series), PFRounds: r.PFRounds}
 		addCost(&out.Cost, r)
 		return out, err
 
@@ -285,6 +324,15 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 				return cell.HoldSNM(sh, snm)
 			default:
 				return cell.ReadSNM(sh, snm)
+			}
+		}
+		if h := hooks.indicatorHist; h != nil {
+			inner := g
+			g = func(x linalg.Vector) float64 {
+				t0 := time.Now()
+				v := inner(x)
+				h.Observe(time.Since(t0).Seconds())
+				return v
 			}
 		}
 		r, err := subset.EstimateCtx(ctx, rng, sram.NumTransistors, g, &subset.Options{N: s.N})

@@ -14,8 +14,9 @@ import (
 //	GET    /v1/jobs             list jobs (no results)  → 200 [view...]
 //	GET    /v1/jobs/{id}        status + result         → 200 view
 //	GET    /v1/jobs/{id}/events progress stream (SSE)   → text/event-stream
+//	GET    /v1/jobs/{id}/trace  span timeline           → 200 {id, state, spans}
 //	DELETE /v1/jobs/{id}        cancel                  → 202 view (409 view if already terminal)
-//	GET    /metrics             expvar-style JSON
+//	GET    /metrics             expvar-style JSON (?format=prometheus for text exposition)
 //	GET    /healthz             liveness (503 while draining)
 type Server struct {
 	svc *Service
@@ -32,6 +33,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -140,6 +142,20 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		State State  `json:"state"`
 		Sims  int64  `json:"sims"`
 	}
+	// drain forwards buffered convergence diagnostics since the cursor. A
+	// consumer that fell behind the ring first learns how many events it
+	// missed, then gets the survivors in order.
+	var cursor uint64
+	drain := func() {
+		events, dropped, next := j.DiagSince(cursor)
+		cursor = next
+		if dropped > 0 {
+			emit("dropped", map[string]uint64{"missed": dropped})
+		}
+		for _, ev := range events {
+			emit("diag", ev)
+		}
+	}
 	ticker := time.NewTicker(s.EventInterval)
 	defer ticker.Stop()
 	for {
@@ -147,22 +163,59 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-j.Done():
+			drain()
 			emit("done", j.Snapshot(true))
 			return
 		case <-ticker.C:
+			drain()
 			emit("progress", progress{ID: j.ID, State: j.State(), Sims: j.Sims()})
 		}
 	}
 }
 
+// handleTrace serves the job's span timeline: the live trace for jobs run by
+// this process, or the persisted timeline of a recovered job.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	spans := j.TracePayload()
+	if spans == nil {
+		spans = json.RawMessage("[]")
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID    string          `json:"id"`
+		State State           `json:"state"`
+		Spans json.RawMessage `json:"spans"`
+	}{ID: j.ID, State: j.State(), Spans: spans})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.svc.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.svc.Snapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	build := ReadBuildInfo()
+	body := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.svc.Uptime().Seconds(),
+		"go_version":     build.GoVersion,
+	}
+	if build.Revision != "" {
+		body["revision"] = build.Revision
+	}
 	if s.svc.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
 }

@@ -5,13 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ecripse/internal/montecarlo"
+	"ecripse/internal/obsv"
 	"ecripse/internal/sram"
 )
 
@@ -41,6 +43,15 @@ type Config struct {
 	// runner. It exists so tests — including out-of-package crash-recovery
 	// tests — can make scheduling deterministic and cheap.
 	RunFunc func(context.Context, JobSpec, *montecarlo.Counter) (*RunResult, error)
+
+	// Logger receives structured service logs (job transitions, persistence
+	// failures, recovery warnings). Nil selects slog.Default().
+	Logger *slog.Logger
+
+	// EventBuffer is the per-job diagnostic-event ring capacity for SSE
+	// consumers (default 256). A consumer that falls further behind loses
+	// the oldest events and is told how many it missed.
+	EventBuffer int
 }
 
 func (c *Config) fill() {
@@ -67,6 +78,39 @@ func (c *Config) fill() {
 	if c.RunFunc == nil {
 		c.RunFunc = runSpec
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+}
+
+// telemetry bundles the service's fixed-bucket histograms. All four are
+// allocation-free atomic observers; the solver histogram is additionally
+// registered as the process-wide sram solve observer.
+type telemetry struct {
+	jobDuration *obsv.Histogram // run wall time, seconds
+	queueWait   *obsv.Histogram // queued → running, seconds
+	indicator   *obsv.Histogram // one true-indicator evaluation, seconds
+	rootIters   *obsv.Histogram // Illinois iterations per root solve
+}
+
+func newTelemetry() *telemetry {
+	return &telemetry{
+		jobDuration: obsv.NewHistogram("ecripsed_job_duration_seconds",
+			"Wall time of a job from start of execution to its terminal state.",
+			obsv.ExpBuckets(0.01, 2, 16)),
+		queueWait: obsv.NewHistogram("ecripsed_queue_wait_seconds",
+			"Time a job spent queued before a worker picked it up.",
+			obsv.ExpBuckets(0.001, 4, 10)),
+		indicator: obsv.NewHistogram("ecripsed_indicator_seconds",
+			"Wall time of one true-indicator evaluation (one transistor-level simulation).",
+			obsv.ExpBuckets(1e-5, 2, 16)),
+		rootIters: obsv.NewHistogram("ecripsed_root_solve_iterations",
+			"Illinois iterations per half-cell root solve (per-curve average).",
+			obsv.LinearBuckets(4, 4, 12)),
+	}
 }
 
 // Service owns the job store, the bounded queue, the worker pool and the
@@ -89,6 +133,10 @@ type Service struct {
 	// runFn executes a job spec; tests substitute it to make scheduling
 	// behavior (backpressure, drain, races) deterministic and cheap.
 	runFn func(context.Context, JobSpec, *montecarlo.Counter) (*RunResult, error)
+
+	log     *slog.Logger
+	tel     *telemetry
+	started time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -124,8 +172,15 @@ func New(cfg Config) *Service {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		runFn:      cfg.RunFunc,
+		log:        cfg.Logger,
+		tel:        newTelemetry(),
+		started:    time.Now(),
 		jobs:       make(map[string]*Job),
 	}
+	// Route per-curve solver tallies into the iterations histogram. The
+	// registration is process-global, like TotalSolveTelemetry; the newest
+	// service wins, which only matters to tests creating several.
+	sram.RegisterSolveObserver(s.tel.rootIters)
 	for key, payload := range rec.Results {
 		s.cache.put(key, payload, costFromPayload(payload))
 	}
@@ -146,7 +201,7 @@ func (s *Service) restore(rj RecoveredJob, results map[string]json.RawMessage) {
 	}
 	var spec JobSpec
 	if err := json.Unmarshal(rj.Spec, &spec); err != nil {
-		log.Printf("service: recovery: job %s has undecodable spec, dropping: %v", rj.ID, err)
+		s.log.Warn("recovery: dropping job with undecodable spec", "job", rj.ID, "err", err)
 		return
 	}
 	// Re-apply the parallelism cap: the journal may predate a config change.
@@ -164,7 +219,7 @@ func (s *Service) restore(rj RecoveredJob, results map[string]json.RawMessage) {
 		return
 	}
 	s.replayed++
-	j := newJob(s.baseCtx, rj.ID, spec, rj.Key)
+	j := newJob(s.baseCtx, rj.ID, spec, rj.Key, s.cfg.EventBuffer)
 	j.onState = s.onJobState
 	s.track(j)
 	if payload, ok := s.cache.get(rj.Key); ok {
@@ -178,11 +233,28 @@ func (s *Service) restore(rj RecoveredJob, results map[string]json.RawMessage) {
 	}
 }
 
-// onJobState persists every committed job transition.
+// onJobState persists every committed job transition, logs it with
+// structured fields, and feeds the latency histograms: the queued→running
+// edge observes queue wait, the terminal edge observes run duration.
 func (s *Service) onJobState(j *Job, state State, errMsg string, at time.Time) {
+	created, started := j.timestamps()
+	switch {
+	case state == StateRunning:
+		s.tel.queueWait.Observe(at.Sub(created).Seconds())
+		s.log.Debug("job state", "job", j.ID, "state", state)
+	case state.Terminal():
+		if !started.IsZero() {
+			s.tel.jobDuration.Observe(at.Sub(started).Seconds())
+		}
+		if errMsg != "" {
+			s.log.Info("job finished", "job", j.ID, "state", state, "sims", j.Sims(), "err", errMsg)
+		} else {
+			s.log.Info("job finished", "job", j.ID, "state", state, "sims", j.Sims())
+		}
+	}
 	if err := s.st.AppendState(j.ID, state, errMsg, at); err != nil {
 		s.appendErrs.Add(1)
-		log.Printf("service: persist %s -> %s: %v", j.ID, state, err)
+		s.log.Error("persist state failed", "job", j.ID, "state", state, "err", err)
 	}
 }
 
@@ -214,8 +286,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	if payload, ok := s.cache.get(key); ok {
-		j := newJob(s.baseCtx, id, spec, key)
+		j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
 		j.onState = s.onJobState
+		j.trace.Add("cache.hit", -1, j.created, time.Now())
 		s.persistSubmit(j, raw, true)
 		j.finishCached(payload)
 		s.track(j)
@@ -225,7 +298,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
-	j := newJob(s.baseCtx, id, spec, key)
+	j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
 	j.onState = s.onJobState
 	// The submit record goes to the journal before the job can reach a
 	// worker, so replay never sees a transition for an unknown job. A
@@ -238,7 +311,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		s.remove(j)
 		if derr := s.st.AppendDrop(j.ID); derr != nil {
 			s.appendErrs.Add(1)
-			log.Printf("service: persist drop %s: %v", j.ID, derr)
+			s.log.Error("persist drop failed", "job", j.ID, "err", derr)
 		}
 		return nil, err
 	}
@@ -250,7 +323,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 func (s *Service) persistSubmit(j *Job, raw json.RawMessage, cached bool) {
 	if err := s.st.AppendSubmit(j.ID, raw, j.Key, cached, j.created); err != nil {
 		s.appendErrs.Add(1)
-		log.Printf("service: persist submit %s: %v", j.ID, err)
+		s.log.Error("persist submit failed", "job", j.ID, "err", err)
 	}
 }
 
@@ -328,19 +401,33 @@ func (s *Service) execute(j *Job) {
 	if !j.markRunning() {
 		return // cancelled while queued
 	}
+	j.addQueueWaitSpan()
 	defer func() {
 		if r := recover(); r != nil {
 			j.finish(StateFailed, nil, fmt.Sprintf("panic: %v", r))
+			s.persistTrace(j)
 		}
 	}()
 
-	res, err := s.runFn(j.ctx, j.Spec, j.counter)
+	// Thread the telemetry carriers into the runner: the span trace, the
+	// diagnostic-event emitter (feeding the job's SSE ring), and the
+	// service histograms the estimator observes into. None of them affect
+	// the computed result.
+	ctx := obsv.WithTrace(j.ctx, j.trace)
+	ctx = obsv.WithEmitter(ctx, j.publish)
+	ctx = withRunHooks(ctx, runHooks{indicatorHist: s.tel.indicator})
+	runCtx, runSpan := obsv.StartSpan(ctx, "run", obsv.S("job", j.ID))
+
+	res, err := s.runFn(runCtx, j.Spec, j.counter)
+	runSpan.SetAttr(obsv.I("sims", j.Sims()))
+	runSpan.End()
 
 	var payload json.RawMessage
 	if res != nil {
 		b, merr := json.Marshal(res)
 		if merr != nil {
 			j.finish(StateFailed, nil, "marshal result: "+merr.Error())
+			s.persistTrace(j)
 			return
 		}
 		payload = b
@@ -351,16 +438,34 @@ func (s *Service) execute(j *Job) {
 		// payloads are deliberately not persisted either — a restored
 		// canceled job carries its error but no payload.
 		j.finish(StateCanceled, payload, err.Error())
+		s.persistTrace(j)
 		return
 	}
+	_, pspan := obsv.StartSpan(ctx, "persist")
 	s.cache.put(j.Key, payload, res.Cost.Total)
 	// Result before the done record: a crash between the two replays the
 	// job as running and re-derives the identical payload.
 	if perr := s.st.AppendResult(j.Key, payload); perr != nil {
 		s.appendErrs.Add(1)
-		log.Printf("service: persist result %s: %v", j.ID, perr)
+		s.log.Error("persist result failed", "job", j.ID, "err", perr)
 	}
+	pspan.End()
 	j.finish(StateDone, payload, "")
+	s.persistTrace(j)
+}
+
+// persistTrace appends the job's finished span timeline. Traces ride the
+// journal keyed by job ID — wall-clock data never enters the content-
+// addressed result set, so cache soundness is untouched.
+func (s *Service) persistTrace(j *Job) {
+	payload := j.TracePayload()
+	if payload == nil {
+		return
+	}
+	if err := s.st.AppendTrace(j.ID, payload); err != nil {
+		s.appendErrs.Add(1)
+		s.log.Error("persist trace failed", "job", j.ID, "err", err)
+	}
 }
 
 // Metrics is the expvar-style snapshot served at /metrics.
@@ -385,12 +490,53 @@ type Metrics struct {
 	SolverRootSolves int64 `json:"solver_root_solves"`
 	SolverIters      int64 `json:"solver_iters"`
 	Draining         bool  `json:"draining"`
+	// UptimeSeconds and Build identify the serving process.
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Build         BuildInfo `json:"build"`
 	// ReplayedJobs counts jobs re-enqueued (or re-answered from the
 	// restored cache) during boot recovery.
 	ReplayedJobs int `json:"replayed_jobs,omitempty"`
 	// Store carries the persistence counters; absent without a data dir.
 	Store *StoreStats `json:"store,omitempty"`
 }
+
+// BuildInfo identifies the running binary: toolchain version and, when the
+// binary was built inside a VCS checkout, the revision stamped by the go
+// tool.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// ReadBuildInfo reports the process build identity (cached after first use).
+func ReadBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, kv := range bi.Settings {
+				switch kv.Key {
+				case "vcs.revision":
+					buildInfo.Revision = kv.Value
+				case "vcs.time":
+					buildInfo.VCSTime = kv.Value
+				case "vcs.modified":
+					buildInfo.Modified = kv.Value == "true"
+				}
+			}
+		}
+	})
+	return buildInfo
+}
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.started) }
 
 // Snapshot assembles the current metrics.
 func (s *Service) Snapshot() Metrics {
@@ -402,6 +548,8 @@ func (s *Service) Snapshot() Metrics {
 		WorkersBusy:   s.pool.busy.Load(),
 		Draining:      s.draining.Load(),
 		ReplayedJobs:  s.replayed,
+		UptimeSeconds: s.Uptime().Seconds(),
+		Build:         ReadBuildInfo(),
 	}
 	if _, nop := s.st.(nopStore); !nop {
 		st := s.st.Stats()

@@ -35,6 +35,11 @@ type Store interface {
 	// AppendDrop voids a submit record whose enqueue failed (queue full):
 	// replay must not resurrect the job.
 	AppendDrop(id string) error
+	// AppendTrace records a finished job's span timeline (the marshaled
+	// obsv span views). Unlike results, traces are keyed by job — wall-clock
+	// timings are not deterministic, so they never enter the content-
+	// addressed result set.
+	AppendTrace(id string, trace json.RawMessage) error
 	// Stats reports persistence counters for /metrics; a store without
 	// durability returns the zero value.
 	Stats() StoreStats
@@ -65,6 +70,9 @@ type RecoveredJob struct {
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// Trace is the persisted span timeline of a finished job (nil when the
+	// job never finished or predates trace persistence).
+	Trace json.RawMessage
 }
 
 // StoreStats are the persistence counters surfaced at /metrics.
@@ -90,5 +98,6 @@ func (nopStore) AppendSubmit(string, json.RawMessage, string, bool, time.Time) e
 func (nopStore) AppendState(string, State, string, time.Time) error { return nil }
 func (nopStore) AppendResult(string, json.RawMessage) error         { return nil }
 func (nopStore) AppendDrop(string) error                            { return nil }
+func (nopStore) AppendTrace(string, json.RawMessage) error          { return nil }
 func (nopStore) Stats() StoreStats                                  { return StoreStats{} }
 func (nopStore) Close() error                                       { return nil }

@@ -1,6 +1,8 @@
 package sram
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+)
 
 // SolveTelemetry accumulates root-solver effort counters. The estimators'
 // cost model counts indicator calls; these counters expose what one
@@ -38,4 +40,36 @@ var totalTelemetry SolveTelemetry
 // totals since start — the figures the service's /metrics endpoint exposes.
 func TotalSolveTelemetry() (solves, iters int64) {
 	return totalTelemetry.Solves.Load(), totalTelemetry.Iters.Load()
+}
+
+// SolveObserver receives per-curve solver tallies: v is the mean Illinois
+// iteration count per root solve over the curve, n the number of solves. The
+// service registers its root-solve-iterations histogram here; ObserveN on an
+// atomic-bucket histogram satisfies the signature directly.
+type SolveObserver interface {
+	ObserveN(v float64, n int64)
+}
+
+// solveObserver is the registered observer, read with one atomic load per
+// curve — nil (the default) costs a pointer load and a branch.
+var solveObserver atomic.Pointer[SolveObserver]
+
+// RegisterSolveObserver installs obs as the process-wide solver observer
+// (nil unregisters). Later registrations replace earlier ones.
+func RegisterSolveObserver(obs SolveObserver) {
+	if obs == nil {
+		solveObserver.Store(nil)
+		return
+	}
+	solveObserver.Store(&obs)
+}
+
+// recordGlobal folds a per-curve tally into the process-wide counters and
+// the registered observer, if any. Called once per curve/solve batch, never
+// from the solver inner loop.
+func recordGlobal(solves, iters int64) {
+	totalTelemetry.add(solves, iters)
+	if p := solveObserver.Load(); p != nil && solves > 0 {
+		(*p).ObserveN(float64(iters)/float64(solves), solves)
+	}
 }

@@ -188,7 +188,7 @@ func (c *Cell) HalfVTC(side Side, vin float64, sh Shifts, opts *VTCOptions) floa
 	h := c.half(side, sh, &o)
 	v, iters := h.solve(vin, -0.2, c.Vdd+0.2, o.BisectIter)
 	o.Telemetry.add(1, int64(iters))
-	totalTelemetry.add(1, int64(iters))
+	recordGlobal(1, int64(iters))
 	return v
 }
 
@@ -250,5 +250,5 @@ func (c *Cell) readVTCInto(side Side, sh Shifts, n int, o *VTCOptions, in, out [
 		hi = v + 1e-6
 	}
 	o.Telemetry.add(solves, iters)
-	totalTelemetry.add(solves, iters)
+	recordGlobal(solves, iters)
 }

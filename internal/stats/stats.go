@@ -96,6 +96,11 @@ type Point struct {
 	P      float64
 	CI95   float64
 	RelErr float64
+	// Var is the unbiased sample variance of the estimator's terms at this
+	// point — for importance sampling, the weight variance, the convergence
+	// diagnostic that stalls when the proposal has stopped matching the
+	// integrand. Deterministic, so safe to persist alongside the estimate.
+	Var float64
 }
 
 // Series is an ordered convergence trace.

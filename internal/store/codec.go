@@ -21,6 +21,9 @@ const (
 	OpResult Op = "result"
 	// OpDrop voids a submit whose enqueue was refused (queue full).
 	OpDrop Op = "drop"
+	// OpTrace attaches a finished job's span timeline. Traces are job-keyed
+	// (wall-clock data, never content-addressed) and replace on re-run.
+	OpTrace Op = "trace"
 )
 
 // Record is one journal entry. Seq is assigned by the store and is strictly
@@ -36,6 +39,7 @@ type Record struct {
 	Error  string          `json:"error,omitempty"`
 	Cached bool            `json:"cached,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	Trace  json.RawMessage `json:"trace,omitempty"`
 	At     time.Time       `json:"at"`
 }
 

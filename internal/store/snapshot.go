@@ -21,6 +21,9 @@ type jobState struct {
 	Created  time.Time       `json:"created"`
 	Started  time.Time       `json:"started"`
 	Finished time.Time       `json:"finished"`
+	// Trace is the job's persisted span timeline, if it finished under a
+	// trace-recording service. Absent in older snapshots (same version).
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // memState is the materialized journal: what a replay of every record up to
@@ -86,6 +89,13 @@ func (m *memState) apply(rec *Record, logf func(string, ...any)) {
 		}
 	case OpResult:
 		m.Results[rec.Key] = rec.Result
+	case OpTrace:
+		js, ok := m.index[rec.Job]
+		if !ok {
+			logf("store: replay: trace for unknown job %s (seq %d), ignoring", rec.Job, rec.Seq)
+			break
+		}
+		js.Trace = rec.Trace
 	case OpDrop:
 		if js, ok := m.index[rec.Job]; ok {
 			delete(m.index, rec.Job)
@@ -121,6 +131,7 @@ func (m *memState) recovery() *service.Recovery {
 			Created:  js.Created,
 			Started:  js.Started,
 			Finished: js.Finished,
+			Trace:    js.Trace,
 		})
 	}
 	return rec

@@ -227,6 +227,11 @@ func (fs *FileStore) AppendDrop(id string) error {
 	return fs.append(Record{Op: OpDrop, Job: id})
 }
 
+// AppendTrace implements service.Store.
+func (fs *FileStore) AppendTrace(id string, trace json.RawMessage) error {
+	return fs.append(Record{Op: OpTrace, Job: id, Trace: trace})
+}
+
 // Stats implements service.Store.
 func (fs *FileStore) Stats() service.StoreStats {
 	fs.mu.Lock()
