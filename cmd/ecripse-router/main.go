@@ -1,0 +1,174 @@
+// Command ecripse-router is the cluster coordinator: it fronts N ecripsed
+// shards with the full single-node HTTP API, partitioning jobs across them
+// by spec content hash over a consistent-hash ring.
+//
+// Usage:
+//
+//	ecripse-router -addr :8090 \
+//	    -shards s1=http://10.0.0.1:8080,s2=http://10.0.0.2:8080 \
+//	    -api-keys keys.json -data-dir /var/lib/ecripse-router
+//
+// Every submit is dispatched to the shard owning the spec's content hash —
+// so a repeat of the same spec through any entry point lands where its
+// result is cached — unless another shard already holds the cached result,
+// in which case the submit is steered there and answered without
+// recomputation. GET/DELETE/SSE requests follow the job to its shard;
+// /metrics rolls the whole cluster up (add ?format=prometheus for a
+// shard-labeled text exposition).
+//
+// With -data-dir set, every dispatch is journaled. A shard that stops
+// answering health probes is removed from the ring and its unfinished jobs
+// are re-enqueued on their ring successors; because specs are deterministic,
+// the re-run reproduces exactly the results the dead shard would have
+// produced. With -api-keys set, the router authenticates clients and
+// enforces per-tenant rate limits and quotas at the cluster's front door;
+// the shards themselves can then stay on a private network.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ecripse/internal/cluster"
+	"ecripse/internal/service"
+	"ecripse/internal/store"
+)
+
+func main() {
+	var (
+		addr              = flag.String("addr", ":8090", "listen address")
+		shardsFlag        = flag.String("shards", "", "comma-separated shard list, name=url each (required)")
+		vnodes            = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		apiKeys           = flag.String("api-keys", "", "JSON array of tenant API keys; empty disables auth")
+		dataDir           = flag.String("data-dir", "", "journal dispatched jobs here; empty keeps the table in memory")
+		fsync             = flag.Bool("fsync", true, "fsync the journal on every append")
+		probeInterval     = flag.Duration("probe-interval", 2*time.Second, "shard health-probe period")
+		probeFails        = flag.Int("probe-fails", 3, "consecutive probe failures that mark a shard down")
+		maxBody           = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request-body size limit in bytes (oversized submits answer 413)")
+		maxBatch          = flag.Int("max-batch", service.DefaultMaxBatchJobs, "max specs in one POST /v1/jobs:batch")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slow-loris guard)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+		logLevel          = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("invalid -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	shards, err := parseShards(*shardsFlag)
+	if err != nil {
+		logger.Error("invalid -shards", "err", err)
+		os.Exit(2)
+	}
+
+	cfg := cluster.Config{
+		Shards:        shards,
+		VirtualNodes:  *vnodes,
+		MaxBodyBytes:  *maxBody,
+		MaxBatchJobs:  *maxBatch,
+		ProbeInterval: *probeInterval,
+		ProbeFailures: *probeFails,
+		Logger:        logger,
+	}
+	if *apiKeys != "" {
+		tenants, terr := service.LoadTenants(*apiKeys)
+		if terr != nil {
+			logger.Error("load API keys", "path", *apiKeys, "err", terr)
+			os.Exit(1)
+		}
+		cfg.Tenants = tenants
+	}
+	var closeStore func()
+	if *dataDir != "" {
+		st, serr := store.Open(*dataDir, store.Options{
+			NoSync: !*fsync,
+			Logf: func(format string, args ...any) {
+				logger.Info("store", "msg", fmt.Sprintf(format, args...))
+			},
+		})
+		if serr != nil {
+			logger.Error("open store", "dir", *dataDir, "err", serr)
+			os.Exit(1)
+		}
+		cfg.Store = st
+		closeStore = func() {
+			if cerr := st.Close(); cerr != nil {
+				logger.Error("close store", "err", cerr)
+			}
+		}
+	}
+
+	rt, err := cluster.NewRouter(cfg)
+	if err != nil {
+		logger.Error("build router", "err", err)
+		os.Exit(1)
+	}
+	rt.Start()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("routing", "addr", *addr, "shards", len(shards), "auth", *apiKeys != "")
+
+	select {
+	case err := <-errCh:
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("signal received, shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("shutdown", "err", err)
+	}
+	rt.Close()
+	if closeStore != nil {
+		closeStore()
+	}
+	logger.Info("bye")
+}
+
+// parseShards parses "s1=http://host:8080,s2=http://host2:8080".
+func parseShards(s string) ([]cluster.Shard, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("at least one shard is required (-shards name=url,...)")
+	}
+	var out []cluster.Shard
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("malformed shard %q (want name=url)", part)
+		}
+		out = append(out, cluster.Shard{Name: name, URL: url})
+	}
+	return out, nil
+}

@@ -14,18 +14,28 @@
 // re-run reproduces the lost results). Without it, state lives in process
 // memory as before.
 //
-// Endpoints: POST/GET/DELETE /v1/jobs[/{id}], GET /v1/jobs/{id}/events
-// (SSE progress and convergence diagnostics), GET /v1/jobs/{id}/trace (span
-// timeline), GET /metrics (JSON; ?format=prometheus for text exposition),
+// Endpoints: POST/GET/DELETE /v1/jobs[/{id}], POST /v1/jobs:batch,
+// GET /v1/jobs/{id}/events (SSE progress and convergence diagnostics),
+// GET /v1/jobs/{id}/trace (span timeline), GET /v1/cache/{key} (peer cache
+// lookup), GET /metrics (JSON; ?format=prometheus for text exposition),
 // GET /healthz. With -debug-addr set, net/http/pprof and expvar are served
 // on a separate listener (keep it private — it exposes heap and goroutine
 // internals). See the README's "Running the service" and "Observability"
 // sections for a walkthrough. SIGINT/SIGTERM trigger a graceful drain:
 // intake stops, running jobs finish, then the process exits.
+//
+// Clustering: with -node-id and -peers set, the node becomes one shard of a
+// multi-node cluster — every node is an entry point, jobs are partitioned
+// across nodes by spec content hash over a consistent-hash ring, submits a
+// peer already computed are answered from its cache, and a dead peer's
+// dispatched jobs are re-enqueued on their ring successors. With -api-keys
+// set, clients authenticate with bearer keys and are rate-limited and
+// quota-accounted per tenant. See the README's "Cluster" section.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -35,9 +45,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ecripse/internal/cluster"
 	"ecripse/internal/service"
 	"ecripse/internal/store"
 )
@@ -55,6 +67,15 @@ func main() {
 		compactBytes = flag.Int64("compact-bytes", 8<<20, "journal segment size that triggers snapshot compaction (<0 disables)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+
+		nodeID            = flag.String("node-id", "", "shard name in a cluster; prefixes job IDs (required with -peers)")
+		peersFlag         = flag.String("peers", "", "comma-separated peer shards, name=url each; turns the node into a cluster entry point")
+		apiKeys           = flag.String("api-keys", "", "JSON array of tenant API keys; empty disables auth")
+		maxBody           = flag.Int64("max-body", service.DefaultMaxBodyBytes, "request-body size limit in bytes (oversized submits answer 413)")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slow-loris guard)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+		probeInterval     = flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
+		probeFails        = flag.Int("probe-fails", 3, "consecutive probe failures that mark a peer down")
 	)
 	flag.Parse()
 
@@ -66,12 +87,45 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		logger.Error("invalid -peers", "err", err)
+		os.Exit(2)
+	}
+	if len(peers) > 0 && *nodeID == "" {
+		logger.Error("-peers requires -node-id")
+		os.Exit(2)
+	}
+	var tenants *service.Tenants
+	if *apiKeys != "" {
+		tenants, err = service.LoadTenants(*apiKeys)
+		if err != nil {
+			logger.Error("load API keys", "path", *apiKeys, "err", err)
+			os.Exit(1)
+		}
+	}
+
 	cfg := service.Config{
 		Workers:           *workers,
 		QueueCapacity:     *queueCap,
 		CacheCapacity:     *cacheCap,
 		MaxJobParallelism: *jobParallel,
+		NodeID:            *nodeID,
+		Tenants:           tenants,
 		Logger:            logger,
+	}
+	// The cluster dispatch layer is built after the service (it wraps the
+	// service's HTTP handler), so the read-through hook closes over a slot
+	// filled in below. Submits only arrive once the listener is up, well
+	// after the slot is set.
+	var rt *cluster.Router
+	if len(peers) > 0 {
+		cfg.RemoteCache = func(key string) (json.RawMessage, bool) {
+			if rt == nil {
+				return nil, false
+			}
+			return rt.PeerCacheLookup(context.Background(), key)
+		}
 	}
 	var closeStore func()
 	if *dataDir != "" {
@@ -99,7 +153,36 @@ func main() {
 	if m := svc.Snapshot(); m.ReplayedJobs > 0 {
 		logger.Info("recovery replayed interrupted jobs", "jobs", m.ReplayedJobs)
 	}
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc)}
+	api := service.NewServer(svc)
+	api.MaxBodyBytes = *maxBody
+	api.Tenants = tenants
+
+	handler := http.Handler(api)
+	if len(peers) > 0 {
+		rt, err = cluster.NewRouter(cluster.Config{
+			Shards:        append(peers, cluster.Shard{Name: *nodeID, Local: api}),
+			Tenants:       tenants,
+			MaxBodyBytes:  *maxBody,
+			ProbeInterval: *probeInterval,
+			ProbeFailures: *probeFails,
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Error("build cluster layer", "err", err)
+			os.Exit(1)
+		}
+		rt.Start()
+		defer rt.Close()
+		handler = rt
+		logger.Info("cluster mode", "node", *nodeID, "peers", len(peers))
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	if *debugAddr != "" {
 		dbg := http.NewServeMux()
@@ -144,4 +227,21 @@ func main() {
 		closeStore()
 	}
 	logger.Info("bye")
+}
+
+// parsePeers parses "s2=http://host:8080,s3=http://host2:8080" ("" → none).
+func parsePeers(s string) ([]cluster.Shard, error) {
+	var out []cluster.Shard
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("malformed peer %q (want name=url)", part)
+		}
+		out = append(out, cluster.Shard{Name: name, URL: url})
+	}
+	return out, nil
 }

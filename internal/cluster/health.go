@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"ecripse/internal/service"
+)
+
+// probeLoop drives periodic health probes until Close. Each tick probes
+// every remote shard, folds the outcomes into the ring, and re-enqueues any
+// journaled job still mapped to a dead shard onto its ring successor.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.probeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.probeStop:
+			return
+		case <-ticker.C:
+			rt.ProbeOnce(context.Background())
+		}
+	}
+}
+
+// ProbeOnce runs one full probe round: every remote shard's /healthz under
+// the probe timeout, ring membership updates on up/down transitions, then a
+// redispatch sweep for jobs stranded on dead shards. Exported so tests (and
+// operators embedding the router) can drive failover deterministically.
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	for _, name := range rt.names {
+		t := rt.targets[name]
+		if t.isLocal() {
+			continue // a node never probes itself
+		}
+		pctx, cancel := context.WithTimeout(ctx, rt.probeTimeout)
+		err := t.healthz(pctx)
+		cancel()
+		switch t.markProbe(err == nil, rt.probeFails) {
+		case -1:
+			rt.downEvents.Add(1)
+			rt.ring.Remove(name)
+			rt.log.Warn("shard down, removed from ring", "shard", name, "err", err)
+		case +1:
+			rt.ring.Add(name)
+			rt.log.Info("shard recovered, restored to ring", "shard", name)
+		}
+	}
+	rt.redispatchStranded(ctx)
+}
+
+// redispatchStranded re-enqueues every non-terminal job whose shard is not
+// alive onto the key's current ring owner — with the dead shard removed,
+// that is exactly its ring successor. The sweep runs every probe round, so a
+// redispatch that fails (successor briefly unreachable) is retried rather
+// than lost. Specs are deterministic, so the re-run reproduces the result
+// the dead shard would have produced; if any surviving shard has the key
+// cached the re-enqueue is answered from cache without recomputation.
+func (rt *Router) redispatchStranded(ctx context.Context) {
+	rt.mu.Lock()
+	var stranded []*routedJob
+	for _, j := range rt.order {
+		if j.Terminal || j.Spec == nil {
+			continue
+		}
+		t, ok := rt.targets[j.Shard]
+		if !ok || !t.Alive() {
+			stranded = append(stranded, j)
+		}
+	}
+	rt.mu.Unlock()
+	for _, j := range stranded {
+		rt.redispatch(ctx, j)
+	}
+}
+
+// redispatch moves one stranded job: prefer a shard that already holds the
+// cached result, else the ring owner, and re-submit the journaled spec as
+// cluster-internal traffic re-authenticated as the original tenant (never
+// re-charged — the client paid at the original submit).
+func (rt *Router) redispatch(ctx context.Context, j *routedJob) {
+	tgt, _ := rt.pickTarget(ctx, j.Key)
+	if tgt == nil {
+		rt.log.Warn("redispatch: no shard available", "job", j.ID)
+		return
+	}
+	var src *http.Request
+	if key, ok := rt.tenants.KeyFor(j.Tenant); ok {
+		src = &http.Request{Header: http.Header{}}
+		src.Header.Set("Authorization", "Bearer "+key)
+	}
+	rt.forwards[tgt.name].Add(1)
+	resp, err := tgt.do(ctx, http.MethodPost, "/v1/jobs", j.Spec, src)
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		rt.log.Warn("redispatch failed", "job", j.ID, "shard", tgt.name, "err", err)
+		return
+	}
+	if resp.status != http.StatusOK && resp.status != http.StatusAccepted {
+		rt.log.Warn("redispatch refused", "job", j.ID, "shard", tgt.name, "status", resp.status)
+		return
+	}
+	var view service.View
+	if err := json.Unmarshal(resp.body, &view); err != nil {
+		rt.log.Warn("redispatch: malformed view", "job", j.ID, "err", err)
+		return
+	}
+	rt.mu.Lock()
+	j.Shard, j.RemoteID = tgt.name, view.ID
+	rt.mu.Unlock()
+	rt.redispatched.Add(1)
+	rt.log.Info("redispatched stranded job", "job", j.ID, "shard", tgt.name, "remote", view.ID)
+	if rt.st != nil {
+		if err := rt.st.AppendOwner(j.ID, tgt.name, view.ID); err != nil {
+			rt.appendErrs.Add(1)
+			rt.log.Error("journal placement failed", "job", j.ID, "err", err)
+		}
+	}
+	rt.markTerminal(j, &view) // a cache-answered re-enqueue is born done
+}

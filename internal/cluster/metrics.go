@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"ecripse/internal/obsv"
+	"ecripse/internal/service"
+)
+
+// RouterStats is the router's own counter block inside the /metrics JSON.
+type RouterStats struct {
+	Shards       int              `json:"shards"`
+	ShardsUp     int              `json:"shards_up"`
+	JobsTracked  int              `json:"jobs_tracked"`
+	Forwards     map[string]int64 `json:"forwards"`
+	CacheRouted  int64            `json:"cache_routed"`
+	Redispatched int64            `json:"redispatched"`
+	ProxyErrors  int64            `json:"proxy_errors"`
+	DownEvents   int64            `json:"down_events"`
+	AppendErrors int64            `json:"append_errors,omitempty"`
+}
+
+// ClusterMetrics is the JSON body of the router's /metrics endpoint: the
+// router's own dispatch counters plus every reachable shard's full snapshot.
+type ClusterMetrics struct {
+	Router RouterStats                 `json:"router"`
+	Shards map[string]*service.Metrics `json:"shards"`
+	// ShardErrors reports shards whose snapshot could not be fetched.
+	ShardErrors map[string]string `json:"shard_errors,omitempty"`
+}
+
+func (rt *Router) stats() RouterStats {
+	rs := RouterStats{
+		Shards:       len(rt.names),
+		Forwards:     make(map[string]int64, len(rt.names)),
+		CacheRouted:  rt.cacheRouted.Load(),
+		Redispatched: rt.redispatched.Load(),
+		ProxyErrors:  rt.proxyErrs.Load(),
+		DownEvents:   rt.downEvents.Load(),
+		AppendErrors: rt.appendErrs.Load(),
+	}
+	for _, name := range rt.names {
+		rs.Forwards[name] = rt.forwards[name].Load()
+		if rt.targets[name].Alive() {
+			rs.ShardsUp++
+		}
+	}
+	rt.mu.Lock()
+	rs.JobsTracked = len(rt.jobs)
+	rt.mu.Unlock()
+	return rs
+}
+
+// collectShardMetrics fetches every alive shard's JSON snapshot concurrently.
+func (rt *Router) collectShardMetrics(ctx context.Context) (map[string]*service.Metrics, map[string]string) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	snaps := make(map[string]*service.Metrics, len(rt.names))
+	errs := map[string]string{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range rt.names {
+		t := rt.targets[name]
+		if !t.Alive() {
+			errs[name] = "shard down"
+			continue
+		}
+		wg.Add(1)
+		go func(name string, t *target) {
+			defer wg.Done()
+			m, err := t.metricsJSON(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err.Error()
+				return
+			}
+			snaps[name] = m
+		}(name, t)
+	}
+	wg.Wait()
+	if len(errs) == 0 {
+		errs = nil
+	}
+	return snaps, errs
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = rt.WritePrometheus(r.Context(), w)
+		return
+	}
+	snaps, errs := rt.collectShardMetrics(r.Context())
+	writeJSON(w, http.StatusOK, ClusterMetrics{Router: rt.stats(), Shards: snaps, ShardErrors: errs})
+}
+
+// WritePrometheus renders the cluster roll-up in the Prometheus text
+// exposition format: the router's own ecripse_router_* series, one up gauge
+// per shard, and the key per-shard ecripsed_* series re-emitted with a
+// shard label so one scrape of the router shows the whole cluster.
+func (rt *Router) WritePrometheus(ctx context.Context, w io.Writer) error {
+	rs := rt.stats()
+	snaps, _ := rt.collectShardMetrics(ctx)
+	p := obsv.NewPromWriter(w)
+
+	p.Gauge("ecripse_router_shards", "Shards configured in the ring.", float64(rs.Shards))
+	p.Gauge("ecripse_router_jobs_tracked",
+		"Jobs in the router's dispatch table.", float64(rs.JobsTracked))
+	p.Counter("ecripse_router_cache_routed_total",
+		"Submits steered to a non-owner shard that already held the cached result.", float64(rs.CacheRouted))
+	p.Counter("ecripse_router_redispatched_total",
+		"Jobs re-enqueued onto a ring successor after their shard died.", float64(rs.Redispatched))
+	p.Counter("ecripse_router_proxy_errors_total",
+		"Shard requests that failed in transit.", float64(rs.ProxyErrors))
+	p.Counter("ecripse_router_shard_down_events_total",
+		"Up-to-down shard transitions observed by the health prober.", float64(rs.DownEvents))
+
+	for _, name := range rt.names {
+		lbl := [2]string{"shard", name}
+		up := 0.0
+		if rt.targets[name].Alive() {
+			up = 1
+		}
+		p.Gauge("ecripse_router_shard_up",
+			"1 while the shard answers health probes, else 0.", up, lbl)
+		p.Counter("ecripse_router_forwards_total",
+			"Requests dispatched to the shard.", float64(rs.Forwards[name]), lbl)
+
+		m, ok := snaps[name]
+		if !ok {
+			continue
+		}
+		for _, st := range []service.State{service.StateQueued, service.StateRunning,
+			service.StateDone, service.StateCanceled, service.StateFailed} {
+			p.Gauge("ecripsed_jobs",
+				"Jobs currently known to the shard, by lifecycle state.",
+				float64(m.Jobs[st]), lbl, [2]string{"state", string(st)})
+		}
+		p.Gauge("ecripsed_queue_depth", "Jobs waiting in the shard's queue.",
+			float64(m.QueueDepth), lbl)
+		p.Gauge("ecripsed_workers_busy", "Workers executing a job on the shard.",
+			float64(m.WorkersBusy), lbl)
+		p.Counter("ecripsed_cache_hits_total", "Result-cache hits on the shard.",
+			float64(m.CacheHits), lbl)
+		p.Counter("ecripsed_cache_misses_total", "Result-cache misses on the shard.",
+			float64(m.CacheMisses), lbl)
+		p.Counter("ecripsed_remote_cache_hits_total",
+			"Shard submits answered from a peer's result cache.",
+			float64(m.RemoteCacheHits), lbl)
+		p.Counter("ecripsed_sims_total",
+			"Transistor-level simulations consumed on the shard.",
+			float64(m.SimsTotal), lbl)
+		p.Gauge("ecripsed_uptime_seconds", "Seconds since the shard started.",
+			m.UptimeSeconds, lbl)
+	}
+	return p.Err()
+}

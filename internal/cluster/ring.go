@@ -1,0 +1,182 @@
+// Package cluster turns several ecripsed processes into one logical
+// yield-analysis service. It partitions jobs across shards by their
+// content-addressed spec hash over a consistent-hash ring (so a spec always
+// lands on the same shard and a repeat submit through any entry point is a
+// cache hit there), forwards the single-node HTTP API to the owning shard,
+// fans batch submissions out shard-by-shard, probes peer health, and
+// re-enqueues a dead shard's dispatched jobs onto its ring successor.
+//
+// Two deployments share the same dispatch code:
+//
+//   - a dedicated coordinator (cmd/ecripse-router) that owns no jobs itself
+//     and proxies everything to its shards, and
+//   - the embedded -peers mode of ecripsed, where every node is an entry
+//     point: submits it owns run locally, the rest are forwarded.
+//
+// Determinism is untouched: routing only chooses *where* a spec runs. The
+// spec hash, the estimator bits and the cached payloads are byte-identical
+// to the single-node service.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVirtualNodes is the per-node virtual-point count of a Ring when the
+// caller passes 0. 128 points per node keeps the largest/smallest ownership
+// arc within a few percent of ideal for small clusters (see ring_test.go)
+// while membership changes stay O(vnodes·log n).
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Keys (hex spec hashes)
+// map to the node owning the first ring point at or after the key's hash;
+// adding or removing a node only remaps the arcs adjacent to its points, so
+// membership changes move a minimal fraction of keys.
+//
+// All methods are safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates an empty ring with the given virtual-node count per node
+// (0 selects DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+// ringHash maps a string onto the ring: 64-bit FNV-1a followed by a full
+// avalanche finalizer. Hand-rolled so ring placement is an explicit,
+// platform-independent function of the node name and key bytes — the
+// ownership fixture in ring_test.go pins it. The finalizer matters: bare
+// FNV-1a of short structured inputs ("s1#17") leaves the high bits — the
+// bits the sorted ring search keys on — poorly mixed, and the resulting
+// point clustering skews node ownership by 50% or more (see TestRingBalance).
+func ringHash(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// Murmur3-style 64-bit finalizer: every input bit diffuses to every
+	// output bit.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Add inserts a node's virtual points. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(node + "#" + strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node's virtual points; keys it owned fall to the next
+// point clockwise — its ring successors. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports whether the node is currently a ring member.
+func (r *Ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.nodes[node]
+	return ok
+}
+
+// Nodes returns the current members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owner returns the node owning key: the first ring point at or after the
+// key's hash, wrapping at the top. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct nodes in ring order starting at the key's
+// owner: the owner itself, then its successors. This is the failover order —
+// when the owner is down, the next entry is exactly the node that would own
+// the key were the owner removed from the ring.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticKeys returns n distinct hex-ish keys shaped like spec hashes.
+func syntheticKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", uint64(i)*0x9e3779b97f4a7c15+0x6a09e667f3bcc908)
+	}
+	return keys
+}
+
+// ownershipFixture pins ring placement for a 3-node, 64-vnode ring. The
+// values were produced by this implementation and are asserted verbatim so
+// any change to the hash, the vnode naming or the search breaks loudly —
+// the router's dispatch tests and the failover tests both lean on exactly
+// this placement function.
+func ownershipFixture() (nodes []string, vnodes int, table [][3]string) {
+	return []string{"s1", "s2", "s3"}, 64, [][3]string{
+		{"0000000000000000000000000000000000000000000000000000000000000000", "s1", "s3"},
+		{"6a09e667f3bcc908b2fb1366ea957d3e3adec17512774e31a7dbbf8e076a417f", "s2", "s1"},
+		{"bb67ae8584caa73b25742d7078b83b8944da2ecfa268fb7d8ee8a36a20c8cf2f", "s1", "s2"},
+		{"3c6ef372fe94f82ba54ff53a5f1d36f1e8c7b156e2b1d4b8b5d2c5a9f3e1d086", "s3", "s1"},
+		{"a54ff53a5f1d36f16b0c8d2e4f7a9b3c1d5e7f90a2b4c6d8e0f1a3b5c7d9eb0d", "s1", "s3"},
+		{"510e527fade682d19b05688c2b3e6c1f8d4a7e2b5c8f1a4d7b0e3c6f9a2d5b8e", "s1", "s2"},
+		{"9b05688c2b3e6c1f510e527fade682d1f8d4a7e2b5c8f1a4d7b0e3c6f9a2d5b8", "s1", "s2"},
+		{"1f83d9abfb41bd6b5be0cd19137e2179a2b4c6d8e0f1a3b5c7d9eb0d6a09e667", "s1", "s3"},
+	}
+}
+
+func TestRingOwnershipFixture(t *testing.T) {
+	nodes, vnodes, table := ownershipFixture()
+	r := NewRing(vnodes)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	for _, row := range table {
+		key, wantOwner, wantNext := row[0], row[1], row[2]
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%s, 2) returned %v", key[:8], owners)
+		}
+		if owners[0] != wantOwner || owners[1] != wantNext {
+			t.Errorf("key %s…: owners = %v, fixture wants [%s %s]", key[:8], owners, wantOwner, wantNext)
+		}
+		// The advertised failover property: the second owner is exactly who
+		// owns the key once the first is removed from the ring.
+		r.Remove(owners[0])
+		succ, ok := r.Owner(key)
+		if !ok || succ != wantNext {
+			t.Errorf("key %s…: successor after removing %s = %s, want %s", key[:8], owners[0], succ, wantNext)
+		}
+		r.Add(owners[0])
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0) // DefaultVirtualNodes
+	nodes := []string{"s1", "s2", "s3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	keys := syntheticKeys(30000)
+	for _, k := range keys {
+		owner, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("Owner on a populated ring returned !ok")
+		}
+		counts[owner]++
+	}
+	ideal := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		share := float64(counts[n]) / ideal
+		if share < 0.70 || share > 1.30 {
+			t.Errorf("node %s owns %.2fx its ideal share (%d keys) — ring is unbalanced: %v",
+				n, share, counts[n], counts)
+		}
+	}
+}
+
+func TestRingMinimalRemappingOnLeave(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"s1", "s2", "s3", "s4"} {
+		r.Add(n)
+	}
+	keys := syntheticKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	r.Remove("s2")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if before[k] == "s2" {
+			// Every orphaned key must land somewhere else…
+			if after == "s2" {
+				t.Fatalf("key %s… still owned by the removed node", k[:8])
+			}
+			moved++
+		} else if after != before[k] {
+			// …and no key owned by a survivor may move at all.
+			t.Fatalf("key %s… moved %s→%s though its owner never left", k[:8], before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned no keys — balance test should have caught this")
+	}
+
+	// Re-adding restores the exact original placement: membership is the
+	// only input to ownership.
+	r.Add("s2")
+	for _, k := range keys {
+		if got, _ := r.Owner(k); got != before[k] {
+			t.Fatalf("key %s… owner %s after rejoin, want %s", k[:8], got, before[k])
+		}
+	}
+}
+
+func TestRingMinimalRemappingOnJoin(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"s1", "s2", "s3", "s4"} {
+		r.Add(n)
+	}
+	keys := syntheticKeys(20000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	r.Add("s5")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after != before[k] {
+			if after != "s5" {
+				t.Fatalf("key %s… moved %s→%s on join — only moves onto the joiner are minimal", k[:8], before[k], after)
+			}
+			moved++
+		}
+	}
+	// The joiner should take roughly 1/5 of the keyspace; well under the
+	// 1/4-per-node it would disturb under naive modulo hashing.
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.32 {
+		t.Errorf("join moved %.1f%% of keys, want ≈20%%", 100*frac)
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := r.Owners("anything", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+
+	r.Add("s1")
+	r.Add("s1") // duplicate is a no-op
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Add, want 1", r.Len())
+	}
+	if owners := r.Owners("k", 5); len(owners) != 1 || owners[0] != "s1" {
+		t.Fatalf("Owners on 1-node ring = %v, want [s1]", owners)
+	}
+	r.Remove("absent") // no-op
+	if !r.Has("s1") || r.Has("s2") {
+		t.Fatal("Has is wrong")
+	}
+
+	r.Remove("s1")
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removing the only node, want 0", r.Len())
+	}
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("emptied ring still claims an owner")
+	}
+}

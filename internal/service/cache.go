@@ -58,6 +58,18 @@ func (c *cache) get(key string) (json.RawMessage, bool) {
 	return nil, false
 }
 
+// peek returns the cached payload without recording a hit or miss and
+// without refreshing recency. Peer cache lookups use it so remote probes
+// neither skew the hit rate nor keep entries alive artificially.
+func (c *cache) peek(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*cacheEntry).val, true
+	}
+	return nil, false
+}
+
 // put stores the payload with its recompute cost (simulations spent
 // producing it), evicting the cheapest entry among the evictScan least
 // recently used ones when over capacity. Re-putting an existing key

@@ -35,6 +35,11 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 	Key  string // content address of the spec (cache key)
+	// Tenant names the authenticated API client that submitted the job
+	// ("" with auth off). Set before the job is tracked, then read-only —
+	// and deliberately not part of the spec, so multi-tenant traffic still
+	// shares one content-addressed cache entry per distinct spec.
+	Tenant string
 
 	counter *montecarlo.Counter
 	ctx     context.Context
@@ -93,6 +98,7 @@ func restoreJob(r RecoveredJob, spec JobSpec, result json.RawMessage) *Job {
 		ID:       r.ID,
 		Spec:     spec,
 		Key:      r.Key,
+		Tenant:   r.Tenant,
 		counter:  &montecarlo.Counter{},
 		ctx:      ctx,
 		cancel:   cancel,
@@ -269,6 +275,7 @@ type View struct {
 	ID         string          `json:"id"`
 	State      State           `json:"state"`
 	Cached     bool            `json:"cached,omitempty"`
+	Tenant     string          `json:"tenant,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Sims       int64           `json:"sims"`
 	CreatedAt  string          `json:"created_at"`
@@ -287,6 +294,7 @@ func (j *Job) Snapshot(withResult bool) View {
 		ID:        j.ID,
 		State:     j.state,
 		Cached:    j.cached,
+		Tenant:    j.Tenant,
 		Error:     j.errMsg,
 		Sims:      j.counter.Count(),
 		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),

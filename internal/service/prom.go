@@ -2,6 +2,7 @@ package service
 
 import (
 	"io"
+	"sort"
 
 	"ecripse/internal/obsv"
 )
@@ -38,6 +39,25 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 	p.Counter("ecripsed_cache_evictions_total", "Result-cache evictions.", float64(m.CacheEvictions))
 	p.Counter("ecripsed_cache_evicted_cost_total",
 		"Total simulation cost of evicted cache entries.", float64(m.CacheEvictedCost))
+	p.Counter("ecripsed_remote_cache_hits_total",
+		"Submits answered from a peer shard's result cache.", float64(m.RemoteCacheHits))
+
+	if len(m.Tenants) > 0 {
+		names := make([]string, 0, len(m.Tenants))
+		for name := range m.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tv := m.Tenants[name]
+			p.Counter("ecripsed_tenant_jobs_total",
+				"Submits accepted per tenant.", float64(tv.Jobs), [2]string{"tenant", name})
+			p.Counter("ecripsed_tenant_sims_total",
+				"Simulations attributed to finished jobs per tenant.", float64(tv.Sims), [2]string{"tenant", name})
+			p.Counter("ecripsed_tenant_rejected_total",
+				"Submits rejected by rate limit or quota per tenant.", float64(tv.Rejected), [2]string{"tenant", name})
+		}
+	}
 
 	p.Counter("ecripsed_sims_total",
 		"Transistor-level simulations consumed across all known jobs.", float64(m.SimsTotal))

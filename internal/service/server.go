@@ -5,43 +5,137 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
+
+// ForwardedHeader marks a request proxied by a cluster peer or router. The
+// entry point already authenticated and rate-limited the client, so the
+// receiving shard skips re-charging the tenant (and the cluster layer uses
+// it to stop forwarding loops). Spoofing it from outside the cluster only
+// bypasses rate accounting, never authentication — forwarded requests still
+// need a valid API key when the shard enforces one.
+const ForwardedHeader = "X-Ecripse-Forwarded"
+
+// isForwarded reports whether a peer already charged this request's tenant.
+func isForwarded(r *http.Request) bool { return r.Header.Get(ForwardedHeader) != "" }
 
 // Server exposes a Service over HTTP/JSON:
 //
 //	POST   /v1/jobs             submit a JobSpec        → 202 job view (200 on a cache hit)
+//	POST   /v1/jobs:batch       submit [JobSpec...]     → 200 [{status, job|error}...]
 //	GET    /v1/jobs             list jobs (no results)  → 200 [view...]
 //	GET    /v1/jobs/{id}        status + result         → 200 view
 //	GET    /v1/jobs/{id}/events progress stream (SSE)   → text/event-stream
 //	GET    /v1/jobs/{id}/trace  span timeline           → 200 {id, state, spans}
 //	DELETE /v1/jobs/{id}        cancel                  → 202 view (409 view if already terminal)
+//	GET    /v1/cache/{key}      result by content key   → 200 payload (peer cache lookups)
 //	GET    /metrics             expvar-style JSON (?format=prometheus for text exposition)
 //	GET    /healthz             liveness (503 while draining)
+//
+// With Tenants configured, /v1/* requests (except /v1/cache/, whose sha-256
+// keys are capabilities — intra-cluster peers present no API key) require a
+// valid API key and submits are charged against the tenant's token bucket
+// and quotas; rejections answer 429 with a Retry-After header. Submit
+// bodies beyond MaxBodyBytes answer 413.
 type Server struct {
 	svc *Service
 	mux *http.ServeMux
 
 	// EventInterval is the progress-event period of /events streams.
 	EventInterval time.Duration
+
+	// MaxBodyBytes caps a submit body (single or batch); oversized specs
+	// answer 413 instead of buffering unbounded attacker-controlled JSON.
+	// Zero selects DefaultMaxBodyBytes; negative disables the cap.
+	MaxBodyBytes int64
+
+	// MaxBatchJobs caps the spec count of one POST /v1/jobs:batch request
+	// (default DefaultMaxBatchJobs).
+	MaxBatchJobs int
+
+	// Tenants enables API-key auth and fairness enforcement. Nil (the
+	// default) keeps the service open, exactly as before.
+	Tenants *Tenants
 }
+
+// DefaultMaxBodyBytes bounds one submit body. Specs are small (a custom
+// cell plus a sweep grid is well under 16 KiB); 1 MiB leaves two orders of
+// magnitude of headroom while still refusing junk uploads.
+const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultMaxBatchJobs bounds one batch submission.
+const DefaultMaxBatchJobs = 1024
 
 // NewServer wires the routes for the service.
 func NewServer(svc *Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux(), EventInterval: 250 * time.Millisecond}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs:batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: authenticate /v1/* (when tenants are
+// configured), then dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Tenants != nil && strings.HasPrefix(r.URL.Path, "/v1/") &&
+		!strings.HasPrefix(r.URL.Path, "/v1/cache/") {
+		t, err := s.Tenants.Authenticate(r)
+		if err != nil {
+			writeError(w, http.StatusUnauthorized, err.Error())
+			return
+		}
+		r = r.WithContext(WithTenant(r.Context(), t))
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// limitBody applies the configured request-body cap.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	limit := s.MaxBodyBytes
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	if limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
+}
+
+// submitErrStatus maps a decode or Submit error onto its response, setting
+// Retry-After on the back-pressure statuses (full queue, rate limit, quota)
+// so sweep drivers back off instead of hot-looping.
+func submitErrStatus(w http.ResponseWriter, err error) int {
+	setRetry := func(v string) {
+		if w != nil {
+			w.Header().Set("Retry-After", v)
+		}
+	}
+	var rle *RateLimitError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &rle):
+		setRetry(strconv.Itoa(int(rle.RetryAfter.Seconds())))
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueFull):
+		setRetry("1")
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -56,28 +150,114 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("spec exceeds the %d-byte body limit", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decode spec: "+err.Error())
 		return
 	}
-	j, err := s.svc.Submit(spec)
+	tenant := TenantFrom(r.Context())
+	if !isForwarded(r) {
+		if err := s.Tenants.Acquire(tenant, 1); err != nil {
+			writeError(w, submitErrStatus(w, err), err.Error())
+			return
+		}
+	}
+	j, err := s.svc.SubmitAs(tenant.Name(), spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, submitErrStatus(w, err), err.Error())
 	case j.State() == StateDone:
 		writeJSON(w, http.StatusOK, j.Snapshot(true)) // cache hit: answered inline
 	default:
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.Snapshot(false))
 	}
+}
+
+// BatchItem is one element of a batch-submit response, aligned by index
+// with the request's spec array. Status carries the HTTP code the spec
+// would have received as a single submit.
+type BatchItem struct {
+	Status int    `json:"status"`
+	Job    *View  `json:"job,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleBatch submits an array of specs in one request, amortizing HTTP
+// overhead for externally driven sweeps. Fairness is atomic: the tenant is
+// charged len(specs) up front and a rejection refuses the whole batch with
+// 429 + Retry-After. Per-spec failures (bad spec, full queue) surface in
+// the per-item status without failing the rest.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	var specs []JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch exceeds the %d-byte body limit", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode batch: "+err.Error())
+		return
+	}
+	maxJobs := s.MaxBatchJobs
+	if maxJobs <= 0 {
+		maxJobs = DefaultMaxBatchJobs
+	}
+	if len(specs) == 0 || len(specs) > maxJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch must carry 1..%d specs (got %d)", maxJobs, len(specs)))
+		return
+	}
+	tenant := TenantFrom(r.Context())
+	if !isForwarded(r) {
+		if err := s.Tenants.Acquire(tenant, len(specs)); err != nil {
+			writeError(w, submitErrStatus(w, err), err.Error())
+			return
+		}
+	}
+	items := make([]BatchItem, len(specs))
+	for i, spec := range specs {
+		j, err := s.svc.SubmitAs(tenant.Name(), spec)
+		if err != nil {
+			items[i] = BatchItem{Status: submitErrStatus(nil, err), Error: err.Error()}
+			continue
+		}
+		view := j.Snapshot(false)
+		status := http.StatusAccepted
+		if view.State == StateDone {
+			status = http.StatusOK
+		}
+		items[i] = BatchItem{Status: status, Job: &view}
+	}
+	writeJSON(w, http.StatusOK, items)
+}
+
+// handleCacheLookup answers a peer shard's read-through probe: the raw
+// result payload for a content key, or 404. Keys are sha-256 content
+// addresses — knowing one means knowing the full spec, so the endpoint
+// leaks nothing an API key would protect.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	payload, ok := s.svc.CachedResult(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "key not cached")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,27 @@ type Config struct {
 	// Store persists job events and results across restarts. Nil selects
 	// the in-memory no-op store (nothing survives the process).
 	Store Store
+
+	// NodeID namespaces job IDs with a shard name ("s1" → "s1-j000001") so
+	// IDs minted by several shards never collide behind a cluster router.
+	// Empty keeps the single-node "j000001" form. The prefix never enters
+	// the spec hash — routing must not perturb cache keys.
+	NodeID string
+
+	// Tenants is the multi-tenant control plane: API-key authentication,
+	// token-bucket rate limits and quota accounting enforced at submit by
+	// the HTTP layer. Nil means open access (the single-user default).
+	// Recovered usage is replayed into it and changes are persisted through
+	// Store.AppendTenant.
+	Tenants *Tenants
+
+	// RemoteCache is the cluster read-through hook: consulted on a local
+	// cache miss before a job is enqueued, typically wired to a fan-out
+	// lookup across peer shards (GET /v1/cache/{key}). A hit is answered
+	// like a local one — done, flagged cached, zero new simulations — and
+	// the payload is adopted into the local cache. Determinism makes this
+	// sound: any node's payload for a key is byte-identical.
+	RemoteCache func(key string) (json.RawMessage, bool)
 
 	// RunFunc substitutes the job runner; nil selects the real estimator
 	// runner. It exists so tests — including out-of-package crash-recovery
@@ -129,6 +151,7 @@ type Service struct {
 
 	replayed   int          // jobs re-enqueued or re-answered at boot
 	appendErrs atomic.Int64 // store appends that failed (logged, not fatal)
+	remoteHits atomic.Int64 // submits answered via the cluster read-through
 
 	// runFn executes a job spec; tests substitute it to make scheduling
 	// behavior (backpressure, drain, races) deterministic and cheap.
@@ -181,6 +204,17 @@ func New(cfg Config) *Service {
 	// registration is process-global, like TotalSolveTelemetry; the newest
 	// service wins, which only matters to tests creating several.
 	sram.RegisterSolveObserver(s.tel.rootIters)
+	// Replay recovered tenant usage, then persist future changes. The
+	// replay precedes OnUsage so boot does not re-journal what it just read.
+	for name, u := range rec.Tenants {
+		cfg.Tenants.SetUsage(name, u)
+	}
+	cfg.Tenants.OnUsage(func(name string, u TenantUsage) {
+		if err := s.st.AppendTenant(name, u); err != nil {
+			s.appendErrs.Add(1)
+			s.log.Error("persist tenant usage failed", "tenant", name, "err", err)
+		}
+	})
 	for key, payload := range rec.Results {
 		s.cache.put(key, payload, costFromPayload(payload))
 	}
@@ -195,8 +229,14 @@ func New(cfg Config) *Service {
 // submit record — the store already holds one — but re-run jobs do append
 // their new transitions, so a second crash replays from the furthest state.
 func (s *Service) restore(rj RecoveredJob, results map[string]json.RawMessage) {
+	// IDs are "j000001" or, under Config.NodeID, "s1-j000001"; the counter
+	// always follows the last 'j'.
 	var n int64
-	if _, err := fmt.Sscanf(rj.ID, "j%d", &n); err == nil && n > s.nextID {
+	num := rj.ID
+	if i := strings.LastIndexByte(num, 'j'); i >= 0 {
+		num = num[i:]
+	}
+	if _, err := fmt.Sscanf(num, "j%d", &n); err == nil && n > s.nextID {
 		s.nextID = n
 	}
 	var spec JobSpec
@@ -220,6 +260,7 @@ func (s *Service) restore(rj RecoveredJob, results map[string]json.RawMessage) {
 	}
 	s.replayed++
 	j := newJob(s.baseCtx, rj.ID, spec, rj.Key, s.cfg.EventBuffer)
+	j.Tenant = rj.Tenant
 	j.onState = s.onJobState
 	s.track(j)
 	if payload, ok := s.cache.get(rj.Key); ok {
@@ -246,6 +287,11 @@ func (s *Service) onJobState(j *Job, state State, errMsg string, at time.Time) {
 		if !started.IsZero() {
 			s.tel.jobDuration.Observe(at.Sub(started).Seconds())
 		}
+		// Attribute the simulations to the submitting tenant; the counter
+		// has stopped by the time a terminal state commits.
+		if j.Tenant != "" {
+			s.cfg.Tenants.AddSims(j.Tenant, j.Sims())
+		}
 		if errMsg != "" {
 			s.log.Info("job finished", "job", j.ID, "state", state, "sims", j.Sims(), "err", errMsg)
 		} else {
@@ -262,7 +308,12 @@ func (s *Service) onJobState(j *Job, state State, errMsg string, at time.Time) {
 // cached is answered immediately: the returned job is already done, flagged
 // cached, and cost zero additional simulations. Backpressure and drain are
 // reported as ErrQueueFull and ErrDraining.
-func (s *Service) Submit(spec JobSpec) (*Job, error) {
+func (s *Service) Submit(spec JobSpec) (*Job, error) { return s.SubmitAs("", spec) }
+
+// SubmitAs is Submit with the job attributed to a tenant (the authenticated
+// API client); its finished simulations are charged against the tenant's
+// quota. Rate limiting itself happens at the HTTP layer, before this call.
+func (s *Service) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, err
 	}
@@ -279,6 +330,9 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.mu.Unlock()
+	if s.cfg.NodeID != "" {
+		id = s.cfg.NodeID + "-" + id
+	}
 
 	raw, err := json.Marshal(spec) // normalized: the canonical persisted form
 	if err != nil {
@@ -287,6 +341,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 
 	if payload, ok := s.cache.get(key); ok {
 		j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
+		j.Tenant = tenant
 		j.onState = s.onJobState
 		j.trace.Add("cache.hit", -1, j.created, time.Now())
 		s.persistSubmit(j, raw, true)
@@ -295,10 +350,34 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 		return j, nil
 	}
 
+	// Cluster read-through: before spending a worker, ask the peers whether
+	// any of them already computed this key. Determinism makes an adopted
+	// payload byte-identical to a local run, so it is cached and persisted
+	// exactly like one.
+	if s.cfg.RemoteCache != nil {
+		if payload, ok := s.cfg.RemoteCache(key); ok {
+			s.cache.put(key, payload, costFromPayload(payload))
+			if perr := s.st.AppendResult(key, payload); perr != nil {
+				s.appendErrs.Add(1)
+				s.log.Error("persist remote result failed", "key", key, "err", perr)
+			}
+			j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
+			j.Tenant = tenant
+			j.onState = s.onJobState
+			j.trace.Add("cache.remote_hit", -1, j.created, time.Now())
+			s.remoteHits.Add(1)
+			s.persistSubmit(j, raw, true)
+			j.finishCached(payload)
+			s.track(j)
+			return j, nil
+		}
+	}
+
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
 	j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
+	j.Tenant = tenant
 	j.onState = s.onJobState
 	// The submit record goes to the journal before the job can reach a
 	// worker, so replay never sees a transition for an unknown job. A
@@ -321,7 +400,7 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 // persistSubmit appends the job's submit record, logging (not failing) on
 // store errors: the service prefers availability over durability.
 func (s *Service) persistSubmit(j *Job, raw json.RawMessage, cached bool) {
-	if err := s.st.AppendSubmit(j.ID, raw, j.Key, cached, j.created); err != nil {
+	if err := s.st.AppendSubmit(j.ID, raw, j.Key, j.Tenant, cached, j.created); err != nil {
 		s.appendErrs.Add(1)
 		s.log.Error("persist submit failed", "job", j.ID, "err", err)
 	}
@@ -344,6 +423,13 @@ func (s *Service) remove(j *Job) {
 			break
 		}
 	}
+}
+
+// CachedResult peeks the result cache for a content key without touching
+// recency or the hit/miss counters — it serves peer lookups (GET
+// /v1/cache/{key}), which must not skew the local cache telemetry.
+func (s *Service) CachedResult(key string) (json.RawMessage, bool) {
+	return s.cache.peek(key)
 }
 
 // Get returns a job by ID.
@@ -484,7 +570,10 @@ type Metrics struct {
 	// to re-spend if every evicted entry were requested again.
 	CacheEvictions   int64 `json:"cache_evictions"`
 	CacheEvictedCost int64 `json:"cache_evicted_cost"`
-	SimsTotal        int64 `json:"sims_total"`
+	// RemoteCacheHits counts submits answered by the cluster read-through
+	// (a peer shard's cache) instead of local work.
+	RemoteCacheHits int64 `json:"remote_cache_hits,omitempty"`
+	SimsTotal       int64 `json:"sims_total"`
 	// Solver effort underneath the indicator calls, process-wide: how many
 	// half-cell root solves ran and how many Illinois iterations they took.
 	SolverRootSolves int64 `json:"solver_root_solves"`
@@ -498,6 +587,10 @@ type Metrics struct {
 	ReplayedJobs int `json:"replayed_jobs,omitempty"`
 	// Store carries the persistence counters; absent without a data dir.
 	Store *StoreStats `json:"store,omitempty"`
+	// NodeID is the shard name when the service runs as a cluster member.
+	NodeID string `json:"node_id,omitempty"`
+	// Tenants is the per-tenant usage snapshot; absent with auth off.
+	Tenants map[string]TenantView `json:"tenants,omitempty"`
 }
 
 // BuildInfo identifies the running binary: toolchain version and, when the
@@ -550,7 +643,10 @@ func (s *Service) Snapshot() Metrics {
 		ReplayedJobs:  s.replayed,
 		UptimeSeconds: s.Uptime().Seconds(),
 		Build:         ReadBuildInfo(),
+		NodeID:        s.cfg.NodeID,
+		Tenants:       s.cfg.Tenants.Views(),
 	}
+	m.RemoteCacheHits = s.remoteHits.Load()
 	if _, nop := s.st.(nopStore); !nop {
 		st := s.st.Stats()
 		st.AppendErrors = s.appendErrs.Load()

@@ -23,8 +23,9 @@ type Store interface {
 	// The service calls it exactly once, before its workers see any job.
 	Recover() *Recovery
 	// AppendSubmit records a newly accepted job. cached marks a submission
-	// answered inline from the result cache (it is born terminal).
-	AppendSubmit(id string, spec json.RawMessage, key string, cached bool, at time.Time) error
+	// answered inline from the result cache (it is born terminal); tenant
+	// names the submitting API client ("" when auth is off).
+	AppendSubmit(id string, spec json.RawMessage, key, tenant string, cached bool, at time.Time) error
 	// AppendState records a lifecycle transition of a known job.
 	AppendState(id string, state State, errMsg string, at time.Time) error
 	// AppendResult records a completed, cacheable result payload under the
@@ -40,6 +41,14 @@ type Store interface {
 	// timings are not deterministic, so they never enter the content-
 	// addressed result set.
 	AppendTrace(id string, trace json.RawMessage) error
+	// AppendTenant records a tenant's accumulated usage (latest snapshot
+	// wins on replay), so quota accounting survives restarts.
+	AppendTenant(name string, u TenantUsage) error
+	// AppendOwner records which shard a dispatched job currently lives on
+	// (the cluster router's ownership table; remote is the job's ID on that
+	// shard). Re-appends update the assignment — the failover path moves a
+	// dead shard's jobs to their ring successor.
+	AppendOwner(id, shard, remote string) error
 	// Stats reports persistence counters for /metrics; a store without
 	// durability returns the zero value.
 	Stats() StoreStats
@@ -48,11 +57,26 @@ type Store interface {
 }
 
 // Recovery is the state a Store rebuilt from disk: every job it knew about
-// in submission order, plus the completed result payloads keyed by spec
-// content address.
+// in submission order, the completed result payloads keyed by spec content
+// address, per-tenant usage, and — for the cluster router — the shard
+// ownership table.
 type Recovery struct {
 	Jobs    []RecoveredJob
 	Results map[string]json.RawMessage
+	// Tenants is the last persisted usage per tenant name (may be nil).
+	Tenants map[string]TenantUsage
+	// Owners is the last persisted shard assignment per dispatched job ID
+	// (may be nil; populated only by cluster routers).
+	Owners map[string]OwnerRecord
+}
+
+// OwnerRecord is one dispatched job's current placement.
+type OwnerRecord struct {
+	// Shard is the owning node's name.
+	Shard string `json:"shard"`
+	// Remote is the job's ID on that shard (differs from the dispatch ID
+	// after a failover re-enqueue).
+	Remote string `json:"remote"`
 }
 
 // RecoveredJob is one persisted job as of the last durable record. Jobs
@@ -67,6 +91,7 @@ type RecoveredJob struct {
 	State    State
 	Error    string
 	Cached   bool
+	Tenant   string
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
@@ -92,12 +117,14 @@ type StoreStats struct {
 type nopStore struct{}
 
 func (nopStore) Recover() *Recovery { return &Recovery{} }
-func (nopStore) AppendSubmit(string, json.RawMessage, string, bool, time.Time) error {
+func (nopStore) AppendSubmit(string, json.RawMessage, string, string, bool, time.Time) error {
 	return nil
 }
 func (nopStore) AppendState(string, State, string, time.Time) error { return nil }
 func (nopStore) AppendResult(string, json.RawMessage) error         { return nil }
 func (nopStore) AppendDrop(string) error                            { return nil }
 func (nopStore) AppendTrace(string, json.RawMessage) error          { return nil }
+func (nopStore) AppendTenant(string, TenantUsage) error             { return nil }
+func (nopStore) AppendOwner(string, string, string) error           { return nil }
 func (nopStore) Stats() StoreStats                                  { return StoreStats{} }
 func (nopStore) Close() error                                       { return nil }

@@ -1,0 +1,341 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrUnauthorized is returned by Tenants.Authenticate for a missing or
+// unknown API key; the HTTP layer maps it onto 401.
+var ErrUnauthorized = errors.New("service: missing or unknown API key")
+
+// RateLimitError reports a submit rejected by a tenant's token bucket or
+// quota. The HTTP layer answers 429 with a Retry-After header so sweep
+// drivers back off instead of hot-looping.
+type RateLimitError struct {
+	Tenant     string
+	Reason     string        // "rate" or "quota"
+	RetryAfter time.Duration // suggested back-off
+}
+
+// Error implements error.
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("service: tenant %s %s limit exceeded (retry after %s)", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// quotaRetryAfter is the Retry-After suggested on quota (as opposed to rate)
+// rejections. Quotas do not replenish on their own — an operator has to
+// raise them — so the back-off is deliberately long.
+const quotaRetryAfter = time.Hour
+
+// TenantConfig is one entry of the API-keys file: an opaque bearer key
+// mapped to a named tenant with its fairness knobs.
+type TenantConfig struct {
+	// Key is the bearer token clients present (Authorization: Bearer <key>
+	// or X-API-Key: <key>). Required, unique.
+	Key string `json:"key"`
+	// Name identifies the tenant in metrics, logs and usage records.
+	// Required, unique.
+	Name string `json:"name"`
+	// RatePerSec is the token-bucket refill rate in submits per second
+	// (0 disables rate limiting for this tenant).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (defaults to max(1, ceil(RatePerSec))).
+	Burst int `json:"burst,omitempty"`
+	// QuotaJobs caps the tenant's accepted submits over the service
+	// lifetime, 0 = unlimited. Usage survives restarts via the store.
+	QuotaJobs int64 `json:"quota_jobs,omitempty"`
+	// QuotaSims caps the transistor-level simulations attributed to the
+	// tenant's completed jobs, 0 = unlimited. Checked at submit against
+	// usage accumulated so far (a running job's sims land when it ends).
+	QuotaSims int64 `json:"quota_sims,omitempty"`
+}
+
+// TenantUsage is a tenant's accumulated consumption, persisted through the
+// store so quotas survive restarts.
+type TenantUsage struct {
+	Jobs int64 `json:"jobs"` // accepted submits
+	Sims int64 `json:"sims"` // simulations consumed by finished jobs
+}
+
+// Tenant is the live state of one API key: its config, token bucket and
+// usage counters. All mutation goes through Tenants.
+type Tenant struct {
+	cfg TenantConfig
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	usage    TenantUsage
+	rejected int64 // 429s handed to this tenant
+}
+
+// Name returns the tenant's identity. Nil-safe: the open-access nil tenant
+// has the empty name.
+func (t *Tenant) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.cfg.Name
+}
+
+// Usage returns the tenant's accumulated consumption.
+func (t *Tenant) Usage() TenantUsage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.usage
+}
+
+// acquire refills the bucket to now, then takes n tokens and charges n jobs
+// — or rejects without consuming anything. Quota is checked before rate so
+// an exhausted tenant gets the long Retry-After even when its bucket is dry.
+func (t *Tenant) acquire(n int, now time.Time) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if q := t.cfg.QuotaJobs; q > 0 && t.usage.Jobs+int64(n) > q {
+		t.rejected++
+		return &RateLimitError{Tenant: t.cfg.Name, Reason: "quota", RetryAfter: quotaRetryAfter}
+	}
+	if q := t.cfg.QuotaSims; q > 0 && t.usage.Sims >= q {
+		t.rejected++
+		return &RateLimitError{Tenant: t.cfg.Name, Reason: "quota", RetryAfter: quotaRetryAfter}
+	}
+	if t.cfg.RatePerSec > 0 {
+		burst := float64(t.cfg.Burst)
+		t.tokens = math.Min(burst, t.tokens+now.Sub(t.last).Seconds()*t.cfg.RatePerSec)
+		t.last = now
+		if t.tokens < float64(n) {
+			t.rejected++
+			wait := (float64(n) - t.tokens) / t.cfg.RatePerSec
+			return &RateLimitError{
+				Tenant:     t.cfg.Name,
+				Reason:     "rate",
+				RetryAfter: time.Duration(math.Ceil(wait)) * time.Second,
+			}
+		}
+		t.tokens -= float64(n)
+	}
+	t.usage.Jobs += int64(n)
+	return nil
+}
+
+// Tenants is the API-key registry: authentication, per-tenant token-bucket
+// rate limiting and quota accounting. A nil *Tenants means open access —
+// every request passes with no tenant attached (the single-user default).
+type Tenants struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	names  []string // sorted, for stable iteration
+
+	// now is the clock (tests substitute it).
+	now func() time.Time
+
+	// onUsage observes every usage change so the owner can persist it
+	// (the service wires it to Store.AppendTenant). May be nil.
+	onUsage func(name string, u TenantUsage)
+}
+
+// NewTenants builds a registry from explicit configs.
+func NewTenants(cfgs []TenantConfig) (*Tenants, error) {
+	ts := &Tenants{
+		byKey:  make(map[string]*Tenant, len(cfgs)),
+		byName: make(map[string]*Tenant, len(cfgs)),
+		now:    time.Now,
+	}
+	for i, cfg := range cfgs {
+		if cfg.Key == "" || cfg.Name == "" {
+			return nil, fmt.Errorf("service: tenant %d: key and name are required", i)
+		}
+		if cfg.RatePerSec < 0 || cfg.Burst < 0 || cfg.QuotaJobs < 0 || cfg.QuotaSims < 0 {
+			return nil, fmt.Errorf("service: tenant %q: negative limit", cfg.Name)
+		}
+		if cfg.RatePerSec > 0 && cfg.Burst == 0 {
+			cfg.Burst = int(math.Max(1, math.Ceil(cfg.RatePerSec)))
+		}
+		if _, dup := ts.byKey[cfg.Key]; dup {
+			return nil, fmt.Errorf("service: duplicate API key (tenant %q)", cfg.Name)
+		}
+		if _, dup := ts.byName[cfg.Name]; dup {
+			return nil, fmt.Errorf("service: duplicate tenant name %q", cfg.Name)
+		}
+		t := &Tenant{cfg: cfg, tokens: float64(cfg.Burst), last: ts.now()}
+		ts.byKey[cfg.Key] = t
+		ts.byName[cfg.Name] = t
+		ts.names = append(ts.names, cfg.Name)
+	}
+	sort.Strings(ts.names)
+	return ts, nil
+}
+
+// LoadTenants reads an API-keys file: a JSON array of TenantConfig entries.
+func LoadTenants(path string) (*Tenants, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: read API keys: %w", err)
+	}
+	var cfgs []TenantConfig
+	if err := json.Unmarshal(data, &cfgs); err != nil {
+		return nil, fmt.Errorf("service: parse API keys %s: %w", path, err)
+	}
+	return NewTenants(cfgs)
+}
+
+// OnUsage registers the persistence observer for usage changes. Call before
+// serving traffic.
+func (ts *Tenants) OnUsage(fn func(name string, u TenantUsage)) {
+	if ts != nil {
+		ts.onUsage = fn
+	}
+}
+
+// apiKey extracts the presented key: Authorization: Bearer <key> wins,
+// X-API-Key is the fallback.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// Authenticate resolves the request's API key to its tenant. A nil registry
+// admits everything with a nil tenant (open access).
+func (ts *Tenants) Authenticate(r *http.Request) (*Tenant, error) {
+	if ts == nil {
+		return nil, nil
+	}
+	t, ok := ts.byKey[apiKey(r)]
+	if !ok {
+		return nil, ErrUnauthorized
+	}
+	return t, nil
+}
+
+// Acquire charges n submits against the tenant's rate limit and job quota,
+// persisting the new usage on success. A nil registry or nil tenant always
+// admits. All n submits are admitted or none are — a batch is atomic with
+// respect to fairness.
+func (ts *Tenants) Acquire(t *Tenant, n int) error {
+	if ts == nil || t == nil {
+		return nil
+	}
+	if err := t.acquire(n, ts.now()); err != nil {
+		return err
+	}
+	ts.persist(t)
+	return nil
+}
+
+// AddSims attributes finished-job simulations to the named tenant and
+// persists the new usage. Unknown names are ignored (the tenant may have
+// been removed from the keys file between runs).
+func (ts *Tenants) AddSims(name string, sims int64) {
+	if ts == nil || sims <= 0 {
+		return
+	}
+	t, ok := ts.byName[name]
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	t.usage.Sims += sims
+	t.mu.Unlock()
+	ts.persist(t)
+}
+
+// KeyFor returns the API key of the named tenant. The cluster router uses
+// it to re-authenticate redispatched jobs as their original tenant when a
+// shard dies — journal records carry tenant names, never keys. Nil registry
+// or unknown name → ("", false).
+func (ts *Tenants) KeyFor(name string) (string, bool) {
+	if ts == nil {
+		return "", false
+	}
+	t, ok := ts.byName[name]
+	if !ok {
+		return "", false
+	}
+	return t.cfg.Key, true
+}
+
+// SetUsage restores a tenant's recovered usage (boot-time replay). Unknown
+// names are ignored.
+func (ts *Tenants) SetUsage(name string, u TenantUsage) {
+	if ts == nil {
+		return
+	}
+	t, ok := ts.byName[name]
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	t.usage = u
+	t.mu.Unlock()
+}
+
+func (ts *Tenants) persist(t *Tenant) {
+	if ts.onUsage == nil {
+		return
+	}
+	t.mu.Lock()
+	u := t.usage
+	t.mu.Unlock()
+	ts.onUsage(t.cfg.Name, u)
+}
+
+// TenantView is one tenant's state as reported by /metrics (the key itself
+// is never exposed).
+type TenantView struct {
+	Jobs      int64 `json:"jobs"`
+	Sims      int64 `json:"sims"`
+	Rejected  int64 `json:"rejected"`
+	QuotaJobs int64 `json:"quota_jobs,omitempty"`
+	QuotaSims int64 `json:"quota_sims,omitempty"`
+}
+
+// Views snapshots every tenant, keyed by name. Nil registry → nil map.
+func (ts *Tenants) Views() map[string]TenantView {
+	if ts == nil {
+		return nil
+	}
+	out := make(map[string]TenantView, len(ts.names))
+	for _, name := range ts.names {
+		t := ts.byName[name]
+		t.mu.Lock()
+		out[name] = TenantView{
+			Jobs:      t.usage.Jobs,
+			Sims:      t.usage.Sims,
+			Rejected:  t.rejected,
+			QuotaJobs: t.cfg.QuotaJobs,
+			QuotaSims: t.cfg.QuotaSims,
+		}
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// Tenant context plumbing: the HTTP entry point authenticates once and
+// handlers read the tenant back out of the request context.
+
+type tenantKey struct{}
+
+// WithTenant attaches the authenticated tenant to a context.
+func WithTenant(ctx context.Context, t *Tenant) context.Context {
+	return context.WithValue(ctx, tenantKey{}, t)
+}
+
+// TenantFrom returns the context's tenant, or nil (open access).
+func TenantFrom(ctx context.Context) *Tenant {
+	t, _ := ctx.Value(tenantKey{}).(*Tenant)
+	return t
+}

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock substitutes the registry's clock and rewinds every bucket's
+// refill anchor to the fake epoch so tests control elapsed time exactly.
+func fakeClock(ts *Tenants) func(d time.Duration) {
+	start := time.Unix(1_700_000_000, 0)
+	now := start
+	var mu sync.Mutex
+	ts.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	for _, t := range ts.byName {
+		t.last = start
+	}
+	return func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	ts, err := NewTenants([]TenantConfig{{Key: "k", Name: "acme", RatePerSec: 2, Burst: 4}})
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+	advance := fakeClock(ts)
+	acme := ts.byName["acme"]
+
+	// The full burst is available up front, then the bucket runs dry.
+	for i := 0; i < 4; i++ {
+		if err := ts.Acquire(acme, 1); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	err = ts.Acquire(acme, 1)
+	var rle *RateLimitError
+	if !errors.As(err, &rle) || rle.Reason != "rate" {
+		t.Fatalf("dry bucket: err = %v, want a rate RateLimitError", err)
+	}
+	// 1 token at 2/s is 0.5s away; Retry-After rounds up to whole seconds.
+	if rle.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", rle.RetryAfter)
+	}
+
+	// 1s at 2 tokens/s refills 2 submits, not more.
+	advance(time.Second)
+	for i := 0; i < 2; i++ {
+		if err := ts.Acquire(acme, 1); err != nil {
+			t.Fatalf("post-refill submit %d: %v", i, err)
+		}
+	}
+	if err := ts.Acquire(acme, 1); err == nil {
+		t.Fatal("third post-refill submit admitted — bucket refilled too much")
+	}
+
+	// A long idle period caps the refill at the burst.
+	advance(time.Hour)
+	for i := 0; i < 4; i++ {
+		if err := ts.Acquire(acme, 1); err != nil {
+			t.Fatalf("post-idle submit %d: %v", i, err)
+		}
+	}
+	if err := ts.Acquire(acme, 1); err == nil {
+		t.Fatal("burst cap not enforced after a long idle period")
+	}
+}
+
+func TestBatchAcquireAtomic(t *testing.T) {
+	ts, err := NewTenants([]TenantConfig{{Key: "k", Name: "acme", RatePerSec: 1, Burst: 3}})
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+	fakeClock(ts)
+	acme := ts.byName["acme"]
+
+	// 4 > burst of 3: the whole batch is refused and nothing is consumed.
+	if err := ts.Acquire(acme, 4); err == nil {
+		t.Fatal("oversized batch admitted")
+	}
+	if u := acme.Usage(); u.Jobs != 0 {
+		t.Fatalf("refused batch still charged %d jobs", u.Jobs)
+	}
+	if err := ts.Acquire(acme, 3); err != nil {
+		t.Fatalf("exact-burst batch refused: %v", err)
+	}
+	if u := acme.Usage(); u.Jobs != 3 {
+		t.Fatalf("usage = %d jobs, want 3", u.Jobs)
+	}
+}
+
+func TestQuotaBeforeRate(t *testing.T) {
+	ts, err := NewTenants([]TenantConfig{
+		{Key: "k", Name: "acme", RatePerSec: 1, Burst: 1, QuotaJobs: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+	fakeClock(ts)
+	acme := ts.byName["acme"]
+
+	if err := ts.Acquire(acme, 1); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	// Both the bucket and the quota are now exhausted. Quota wins: the
+	// client must see the long back-off, not a 1-second rate hint.
+	err = ts.Acquire(acme, 1)
+	var rle *RateLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("err = %v, want RateLimitError", err)
+	}
+	if rle.Reason != "quota" || rle.RetryAfter != quotaRetryAfter {
+		t.Errorf("got %s/%v, want quota/%v", rle.Reason, rle.RetryAfter, quotaRetryAfter)
+	}
+}
+
+func TestSimsQuota(t *testing.T) {
+	ts, err := NewTenants([]TenantConfig{{Key: "k", Name: "acme", QuotaSims: 1000}})
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+	acme := ts.byName["acme"]
+	if err := ts.Acquire(acme, 1); err != nil {
+		t.Fatalf("submit under sims quota: %v", err)
+	}
+	ts.AddSims("acme", 1000)
+	err = ts.Acquire(acme, 1)
+	var rle *RateLimitError
+	if !errors.As(err, &rle) || rle.Reason != "quota" {
+		t.Fatalf("over sims quota: err = %v, want a quota RateLimitError", err)
+	}
+	ts.AddSims("ghost", 50) // unknown names are ignored, not a panic
+}
+
+func TestAuthenticateAndKeyPrecedence(t *testing.T) {
+	ts, err := NewTenants([]TenantConfig{
+		{Key: "alpha-key", Name: "alpha"},
+		{Key: "beta-key", Name: "beta"},
+	})
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+
+	mk := func(bearer, xkey string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+		if bearer != "" {
+			r.Header.Set("Authorization", "Bearer "+bearer)
+		}
+		if xkey != "" {
+			r.Header.Set("X-API-Key", xkey)
+		}
+		return r
+	}
+
+	if _, err := ts.Authenticate(mk("", "")); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("no key: err = %v, want ErrUnauthorized", err)
+	}
+	if _, err := ts.Authenticate(mk("bogus", "")); !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("unknown key: err = %v, want ErrUnauthorized", err)
+	}
+	if got, err := ts.Authenticate(mk("alpha-key", "")); err != nil || got.Name() != "alpha" {
+		t.Errorf("bearer auth: (%v, %v), want alpha", got.Name(), err)
+	}
+	if got, err := ts.Authenticate(mk("", "beta-key")); err != nil || got.Name() != "beta" {
+		t.Errorf("X-API-Key auth: (%v, %v), want beta", got.Name(), err)
+	}
+	// Authorization: Bearer wins over X-API-Key when both are present.
+	if got, err := ts.Authenticate(mk("alpha-key", "beta-key")); err != nil || got.Name() != "alpha" {
+		t.Errorf("header precedence: (%v, %v), want alpha", got.Name(), err)
+	}
+
+	// Open access: a nil registry admits everything with a nil tenant, and
+	// the nil tenant is charge-free.
+	var open *Tenants
+	tn, err := open.Authenticate(mk("", ""))
+	if err != nil || tn != nil {
+		t.Errorf("nil registry: (%v, %v), want (nil, nil)", tn, err)
+	}
+	if err := open.Acquire(nil, 100); err != nil {
+		t.Errorf("nil registry Acquire: %v", err)
+	}
+	if tn.Name() != "" {
+		t.Errorf("nil tenant name = %q, want empty", tn.Name())
+	}
+}
+
+func TestNewTenantsValidation(t *testing.T) {
+	for name, cfgs := range map[string][]TenantConfig{
+		"missing key":    {{Name: "a"}},
+		"missing name":   {{Key: "k"}},
+		"negative rate":  {{Key: "k", Name: "a", RatePerSec: -1}},
+		"negative quota": {{Key: "k", Name: "a", QuotaJobs: -1}},
+		"duplicate key":  {{Key: "k", Name: "a"}, {Key: "k", Name: "b"}},
+		"duplicate name": {{Key: "k1", Name: "a"}, {Key: "k2", Name: "a"}},
+	} {
+		if _, err := NewTenants(cfgs); err == nil {
+			t.Errorf("%s: NewTenants accepted %+v", name, cfgs)
+		}
+	}
+
+	// Burst defaults to ceil(rate), floored at 1.
+	ts, err := NewTenants([]TenantConfig{
+		{Key: "k1", Name: "slow", RatePerSec: 0.2},
+		{Key: "k2", Name: "fast", RatePerSec: 2.5},
+	})
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+	if got := ts.byName["slow"].cfg.Burst; got != 1 {
+		t.Errorf("slow burst = %d, want 1", got)
+	}
+	if got := ts.byName["fast"].cfg.Burst; got != 3 {
+		t.Errorf("fast burst = %d, want 3", got)
+	}
+}
+
+func TestLoadTenants(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.json")
+	if err := os.WriteFile(path, []byte(
+		`[{"key":"k1","name":"acme","rate_per_sec":5,"quota_jobs":100}]`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := LoadTenants(path)
+	if err != nil {
+		t.Fatalf("LoadTenants: %v", err)
+	}
+	if key, ok := ts.KeyFor("acme"); !ok || key != "k1" {
+		t.Errorf("KeyFor(acme) = (%q, %v), want (k1, true)", key, ok)
+	}
+	if _, ok := ts.KeyFor("ghost"); ok {
+		t.Error("KeyFor(ghost) = true, want false")
+	}
+	if _, err := LoadTenants(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("LoadTenants on an absent file succeeded")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTenants(path); err == nil {
+		t.Error("LoadTenants on malformed JSON succeeded")
+	}
+}
+
+func TestUsagePersistenceHooks(t *testing.T) {
+	ts, err := NewTenants([]TenantConfig{{Key: "k", Name: "acme"}})
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+	var seen []TenantUsage
+	ts.OnUsage(func(name string, u TenantUsage) {
+		if name != "acme" {
+			t.Errorf("usage observer saw tenant %q", name)
+		}
+		seen = append(seen, u)
+	})
+	acme := ts.byName["acme"]
+	if err := ts.Acquire(acme, 2); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ts.AddSims("acme", 500)
+	if len(seen) != 2 {
+		t.Fatalf("observer fired %d times, want 2", len(seen))
+	}
+	if last := seen[len(seen)-1]; last.Jobs != 2 || last.Sims != 500 {
+		t.Errorf("final usage = %+v, want {Jobs:2 Sims:500}", last)
+	}
+
+	// SetUsage restores recovered state wholesale (boot-time replay).
+	ts.SetUsage("acme", TenantUsage{Jobs: 9, Sims: 900})
+	if u := acme.Usage(); u.Jobs != 9 || u.Sims != 900 {
+		t.Errorf("restored usage = %+v", u)
+	}
+	ts.SetUsage("ghost", TenantUsage{Jobs: 1}) // ignored, not a panic
+
+	views := ts.Views()
+	if v := views["acme"]; v.Jobs != 9 || v.Sims != 900 {
+		t.Errorf("view = %+v, want Jobs 9 Sims 900", v)
+	}
+}

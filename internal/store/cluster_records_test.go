@@ -1,0 +1,115 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"ecripse/internal/service"
+)
+
+// TestTenantAndOwnerRoundTrip pins the cluster record types: the latest
+// OpTenant usage snapshot and the latest OpOwner placement per job survive a
+// close-and-reopen, with later records superseding earlier ones.
+func TestTenantAndOwnerRoundTrip(t *testing.T) {
+	dir := testDir(t)
+	fs, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	if err := fs.AppendTenant("acme", service.TenantUsage{Jobs: 1, Sims: 100}); err != nil {
+		t.Fatalf("tenant 1: %v", err)
+	}
+	if err := fs.AppendTenant("acme", service.TenantUsage{Jobs: 2, Sims: 250}); err != nil {
+		t.Fatalf("tenant 2: %v", err)
+	}
+	if err := fs.AppendTenant("globex", service.TenantUsage{Jobs: 7, Sims: 0}); err != nil {
+		t.Fatalf("tenant 3: %v", err)
+	}
+
+	spec := json.RawMessage(`{"seed":1}`)
+	at := time.Unix(1_700_000_000, 0)
+	if err := fs.AppendSubmit("s1-j000001", spec, "key-1", "acme", false, at); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := fs.AppendOwner("s1-j000001", "s1", "s1-j000001"); err != nil {
+		t.Fatalf("owner 1: %v", err)
+	}
+	// A failover re-enqueue rewrites the placement; the journal keeps both
+	// records and recovery must surface only the newest.
+	if err := fs.AppendOwner("s1-j000001", "s2", "s2-j000009"); err != nil {
+		t.Fatalf("owner 2: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	fs2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	rec := fs2.Recover()
+	if got := rec.Tenants["acme"]; got != (service.TenantUsage{Jobs: 2, Sims: 250}) {
+		t.Errorf("acme usage = %+v, want the latest snapshot {2 250}", got)
+	}
+	if got := rec.Tenants["globex"]; got != (service.TenantUsage{Jobs: 7}) {
+		t.Errorf("globex usage = %+v, want {7 0}", got)
+	}
+	own, ok := rec.Owners["s1-j000001"]
+	if !ok {
+		t.Fatal("owner record lost")
+	}
+	if own.Shard != "s2" || own.Remote != "s2-j000009" {
+		t.Errorf("placement = %+v, want the post-failover {s2 s2-j000009}", own)
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].Tenant != "acme" {
+		t.Fatalf("recovered jobs = %+v, want one acme submit", rec.Jobs)
+	}
+}
+
+// TestClusterRecordsSurviveCompaction drives enough traffic to trigger
+// snapshot compaction and requires the tenant and owner state to come back
+// from the snapshot, not just the live segment.
+func TestClusterRecordsSurviveCompaction(t *testing.T) {
+	dir := testDir(t)
+	fs, err := Open(dir, Options{NoSync: true, CompactBytes: 2048})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const jobs = 40
+	for i := 1; i <= jobs; i++ {
+		appendJob(t, fs, i)
+		if err := fs.AppendOwner(fmt.Sprintf("j%06d", i), "s1", fmt.Sprintf("j%06d", i)); err != nil {
+			t.Fatalf("owner %d: %v", i, err)
+		}
+		if err := fs.AppendTenant("acme", service.TenantUsage{Jobs: int64(i), Sims: int64(i) * 100}); err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+	if fs.Stats().Compactions == 0 {
+		t.Fatal("no compaction triggered — the test exercises nothing")
+	}
+	fs.Close()
+
+	fs2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fs2.Close()
+	rec := fs2.Recover()
+	if got := rec.Tenants["acme"]; got != (service.TenantUsage{Jobs: jobs, Sims: jobs * 100}) {
+		t.Errorf("acme usage through compaction = %+v", got)
+	}
+	if len(rec.Owners) != jobs {
+		t.Fatalf("recovered %d owner records, want %d", len(rec.Owners), jobs)
+	}
+	for i := 1; i <= jobs; i++ {
+		id := fmt.Sprintf("j%06d", i)
+		if own := rec.Owners[id]; own.Shard != "s1" || own.Remote != id {
+			t.Fatalf("owner %s = %+v", id, own)
+		}
+	}
+}

@@ -24,6 +24,14 @@ const (
 	// OpTrace attaches a finished job's span timeline. Traces are job-keyed
 	// (wall-clock data, never content-addressed) and replace on re-run.
 	OpTrace Op = "trace"
+	// OpTenant snapshots a tenant's accumulated usage (jobs, sims); the
+	// latest record per tenant wins on replay, so quota accounting survives
+	// restarts.
+	OpTenant Op = "tenant"
+	// OpOwner records a dispatched job's current shard placement (cluster
+	// routers only); the latest record per job wins, so a failover
+	// re-assignment replaces the original dispatch.
+	OpOwner Op = "owner"
 )
 
 // Record is one journal entry. Seq is assigned by the store and is strictly
@@ -40,7 +48,17 @@ type Record struct {
 	Cached bool            `json:"cached,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Trace  json.RawMessage `json:"trace,omitempty"`
-	At     time.Time       `json:"at"`
+	// Tenant names the submitting client on OpSubmit records and the
+	// accounted tenant on OpTenant records; Jobs/Sims are the OpTenant
+	// usage snapshot.
+	Tenant string `json:"tenant,omitempty"`
+	Jobs   int64  `json:"jobs,omitempty"`
+	Sims   int64  `json:"sims,omitempty"`
+	// Shard and Remote are the OpOwner placement: the owning node and the
+	// job's ID on it.
+	Shard  string    `json:"shard,omitempty"`
+	Remote string    `json:"remote,omitempty"`
+	At     time.Time `json:"at"`
 }
 
 // Records are framed as [payload length u32le][crc32c(payload) u32le][payload].

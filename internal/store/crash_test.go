@@ -36,7 +36,7 @@ func TestCrashAppendHelper(t *testing.T) {
 		spec := json.RawMessage(fmt.Sprintf(`{"estimator":"naive","seed":%d,"note":%q}`, i, pad))
 		payload := json.RawMessage(fmt.Sprintf(`{"estimate":{"p":%d.5e-7},"pad":%q}`, i, pad))
 		at := time.Unix(int64(1700000000+i), 0)
-		fs.AppendSubmit(id, spec, key, false, at)
+		fs.AppendSubmit(id, spec, key, "", false, at)
 		fs.AppendState(id, service.StateRunning, "", at)
 		fs.AppendResult(key, payload)
 		fs.AppendState(id, service.StateDone, "", at)
@@ -125,7 +125,7 @@ func TestRecoveryAfterSIGKILL(t *testing.T) {
 	t.Logf("recovered %d jobs, %d results, %d truncated segment(s)", len(rec.Jobs), len(rec.Results), fs.torn)
 
 	// The repaired store accepts appends and survives one more boot.
-	if err := fs.AppendSubmit("jnew", json.RawMessage(`{}`), "knew", false, time.Now()); err != nil {
+	if err := fs.AppendSubmit("jnew", json.RawMessage(`{}`), "knew", "", false, time.Now()); err != nil {
 		t.Fatalf("append after crash recovery: %v", err)
 	}
 	fs.Close()

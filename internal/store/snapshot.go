@@ -18,6 +18,7 @@ type jobState struct {
 	State    string          `json:"state"`
 	Error    string          `json:"error,omitempty"`
 	Cached   bool            `json:"cached,omitempty"`
+	Tenant   string          `json:"tenant,omitempty"`
 	Created  time.Time       `json:"created"`
 	Started  time.Time       `json:"started"`
 	Finished time.Time       `json:"finished"`
@@ -34,6 +35,11 @@ type memState struct {
 	LastSeq uint64                     `json:"last_seq"`
 	Jobs    []*jobState                `json:"jobs"` // submission order
 	Results map[string]json.RawMessage `json:"results"`
+	// Tenants is the latest usage snapshot per tenant; Owners the latest
+	// shard placement per dispatched job (cluster routers). Both absent in
+	// older snapshots (same version — additive fields).
+	Tenants map[string]service.TenantUsage `json:"tenants,omitempty"`
+	Owners  map[string]service.OwnerRecord `json:"owners,omitempty"`
 
 	index map[string]*jobState // id → entry; rebuilt after load
 }
@@ -69,6 +75,7 @@ func (m *memState) apply(rec *Record, logf func(string, ...any)) {
 			Key:     rec.Key,
 			State:   string(service.StateQueued),
 			Cached:  rec.Cached,
+			Tenant:  rec.Tenant,
 			Created: rec.At,
 		}
 		m.Jobs = append(m.Jobs, js)
@@ -96,6 +103,16 @@ func (m *memState) apply(rec *Record, logf func(string, ...any)) {
 			break
 		}
 		js.Trace = rec.Trace
+	case OpTenant:
+		if m.Tenants == nil {
+			m.Tenants = make(map[string]service.TenantUsage)
+		}
+		m.Tenants[rec.Tenant] = service.TenantUsage{Jobs: rec.Jobs, Sims: rec.Sims}
+	case OpOwner:
+		if m.Owners == nil {
+			m.Owners = make(map[string]service.OwnerRecord)
+		}
+		m.Owners[rec.Job] = service.OwnerRecord{Shard: rec.Shard, Remote: rec.Remote}
 	case OpDrop:
 		if js, ok := m.index[rec.Job]; ok {
 			delete(m.index, rec.Job)
@@ -128,11 +145,24 @@ func (m *memState) recovery() *service.Recovery {
 			State:    service.State(js.State),
 			Error:    js.Error,
 			Cached:   js.Cached,
+			Tenant:   js.Tenant,
 			Created:  js.Created,
 			Started:  js.Started,
 			Finished: js.Finished,
 			Trace:    js.Trace,
 		})
+	}
+	if len(m.Tenants) > 0 {
+		rec.Tenants = make(map[string]service.TenantUsage, len(m.Tenants))
+		for k, v := range m.Tenants {
+			rec.Tenants[k] = v
+		}
+	}
+	if len(m.Owners) > 0 {
+		rec.Owners = make(map[string]service.OwnerRecord, len(m.Owners))
+		for k, v := range m.Owners {
+			rec.Owners[k] = v
+		}
 	}
 	return rec
 }

@@ -208,8 +208,8 @@ func (fs *FileStore) Recover() *service.Recovery {
 }
 
 // AppendSubmit implements service.Store.
-func (fs *FileStore) AppendSubmit(id string, spec json.RawMessage, key string, cached bool, at time.Time) error {
-	return fs.append(Record{Op: OpSubmit, Job: id, Spec: spec, Key: key, Cached: cached, At: at})
+func (fs *FileStore) AppendSubmit(id string, spec json.RawMessage, key, tenant string, cached bool, at time.Time) error {
+	return fs.append(Record{Op: OpSubmit, Job: id, Spec: spec, Key: key, Tenant: tenant, Cached: cached, At: at})
 }
 
 // AppendState implements service.Store.
@@ -230,6 +230,16 @@ func (fs *FileStore) AppendDrop(id string) error {
 // AppendTrace implements service.Store.
 func (fs *FileStore) AppendTrace(id string, trace json.RawMessage) error {
 	return fs.append(Record{Op: OpTrace, Job: id, Trace: trace})
+}
+
+// AppendTenant implements service.Store.
+func (fs *FileStore) AppendTenant(name string, u service.TenantUsage) error {
+	return fs.append(Record{Op: OpTenant, Tenant: name, Jobs: u.Jobs, Sims: u.Sims})
+}
+
+// AppendOwner implements service.Store.
+func (fs *FileStore) AppendOwner(id, shard, remote string) error {
+	return fs.append(Record{Op: OpOwner, Job: id, Shard: shard, Remote: remote})
 }
 
 // Stats implements service.Store.

@@ -68,7 +68,7 @@ func appendJob(t *testing.T, fs *FileStore, i int) {
 	spec := json.RawMessage(fmt.Sprintf(`{"estimator":"naive","seed":%d}`, i))
 	payload := json.RawMessage(fmt.Sprintf(`{"estimate":{"p":%d.5e-7}}`, i))
 	at := time.Unix(int64(1700000000+i), 0)
-	if err := fs.AppendSubmit(id, spec, key, false, at); err != nil {
+	if err := fs.AppendSubmit(id, spec, key, "", false, at); err != nil {
 		t.Fatalf("submit %s: %v", id, err)
 	}
 	if err := fs.AppendState(id, service.StateRunning, "", at.Add(time.Second)); err != nil {
@@ -101,7 +101,7 @@ func TestRecoveryRoundTrip(t *testing.T) {
 	appendJob(t, fs, 1)
 	appendJob(t, fs, 2)
 	// Job 3 is interrupted after the running record.
-	if err := fs.AppendSubmit("j000003", json.RawMessage(`{"seed":3}`), "key-3", false, time.Now()); err != nil {
+	if err := fs.AppendSubmit("j000003", json.RawMessage(`{"seed":3}`), "key-3", "", false, time.Now()); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	if err := fs.AppendState("j000003", service.StateRunning, "", time.Now()); err != nil {
@@ -150,7 +150,7 @@ func TestRecoveryDropVoidsSubmit(t *testing.T) {
 		t.Fatalf("open: %v", err)
 	}
 	appendJob(t, fs, 1)
-	if err := fs.AppendSubmit("j000002", json.RawMessage(`{"seed":2}`), "key-2", false, time.Now()); err != nil {
+	if err := fs.AppendSubmit("j000002", json.RawMessage(`{"seed":2}`), "key-2", "", false, time.Now()); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	if err := fs.AppendDrop("j000002"); err != nil {
@@ -348,7 +348,7 @@ func TestRecoverySkipsCorruptSnapshot(t *testing.T) {
 		t.Fatalf("no snapshot warning logged: %v", lc.ms)
 	}
 	// State covered only by the snapshot is gone, but the store is usable.
-	if err := fs2.AppendSubmit("jx", json.RawMessage(`{}`), "kx", false, time.Now()); err != nil {
+	if err := fs2.AppendSubmit("jx", json.RawMessage(`{}`), "kx", "", false, time.Now()); err != nil {
 		t.Fatalf("append after snapshot loss: %v", err)
 	}
 }
