@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-diff bench-smoke figures figures-full clean
+.PHONY: all build test race bench bench-diff bench-smoke bench-sweep figures figures-full clean
 
 # Fig-6/7/8 end-to-end benchmarks plus the hot kernels and the engine
 # parallelism scaling sweep.
@@ -48,6 +48,21 @@ bench-diff:
 bench-smoke:
 	$(GO) test -bench . -benchmem -benchtime 1x -short -run XXX .
 
+# Warm-vs-cold sweep comparison: record both modes of BenchmarkSweepFig7 as
+# results/bench/SWEEP_<date>_{cold,warm}.json and print the sims ratio. The
+# same diff (threshold 0.5, i.e. warm must at least halve the simulation
+# count) gates CI.
+bench-sweep:
+	mkdir -p results/bench
+	SWEEP_BENCH_MODE=cold $(GO) test -bench SweepFig7 -benchtime 1x -count 3 -run XXX -timeout 30m . \
+		| tee results/bench/sweep_cold_raw.txt
+	SWEEP_BENCH_MODE=warm $(GO) test -bench SweepFig7 -benchtime 1x -count 3 -run XXX -timeout 30m . \
+		| tee results/bench/sweep_warm_raw.txt
+	$(GO) run ./cmd/benchjson -o results/bench/SWEEP_$$(date -u +%F)_cold.json < results/bench/sweep_cold_raw.txt
+	$(GO) run ./cmd/benchjson -o results/bench/SWEEP_$$(date -u +%F)_warm.json < results/bench/sweep_warm_raw.txt
+	$(GO) run ./cmd/benchjson diff -fail -threshold 0.5 -metric sims -match Sweep \
+		results/bench/SWEEP_$$(date -u +%F)_cold.json results/bench/SWEEP_$$(date -u +%F)_warm.json
+
 # Regenerate the paper's evaluation at default scale into results/.
 figures:
 	mkdir -p results
@@ -69,4 +84,5 @@ figures-full:
 
 clean:
 	rm -f test_output.txt bench_output.txt results/bench/bench_raw.txt \
-		results/bench/bench_new_raw.txt results/bench/bench_new.json
+		results/bench/bench_new_raw.txt results/bench/bench_new.json \
+		results/bench/sweep_cold_raw.txt results/bench/sweep_warm_raw.txt

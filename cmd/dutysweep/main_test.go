@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/service"
+)
+
+// fakeRunner succeeds with a canned estimate except at the duty points in
+// failAt, which error like a real job would.
+func fakeRunner(failAt map[float64]bool) func(context.Context, service.JobSpec, *montecarlo.Counter) (*service.RunResult, error) {
+	return func(_ context.Context, s service.JobSpec, _ *montecarlo.Counter) (*service.RunResult, error) {
+		if len(s.Sweep) == 1 && failAt[s.Sweep[0]] {
+			return nil, errors.New("injected solver blow-up")
+		}
+		return &service.RunResult{
+			Estimate: service.Estimate{P: 1e-5, CI95: 1e-6, N: 100, Sims: 100},
+			Cost:     service.CostSplit{Total: 100},
+		}, nil
+	}
+}
+
+func TestRunAllPointsSucceed(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scale", "smoke", "-warm=false"}, &out, &errb, fakeRunner(nil))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"0.00,", "0.50,", "1.00,"} {
+		if !strings.Contains(out.String(), "\n"+want) {
+			t.Errorf("stdout missing point line %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunPropagatesPointErrors is the regression test for the silent-drop
+// bug: a cold sweep whose middle point errors must report the failure on
+// stderr and exit non-zero, while still printing the surviving points.
+func TestRunPropagatesPointErrors(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scale", "smoke", "-warm=false"}, &out, &errb,
+		fakeRunner(map[float64]bool{0.5: true}))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "alpha=0.50") || !strings.Contains(errb.String(), "injected solver blow-up") {
+		t.Errorf("stderr does not name the failed point:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "1 of 3 points failed") {
+		t.Errorf("stderr missing failure summary:\n%s", errb.String())
+	}
+	if strings.Contains(out.String(), "0.50,") {
+		t.Errorf("stdout contains a line for the failed point:\n%s", out.String())
+	}
+	for _, want := range []string{"0.00,", "1.00,"} {
+		if !strings.Contains(out.String(), "\n"+want) {
+			t.Errorf("stdout missing surviving point %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWarmSweepStopsAtFirstError(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-scale", "smoke"}, &out, &errb,
+		fakeRunner(map[float64]bool{0.5: true}))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	// The warm chain breaks at the failed point; its successor never runs.
+	if strings.Contains(out.String(), "\n1.00,") {
+		t.Errorf("stdout has the successor of a failed warm point:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scale", "huge"}, &out, &errb, fakeRunner(nil)); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -16,17 +16,95 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"ecripse"
 	"ecripse/internal/experiments"
 	"ecripse/internal/obsv"
+	"ecripse/internal/service"
 )
 
 // splitLines splits rendered multi-line text for re-indentation.
 func splitLines(s string) []string {
 	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
+
+// parseAxis reads one sweep axis flag: "" (no axis), a comma-separated
+// value list, or a from:to:steps range.
+func parseAxis(s string) (*service.Axis, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("range %q: want from:to:steps", s)
+		}
+		from, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("range %q: %w", s, err)
+		}
+		to, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("range %q: %w", s, err)
+		}
+		steps, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("range %q: %w", s, err)
+		}
+		return &service.Axis{From: from, To: to, Steps: steps}, nil
+	}
+	var vals []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", f, err)
+		}
+		vals = append(vals, v)
+	}
+	return &service.Axis{Values: vals}, nil
+}
+
+// runSweep executes a sweep spec in-process and prints the grid as CSV.
+// Per-point failures go to stderr and turn the exit code non-zero; the
+// surviving points are still printed.
+func runSweep(spec service.SweepSpec) int {
+	start := time.Now()
+	res, sweepErr := service.RunSweepLocal(context.Background(), spec, nil)
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "ecripse:", sweepErr)
+		return 1
+	}
+	fmt.Println("# alpha,vdd,temp_k,Pfail,CI95,sims,warm")
+	failed := 0
+	for _, p := range res.Points {
+		if p.Error != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "ecripse: sweep point %d failed: %s\n", p.Index, p.Error)
+			continue
+		}
+		fmt.Printf("%s,%s,%s,%.6e,%.6e,%d,%v\n",
+			axisCSV(p.Alpha), axisCSV(p.Vdd), axisCSV(p.TempK),
+			p.Estimate.P, p.Estimate.CI95, p.Estimate.Sims, p.Warm)
+	}
+	fmt.Printf("# sweep: %d points, %d warm-started, %d total sims, ~%d sims saved by warm starts, wall=%s\n",
+		len(res.Points), res.WarmPoints, res.TotalSims, res.SimsSaved,
+		time.Since(start).Round(time.Millisecond))
+	if sweepErr != nil {
+		fmt.Fprintf(os.Stderr, "ecripse: %d sweep points failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// axisCSV renders an optional axis coordinate ("" when the axis is absent).
+func axisCSV(v *float64) string {
+	if v == nil {
+		return ""
+	}
+	return strconv.FormatFloat(*v, 'g', -1, 64)
 }
 
 func main() {
@@ -46,12 +124,45 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget; the run stops cleanly and reports the partial series")
 		maxSims    = flag.Int64("max-sims", 0, "transistor-level simulation budget; the run stops cleanly at the budget")
 		trace      = flag.Bool("trace", false, "print the stage span timeline and per-round convergence diagnostics")
+		sweepAlpha = flag.String("sweep-alpha", "", `duty-ratio sweep axis: comma list ("0,0.5,1") or from:to:steps ("0:1:11"); requires -rtn`)
+		sweepVdd   = flag.String("sweep-vdd", "", "supply sweep axis [V]: comma list or from:to:steps (replaces -vdd)")
+		sweepTemp  = flag.String("sweep-temp", "", "temperature sweep axis [K]: comma list or from:to:steps")
+		sweepWarm  = flag.Bool("sweep-warm", true, "warm-start each sweep point from its neighbor (with -sweep-*)")
 	)
 	flag.Parse()
 
 	if *conditions {
 		experiments.TableI(os.Stdout)
 		return
+	}
+
+	if *sweepAlpha != "" || *sweepVdd != "" || *sweepTemp != "" {
+		base := service.JobSpec{
+			Mode: *mode, RTN: *withRTN, Seed: *seed, N: *nis, M: *m,
+			NoClassifier: *noClass, AdaptiveGrid: *adaptive,
+			Parallelism: *parallel, MaxSims: *maxSims,
+		}
+		if *sweepVdd == "" {
+			base.Vdd = *vdd
+		}
+		if *sweepAlpha == "" && *withRTN {
+			base.Alpha = *alpha
+		}
+		spec := service.SweepSpec{Base: base, WarmStart: *sweepWarm}
+		var err error
+		if spec.Alpha, err = parseAxis(*sweepAlpha); err != nil {
+			fmt.Fprintln(os.Stderr, "ecripse: -sweep-alpha:", err)
+			os.Exit(2)
+		}
+		if spec.Vdd, err = parseAxis(*sweepVdd); err != nil {
+			fmt.Fprintln(os.Stderr, "ecripse: -sweep-vdd:", err)
+			os.Exit(2)
+		}
+		if spec.TempK, err = parseAxis(*sweepTemp); err != nil {
+			fmt.Fprintln(os.Stderr, "ecripse: -sweep-temp:", err)
+			os.Exit(2)
+		}
+		os.Exit(runSweep(spec))
 	}
 
 	var failMode ecripse.FailureMode

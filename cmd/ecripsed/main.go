@@ -15,7 +15,10 @@
 // memory as before.
 //
 // Endpoints: POST/GET/DELETE /v1/jobs[/{id}], POST /v1/jobs:batch,
-// GET /v1/jobs/{id}/events (SSE progress and convergence diagnostics),
+// POST/GET/DELETE /v1/sweeps[/{id}] (multi-point parameter grids with
+// cross-point warm starts; see the README's "Sweeps" section),
+// GET /v1/jobs/{id}/events and /v1/sweeps/{id}/events (SSE progress and
+// convergence diagnostics),
 // GET /v1/jobs/{id}/trace (span timeline), GET /v1/cache/{key} (peer cache
 // lookup), GET /metrics (JSON; ?format=prometheus for text exposition),
 // GET /healthz. With -debug-addr set, net/http/pprof and expvar are served

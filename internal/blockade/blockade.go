@@ -126,7 +126,42 @@ func EstimateCtx(ctx context.Context, rng *rand.Rand, dim int, fails func(linalg
 		}
 		run.Add(v)
 	}
+	var scorer *svm.CompiledScorer
+	if trained {
+		scorer = cls.Compile()
+	}
+	return stream(ctx, rng, dim, fails, c, n, o, scorer, &run, trainSims, trainStart)
+}
 
+// EstimateWarmCtx is the warm-start entry: it runs the filtered stream with a
+// classifier trained elsewhere — typically at the adjacent point of a
+// parameter sweep — and skips the TrainN simulation batch entirely, so
+// TrainSims is always 0 and the estimate is built from the streamed samples
+// alone. An untrained (or nil) classifier streams unfiltered, exactly like a
+// cold run whose training batch found no failures. Randomness consumption
+// matches the streaming phase of EstimateCtx draw-for-draw.
+func EstimateWarmCtx(ctx context.Context, rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montecarlo.Counter, n int, opts *Options, cls *svm.Classifier) (Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.fill()
+	if o.RecordEvery <= 0 {
+		o.RecordEvery = n/50 + 1
+	}
+	var scorer *svm.CompiledScorer
+	if cls != nil && cls.Trained() {
+		scorer = cls.Compile()
+	}
+	var run stats.Running
+	return stream(ctx, rng, dim, fails, c, n, o, scorer, &run, 0, c.Count())
+}
+
+// stream is the shared filtered-stream body: n nominal draws scored in
+// compiled batches, with only predicted-fail and in-band samples simulated.
+// run may already carry the training batch's exact labels; startCount anchors
+// the total-sims accounting.
+func stream(ctx context.Context, rng *rand.Rand, dim int, fails func(linalg.Vector) bool, c *montecarlo.Counter, n int, o Options, scorer *svm.CompiledScorer, run *stats.Running, trainSims, startCount int64) (Result, error) {
 	// The stream is processed in fixed-size batches so the classifier scores
 	// go through the compiled SoA kernel. Only the draws consume the rng, and
 	// the batch draw replicates randx.NormalVector's per-component order, so
@@ -134,10 +169,6 @@ func EstimateCtx(ctx context.Context, rng *rand.Rand, dim int, fails func(linalg
 	// bit-identical to the per-sample loop. The filter condition folds to a
 	// single threshold: Predict ∨ Uncertain ⇔ score > −Band.
 	const scoreBatchN = 256
-	var scorer *svm.CompiledScorer
-	if trained {
-		scorer = cls.Compile()
-	}
 	backing := make(linalg.Vector, scoreBatchN*dim)
 	batch := make([]linalg.Vector, 0, scoreBatchN)
 	scores := make([]float64, scoreBatchN)
@@ -202,7 +233,7 @@ outer:
 	fin := series.Final()
 	res.Estimate = stats.Estimate{
 		P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr,
-		N: run.N(), Sims: c.Count() - trainStart,
+		N: run.N(), Sims: c.Count() - startCount,
 	}
 	return res, ctx.Err()
 }

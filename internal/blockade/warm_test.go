@@ -1,0 +1,96 @@
+package blockade
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/randx"
+	"ecripse/internal/svm"
+)
+
+// normIndicator is a cheap analytic stand-in for the transistor-level
+// indicator: failure outside the radius-r ball (P ≈ 1.4e-2 at r=4, dim=6).
+func normIndicator(c *montecarlo.Counter, r float64) func(linalg.Vector) bool {
+	return func(x linalg.Vector) bool {
+		c.Add(1)
+		return x.Norm() > r
+	}
+}
+
+// TestEstimateWarmSkipsTraining: the warm entry must spend zero simulations
+// on training, actually filter the stream with the carried classifier, stay
+// deterministic, and agree statistically with an unfiltered run.
+func TestEstimateWarmSkipsTraining(t *testing.T) {
+	const (
+		dim = 6
+		n   = 20000
+		r   = 4.0
+	)
+
+	// Train a classifier "elsewhere" (the adjacent sweep point, in the real
+	// flow) on exact labels around the boundary; no counted simulations.
+	trng := rand.New(rand.NewSource(11))
+	cls := svm.NewClassifier(svm.NewPolyFeatures(dim, 2, 0), 1e-4)
+	xs := make([]linalg.Vector, 4000)
+	ys := make([]bool, 4000)
+	for i := range xs {
+		xs[i] = randx.NormalVector(trng, dim).Scale(1 + 2*trng.Float64())
+		ys[i] = xs[i].Norm() > r
+	}
+	cls.Train(trng, xs, ys, 25)
+	if !cls.Trained() {
+		t.Fatal("training classifier failed")
+	}
+
+	var cw montecarlo.Counter
+	warm, err := EstimateWarmCtx(context.Background(), rand.New(rand.NewSource(42)), dim,
+		normIndicator(&cw, r), &cw, n, nil, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TrainSims != 0 {
+		t.Fatalf("warm TrainSims = %d, want 0", warm.TrainSims)
+	}
+	if warm.Passed+warm.Blocked != n {
+		t.Fatalf("passed %d + blocked %d != n %d", warm.Passed, warm.Blocked, n)
+	}
+	if warm.Blocked == 0 {
+		t.Fatal("carried classifier blocked nothing — filter not in effect")
+	}
+	if warm.Estimate.Sims >= int64(n) {
+		t.Fatalf("warm run simulated %d of %d samples — no saving", warm.Estimate.Sims, n)
+	}
+
+	// Deterministic: same seed, same classifier → identical outcome.
+	var cw2 montecarlo.Counter
+	warm2, err := EstimateWarmCtx(context.Background(), rand.New(rand.NewSource(42)), dim,
+		normIndicator(&cw2, r), &cw2, n, nil, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm2.Estimate != warm.Estimate || warm2.Passed != warm.Passed || warm2.Blocked != warm.Blocked {
+		t.Fatalf("warm run not deterministic:\n  %+v\n  %+v", warm.Estimate, warm2.Estimate)
+	}
+
+	// Statistical agreement with the unfiltered estimate of the same quantity.
+	var cn montecarlo.Counter
+	naive, err := EstimateWarmCtx(context.Background(), rand.New(rand.NewSource(43)), dim,
+		normIndicator(&cn, r), &cn, n, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Blocked != 0 || naive.Passed != n {
+		t.Fatalf("nil-classifier warm run filtered: passed %d blocked %d", naive.Passed, naive.Blocked)
+	}
+	diff := warm.Estimate.P - naive.Estimate.P
+	if diff < 0 {
+		diff = -diff
+	}
+	if bound := 4 * (warm.Estimate.CI95 + naive.Estimate.CI95); diff > bound {
+		t.Fatalf("warm-filtered estimate drifted: %v vs unfiltered %v (|diff| %.3e > %.3e)",
+			warm.Estimate.P, naive.Estimate.P, diff, bound)
+	}
+}

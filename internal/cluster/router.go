@@ -187,6 +187,11 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleEvents)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.handleTrace)
 	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleCancel)
+	rt.mux.HandleFunc("POST /v1/sweeps", rt.handleSweepSubmit)
+	rt.mux.HandleFunc("GET /v1/sweeps", rt.handleSweepList)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}", rt.handleSweepGet)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}/events", rt.handleSweepEvents)
+	rt.mux.HandleFunc("DELETE /v1/sweeps/{id}", rt.handleSweepCancel)
 	rt.mux.HandleFunc("GET /v1/cache/{key}", rt.handleCache)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
@@ -232,6 +237,15 @@ func (rt *Router) recover() {
 // ("s1-j000001" → "s1"), or "" when the ID carries no prefix.
 func shardPrefix(id string) string {
 	if i := strings.LastIndex(id, "-j"); i > 0 {
+		return id[:i]
+	}
+	return ""
+}
+
+// sweepShardPrefix extracts the shard name from a namespaced sweep ID
+// ("s1-sw000001" → "s1"), or "" when the ID carries no prefix.
+func sweepShardPrefix(id string) string {
+	if i := strings.LastIndex(id, "-sw"); i > 0 {
 		return id[:i]
 	}
 	return ""
@@ -740,6 +754,180 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 		rt.proxyErrs.Add(1)
 		writeError(w, http.StatusBadGateway, err.Error())
 	}
+}
+
+// handleSweepSubmit validates the sweep grid at the edge (junk grids never
+// cross the wire), charges the tenant one unit per grid point, and
+// dispatches the whole sweep to the ring owner of its content key, walking
+// the failover order on transport errors. The owning shard runs the sweep
+// controller; every completed point is content-cached there, so any shard
+// that later receives the same point spec — or the resubmitted sweep after
+// a failover — answers from the peer-cache lookup path instead of
+// resimulating. Sweeps are deliberately not re-enqueued on shard death:
+// the durable state is the per-point cache, and resubmitting the same spec
+// (which hashes to a live owner) resumes from the completed points.
+func (rt *Router) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if rt.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, rt.maxBody)
+	}
+	var spec service.SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("spec exceeds the %d-byte body limit", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode sweep spec: "+err.Error())
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tenant := service.TenantFrom(r.Context())
+	if err := rt.tenants.Acquire(tenant, spec.NumPoints()); err != nil {
+		writeError(w, acquireStatus(w, err), err.Error())
+		return
+	}
+	key := spec.Key()
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "marshal sweep spec: "+err.Error())
+		return
+	}
+
+	tried := map[string]bool{}
+	try := func(t *target) (*bufferedResponse, error) {
+		tried[t.name] = true
+		rt.forwards[t.name].Add(1)
+		return t.do(r.Context(), http.MethodPost, "/v1/sweeps", raw, r)
+	}
+	if owner, ok := rt.ring.Owner(key); ok {
+		if t := rt.targets[owner]; t.Alive() {
+			if resp, err := try(t); err == nil {
+				relay(w, resp)
+				return
+			} else {
+				rt.proxyErrs.Add(1)
+				rt.log.Warn("sweep dispatch failed, trying successor", "shard", owner, "err", err)
+			}
+		}
+	}
+	for _, name := range rt.ring.Owners(key, len(rt.names)) {
+		t := rt.targets[name]
+		if tried[name] || !t.Alive() {
+			continue
+		}
+		if resp, err := try(t); err == nil {
+			relay(w, resp)
+			return
+		} else {
+			rt.proxyErrs.Add(1)
+			rt.log.Warn("sweep dispatch failed, trying successor", "shard", name, "err", err)
+		}
+	}
+	writeError(w, http.StatusBadGateway, "cluster: no shard reachable")
+}
+
+// routeSweep resolves a sweep ID to its shard purely by ID prefix: sweep
+// IDs are minted by the accepting shard ("s1-sw000001"), so no ownership
+// table is needed and failover never aliases them.
+func (rt *Router) routeSweep(id string) (*target, error) {
+	t, ok := rt.targets[sweepShardPrefix(id)]
+	if !ok {
+		return nil, service.ErrSweepNotFound
+	}
+	if !t.Alive() {
+		return nil, fmt.Errorf("cluster: shard %s is down", t.name)
+	}
+	return t, nil
+}
+
+// forwardSweep proxies one buffered per-sweep request (GET, DELETE).
+func (rt *Router) forwardSweep(w http.ResponseWriter, r *http.Request, method string) {
+	id := r.PathValue("id")
+	t, err := rt.routeSweep(id)
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, service.ErrSweepNotFound) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	rt.forwards[t.name].Add(1)
+	resp, err := t.do(r.Context(), method, "/v1/sweeps/"+id, nil, r)
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	relay(w, resp)
+}
+
+func (rt *Router) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	rt.forwardSweep(w, r, http.MethodGet)
+}
+
+func (rt *Router) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	rt.forwardSweep(w, r, http.MethodDelete)
+}
+
+func (rt *Router) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, err := rt.routeSweep(id)
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, service.ErrSweepNotFound) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	rt.forwards[t.name].Add(1)
+	if err := t.proxy(w, r, "/v1/sweeps/"+id+"/events"); err != nil {
+		rt.proxyErrs.Add(1)
+		writeError(w, http.StatusBadGateway, err.Error())
+	}
+}
+
+// handleSweepList merges the sweep lists of every alive shard. Sweep IDs
+// never alias (no failover re-enqueue), so the merge is a plain union.
+func (rt *Router) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	alive := rt.aliveTargets()
+	lists := make([][]service.SweepView, len(alive))
+	var wg sync.WaitGroup
+	for i, t := range alive {
+		wg.Add(1)
+		go func(i int, t *target) {
+			defer wg.Done()
+			resp, err := t.do(r.Context(), http.MethodGet, "/v1/sweeps", nil, r)
+			if err != nil || resp.status != http.StatusOK {
+				rt.proxyErrs.Add(1)
+				return
+			}
+			var views []service.SweepView
+			if json.Unmarshal(resp.body, &views) == nil {
+				lists[i] = views
+			}
+		}(i, t)
+	}
+	wg.Wait()
+
+	merged := make([]service.SweepView, 0, 16)
+	for i := range alive {
+		merged = append(merged, lists[i]...)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].CreatedAt != merged[b].CreatedAt {
+			return merged[a].CreatedAt < merged[b].CreatedAt
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	writeJSON(w, http.StatusOK, merged)
 }
 
 func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {

@@ -42,6 +42,8 @@ type Engine struct {
 	classifier *svm.Classifier
 	initial    []linalg.Vector // shared boundary particles (normalized space)
 	trustR     float64         // classifier trust radius (normalized units)
+	warmed     bool            // initial came from SeedWarm, not boundary search
+	startCloud []linalg.Vector // stage-1 starting cloud of the latest run (for Warm)
 
 	// Cost accounting.
 	initSims   int64
@@ -243,6 +245,15 @@ func (e *Engine) InitCtx(ctx context.Context, rng *rand.Rand) {
 	wspan.End()
 }
 
+// classifierOff reports whether this run labels everything with the true
+// simulator: the NoClassifier ablation, or a cloud-only warm seed (SeedWarm
+// without a classifier skips InitCtx, so none was ever trained). Stable for
+// the whole run — the classifier is only created in InitCtx or SeedWarm,
+// never mid-run.
+func (e *Engine) classifierOff() bool {
+	return e.Opts.NoClassifier || e.classifier == nil
+}
+
 // SetInitial installs boundary particles from another engine (shared
 // initialization across bias conditions). The classifier is not shared.
 func (e *Engine) SetInitial(initial []linalg.Vector) {
@@ -304,11 +315,33 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		}
 		return v * randx.StdNormalPDF(x)
 	}
-	ens := pfilter.New(rng, pfilter.Options{
+	pfOpts := pfilter.Options{
 		Particles: e.Opts.Particles,
 		Filters:   e.Opts.Filters,
 		KernelStd: e.Opts.Kernel,
-	}, e.initial)
+	}
+	var ens *pfilter.Ensemble
+	if e.warmed {
+		// A warm-seeded initial set is a neighbor point's starting cloud in
+		// Particles() order; rebuilding it positionally preserves the original
+		// per-filter grouping and consumes no randomness (there is no k-means
+		// to run — the lobes were separated by the exporting engine).
+		ens = pfilter.Warm(pfOpts, e.initial)
+	} else {
+		ens = pfilter.New(rng, pfOpts, e.initial)
+	}
+	// Snapshot the grouped starting cloud for Warm export. Deliberately the
+	// pre-iteration cloud, not the final one: resampling collapses particle
+	// diversity, and chaining collapsed clouds across sweep points compounds
+	// into an importance proposal that misses failure mass (a systematic
+	// underestimate). The starting cloud is the boundary-initialization
+	// knowledge the paper shares across bias conditions (Fig. 7(b)) — it
+	// rides a warm chain unchanged.
+	startParticles := ens.Particles()
+	e.startCloud = make([]linalg.Vector, len(startParticles))
+	for i, p := range startParticles {
+		e.startCloud[i] = p.Clone()
+	}
 	perRound := ens.NumFilters() * e.Opts.Particles
 	var pfRounds []PFRoundDiag
 	for it := 0; it < e.Opts.PFIters && ctx.Err() == nil; it++ {

@@ -50,13 +50,13 @@ func (l *batchLabeler) begin(n int) {
 		l.pending = make([][]labelObs, n)
 	}
 	l.pending = l.pending[:n]
-	l.trained = !l.e.Opts.NoClassifier && l.e.classifier != nil && l.e.classifier.Trained()
+	l.trained = !l.e.classifierOff() && l.e.classifier.Trained()
 }
 
 // record parks a simulated observation of sample idx for barrier replay.
 // Race-free: each index is owned by exactly one worker at a time.
 func (l *batchLabeler) record(idx int, u linalg.Vector, failed bool) {
-	if l.e.Opts.NoClassifier {
+	if l.e.classifierOff() {
 		return
 	}
 	l.pending[idx] = append(l.pending[idx], labelObs{u: u, failed: failed})
@@ -66,7 +66,7 @@ func (l *batchLabeler) record(idx int, u linalg.Vector, failed bool) {
 // classifier in index order and re-freezes the trained flag. Must be called
 // single-threaded, at a barrier.
 func (l *batchLabeler) flushRange(lo, hi int) {
-	if l.e.Opts.NoClassifier {
+	if l.e.classifierOff() {
 		return
 	}
 	for idx := lo; idx < hi; idx++ {
@@ -93,7 +93,7 @@ func (l *batchLabeler) score(u linalg.Vector) float64 {
 // frozen weights.
 func (l *batchLabeler) labelStage1(rng *rand.Rand, idx int, u linalg.Vector) bool {
 	e := l.e
-	if e.Opts.NoClassifier || !l.trained || rng.Float64() < e.Opts.TrainFrac {
+	if e.classifierOff() || !l.trained || rng.Float64() < e.Opts.TrainFrac {
 		failed := e.simulate(u)
 		l.record(idx, u, failed)
 		return failed
@@ -108,7 +108,7 @@ func (l *batchLabeler) labelStage1(rng *rand.Rand, idx int, u linalg.Vector) boo
 // score evaluation decides both the band test and the prediction.
 func (l *batchLabeler) labelStage2(idx int, u linalg.Vector) bool {
 	e := l.e
-	if !e.Opts.NoClassifier && l.trained && (e.trustR <= 0 || u.Norm() <= e.trustR) {
+	if !e.classifierOff() && l.trained && (e.trustR <= 0 || u.Norm() <= e.trustR) {
 		if s := l.score(u); s <= -e.Opts.Band || s >= e.Opts.Band {
 			atomic.AddInt64(&e.classified, 1)
 			return s > 0

@@ -110,6 +110,39 @@ func New(rng *rand.Rand, opts Options, initial []linalg.Vector) *Ensemble {
 	return e
 }
 
+// Warm rebuilds an ensemble from a previously exported particle cloud (the
+// concatenation Particles() produced) without consuming any randomness: the
+// cloud is split sequentially into opts.Filters groups, preserving the
+// original per-filter grouping when the cloud came from an ensemble with the
+// same geometry. Groups shorter than opts.Particles are padded by cycling
+// their own members. This is the cross-point warm-start entry: a sweep
+// planner seeds point i's filters from point i-1's final cloud instead of
+// re-running boundary bisection.
+func Warm(opts Options, cloud []linalg.Vector) *Ensemble {
+	opts.fill()
+	if len(cloud) == 0 {
+		panic("pfilter: empty warm cloud")
+	}
+	e := &Ensemble{opts: opts}
+	nf := opts.Filters
+	if nf > len(cloud) {
+		nf = len(cloud)
+	}
+	per := len(cloud) / nf
+	for fi := 0; fi < nf; fi++ {
+		g := cloud[fi*per:]
+		if fi < nf-1 {
+			g = g[:per]
+		}
+		f := make([]linalg.Vector, opts.Particles)
+		for i := range f {
+			f[i] = g[i%len(g)].Clone()
+		}
+		e.filters = append(e.filters, f)
+	}
+	return e
+}
+
 // NumFilters returns the number of non-empty filters.
 func (e *Ensemble) NumFilters() int { return len(e.filters) }
 

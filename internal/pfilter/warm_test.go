@@ -1,0 +1,80 @@
+package pfilter
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
+)
+
+// TestWarmRoundTrip: exporting an ensemble's cloud and rebuilding via Warm
+// must recover the exact per-filter grouping — the property the sweep
+// planner's cross-point seeding depends on — without consuming randomness.
+func TestWarmRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	initial := make([]linalg.Vector, 24)
+	for i := range initial {
+		// Two well-separated lobes so k-means produces two filters.
+		c := 4.0
+		if i%2 == 1 {
+			c = -4.0
+		}
+		initial[i] = randx.NormalVector(rng, 6).Scale(0.2)
+		initial[i][0] += c
+	}
+	opts := Options{Particles: 10, Filters: 2, KernelStd: 0.3}
+	cold := New(rng, opts, initial)
+	cloud := cold.Particles()
+
+	warm := Warm(opts, cloud)
+	if warm.NumFilters() != cold.NumFilters() {
+		t.Fatalf("filters = %d, want %d", warm.NumFilters(), cold.NumFilters())
+	}
+	for fi := 0; fi < cold.NumFilters(); fi++ {
+		cf, wf := cold.FilterParticles(fi), warm.FilterParticles(fi)
+		if len(cf) != len(wf) {
+			t.Fatalf("filter %d: %d particles, want %d", fi, len(wf), len(cf))
+		}
+		for i := range cf {
+			for d := range cf[i] {
+				if cf[i][d] != wf[i][d] {
+					t.Fatalf("filter %d particle %d dim %d: %v != %v", fi, i, d, wf[i][d], cf[i][d])
+				}
+			}
+		}
+	}
+	// Warm must clone: mutating the warm ensemble's particles must not write
+	// through to the exported cloud.
+	warm.FilterParticles(0)[0][0] = 99
+	if cloud[0][0] == 99 {
+		t.Fatal("Warm aliased the input cloud instead of cloning")
+	}
+}
+
+// TestWarmPadsShortCloud: a cloud smaller than Filters×Particles still yields
+// a full ensemble, padded deterministically by cycling group members.
+func TestWarmPadsShortCloud(t *testing.T) {
+	cloud := []linalg.Vector{
+		{1, 0, 0, 0, 0, 0},
+		{2, 0, 0, 0, 0, 0},
+		{3, 0, 0, 0, 0, 0},
+	}
+	e := Warm(Options{Particles: 4, Filters: 2, KernelStd: 0.3}, cloud)
+	if e.NumFilters() != 2 {
+		t.Fatalf("filters = %d, want 2", e.NumFilters())
+	}
+	for fi := 0; fi < 2; fi++ {
+		f := e.FilterParticles(fi)
+		if len(f) != 4 {
+			t.Fatalf("filter %d has %d particles, want 4", fi, len(f))
+		}
+	}
+	// First group is cloud[0:1], second cloud[1:3]; padding cycles members.
+	if e.FilterParticles(0)[3][0] != 1 {
+		t.Fatalf("filter 0 padding = %v, want 1", e.FilterParticles(0)[3][0])
+	}
+	if got := e.FilterParticles(1)[2][0]; got != 2 {
+		t.Fatalf("filter 1 padding = %v, want 2", got)
+	}
+}

@@ -59,6 +59,20 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if len(m.Sweeps) > 0 {
+		for _, st := range []State{StateQueued, StateRunning, StateDone, StateCanceled, StateFailed} {
+			p.Gauge("ecripsed_sweeps",
+				"Sweeps currently known to the service, by lifecycle state.",
+				float64(m.Sweeps[st]), [2]string{"state", string(st)})
+		}
+	}
+	p.Counter("ecripsed_sweep_points_done_total",
+		"Sweep grid points driven to completion.", float64(m.SweepPointsDone))
+	p.Counter("ecripsed_sweep_warm_points_total",
+		"Sweep points seeded from their predecessor's warm state.", float64(m.SweepWarmPoints))
+	p.Counter("ecripsed_sweep_sims_saved_total",
+		"Estimated simulations avoided by sweep warm starts.", float64(m.SweepSimsSaved))
+
 	p.Counter("ecripsed_sims_total",
 		"Transistor-level simulations consumed across all known jobs.", float64(m.SimsTotal))
 	p.Counter("ecripsed_solver_root_solves_total",

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -29,6 +30,12 @@ type RunResult struct {
 	// entry per particle-filter round; a sweep reports its last run's, like
 	// Estimate/Series). Deterministic, hence cache-safe.
 	PFRounds []core.PFRoundDiag `json:"pf_rounds,omitempty"`
+	// Warm is the engine's exported warm state (final particle cloud,
+	// trained classifier, trust radius), present only when the spec set
+	// export_warm. Successor jobs name this result's content key as warm_in
+	// and are seeded from it. Deterministic like everything else here, so it
+	// caches soundly.
+	Warm *core.WarmState `json:"warm,omitempty"`
 }
 
 // runHooks carries the service's observational instruments into the runner.
@@ -36,6 +43,10 @@ type RunResult struct {
 // here is optional and result-neutral.
 type runHooks struct {
 	indicatorHist *obsv.Histogram
+	// warmResolver maps a predecessor content key to its raw RunResult
+	// payload (typically a cache lookup). Required by jobs with warm_in;
+	// result-neutral for everything else.
+	warmResolver func(key string) (json.RawMessage, bool)
 }
 
 type hooksKey struct{}
@@ -144,6 +155,20 @@ type SweepPoint struct {
 	Estimate Estimate `json:"estimate"`
 }
 
+// RunSpec normalizes one job spec and executes it in-process with the real
+// estimator runner — the CLI entry point for single jobs, sharing the exact
+// code path (and therefore the determinism and content-addressing
+// guarantees) of service-run jobs. counter may be nil.
+func RunSpec(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (*RunResult, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	if counter == nil {
+		counter = &montecarlo.Counter{}
+	}
+	return runSpec(ctx, s, counter)
+}
+
 // runSpec executes a normalized spec deterministically: all randomness
 // derives from spec.Seed, and ctx checkpoints consume none, so a fixed
 // (spec, seed) yields a byte-identical RunResult — the cache-soundness
@@ -217,6 +242,15 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 			AdaptiveGrid: s.AdaptiveGrid, Parallelism: s.Parallelism,
 			IndicatorHist: hooks.indicatorHist,
 		})
+		if s.WarmIn != "" {
+			ws, err := resolveWarm(s, hooks)
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.SeedWarm(ws); err != nil {
+				return nil, fmt.Errorf("warm seed: %w", err)
+			}
+		}
 		if len(s.Sweep) > 0 {
 			cfg := rtn.TableIConfig(cell)
 			eng.InitCtx(ctx, rng)
@@ -234,6 +268,9 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 				out.Estimate, out.Series = toEstimate(r.Estimate), toSeries(r.Series)
 				out.PFRounds = r.PFRounds
 			}
+			if err := exportWarm(eng, s, out); err != nil {
+				return out, err
+			}
 			return out, nil
 		}
 		var sampler *rtn.Sampler
@@ -243,6 +280,9 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 		r, err := eng.RunCtx(ctx, rng, sampler)
 		out := &RunResult{Estimate: toEstimate(r.Estimate), Series: toSeries(r.Series), PFRounds: r.PFRounds}
 		addCost(&out.Cost, r)
+		if err == nil {
+			err = exportWarm(eng, s, out)
+		}
 		return out, err
 
 	case EstNaive:
@@ -342,6 +382,49 @@ func runEstimator(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (
 	}
 	// Normalize guarantees a known estimator; this is unreachable.
 	return &RunResult{}, nil
+}
+
+// resolveWarm fetches the predecessor result named by spec.WarmIn through
+// the context's resolver and extracts its exported warm state. With
+// warm_cloud_only the classifier and trust radius are dropped here — before
+// the engine sees them — so the engine-side behavior is a pure function of
+// the spec, which the cache key already encodes.
+func resolveWarm(s JobSpec, hooks runHooks) (*core.WarmState, error) {
+	if hooks.warmResolver == nil {
+		return nil, fmt.Errorf("warm_in: no predecessor resolver in this run context")
+	}
+	raw, ok := hooks.warmResolver(s.WarmIn)
+	if !ok {
+		return nil, fmt.Errorf("warm_in: predecessor result %s not available", s.WarmIn)
+	}
+	var pred struct {
+		Warm *core.WarmState `json:"warm"`
+	}
+	if err := json.Unmarshal(raw, &pred); err != nil {
+		return nil, fmt.Errorf("warm_in: predecessor payload: %w", err)
+	}
+	if pred.Warm == nil || len(pred.Warm.Cloud) == 0 {
+		return nil, fmt.Errorf("warm_in: predecessor %s exported no warm state", s.WarmIn)
+	}
+	if s.WarmCloudOnly {
+		pred.Warm.Classifier = nil
+		pred.Warm.TrustR = 0
+	}
+	return pred.Warm, nil
+}
+
+// exportWarm attaches the engine's final warm state to the result when the
+// spec asked for it.
+func exportWarm(eng *core.Engine, s JobSpec, out *RunResult) error {
+	if !s.ExportWarm {
+		return nil
+	}
+	w, err := eng.Warm()
+	if err != nil {
+		return fmt.Errorf("export warm: %w", err)
+	}
+	out.Warm = w
+	return nil
 }
 
 // addCost folds a core.Result's stage split into the job cost. Init and

@@ -30,6 +30,11 @@ func isForwarded(r *http.Request) bool { return r.Header.Get(ForwardedHeader) !=
 //	GET    /v1/jobs/{id}/events progress stream (SSE)   → text/event-stream
 //	GET    /v1/jobs/{id}/trace  span timeline           → 200 {id, state, spans}
 //	DELETE /v1/jobs/{id}        cancel                  → 202 view (409 view if already terminal)
+//	POST   /v1/sweeps           submit a SweepSpec      → 202 sweep view (400 over the point limit)
+//	GET    /v1/sweeps           list sweeps             → 200 [view...]
+//	GET    /v1/sweeps/{id}      status, points, result  → 200 view
+//	GET    /v1/sweeps/{id}/events per-point SSE         → text/event-stream
+//	DELETE /v1/sweeps/{id}      cancel                  → 202 view (409 if already terminal)
 //	GET    /v1/cache/{key}      result by content key   → 200 payload (peer cache lookups)
 //	GET    /metrics             expvar-style JSON (?format=prometheus for text exposition)
 //	GET    /healthz             liveness (503 while draining)
@@ -78,6 +83,11 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -243,6 +253,137 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items[i] = BatchItem{Status: status, Job: &view}
 	}
 	writeJSON(w, http.StatusOK, items)
+}
+
+// handleSweepSubmit accepts a SweepSpec, plans its grid, and starts the
+// sweep controller. Fairness is atomic like a batch: the tenant is charged
+// one token per grid point up front. Oversized grids (ErrTooManyPoints) and
+// any other spec defect answer 400.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	var spec SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("sweep spec exceeds the %d-byte body limit", mbe.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decode sweep spec: "+err.Error())
+		return
+	}
+	// Normalize before charging so the token count reflects the real grid
+	// (and junk grids cost nothing). SubmitSweepAs re-normalizes the already-
+	// canonical spec, which is idempotent.
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tenant := TenantFrom(r.Context())
+	if !isForwarded(r) {
+		if err := s.Tenants.Acquire(tenant, spec.NumPoints()); err != nil {
+			writeError(w, submitErrStatus(w, err), err.Error())
+			return
+		}
+	}
+	sw, err := s.svc.SubmitSweepAs(tenant.Name(), spec)
+	if err != nil {
+		writeError(w, submitErrStatus(w, err), err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+sw.ID)
+	writeJSON(w, http.StatusAccepted, sw.Snapshot(false))
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	sweeps := s.svc.Sweeps()
+	views := make([]SweepView, 0, len(sweeps))
+	for _, sw := range sweeps {
+		views = append(views, sw.Snapshot(false))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	sw, err := s.svc.GetSweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.Snapshot(true))
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	sw, changed, err := s.svc.CancelSweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if !changed {
+		writeJSON(w, http.StatusConflict, sw.Snapshot(false))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sw.Snapshot(false))
+}
+
+// handleSweepEvents streams sweep progress as SSE: buffered "point" events
+// as each grid point changes state, periodic "progress" summaries, and a
+// final "done" with the full sweep view (aggregate included).
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw, err := s.svc.GetSweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		flusher.Flush()
+	}
+	type progress struct {
+		ID         string `json:"id"`
+		State      State  `json:"state"`
+		NumPoints  int    `json:"num_points"`
+		PointsDone int    `json:"points_done"`
+	}
+	var cursor uint64
+	drain := func() {
+		events, dropped, next := sw.DiagSince(cursor)
+		cursor = next
+		if dropped > 0 {
+			emit("dropped", map[string]uint64{"missed": dropped})
+		}
+		for _, ev := range events {
+			emit("point", ev)
+		}
+	}
+	ticker := time.NewTicker(s.EventInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sw.Done():
+			drain()
+			emit("done", sw.Snapshot(true))
+			return
+		case <-ticker.C:
+			drain()
+			emit("progress", progress{ID: sw.ID, State: sw.State(),
+				NumPoints: len(sw.points), PointsDone: sw.PointsDone()})
+		}
+	}
 }
 
 // handleCacheLookup answers a peer shard's read-through probe: the raw

@@ -165,6 +165,18 @@ type Service struct {
 	jobs   map[string]*Job
 	order  []*Job // submission order, for listing
 	nextID int64
+
+	// Sweep bookkeeping: controllers run as goroutines tracked by sweepWG so
+	// Drain can wait them out after the worker pool settles.
+	sweepMu     sync.Mutex
+	sweeps      map[string]*Sweep
+	sweepOrder  []*Sweep
+	nextSweepID int64
+	sweepWG     sync.WaitGroup
+
+	sweepPointsDone atomic.Int64 // grid points driven to completion
+	sweepWarmPoints atomic.Int64 // points seeded from a predecessor
+	sweepSimsSaved  atomic.Int64 // estimated simulations avoided by warm starts
 }
 
 // New builds a service, replays whatever state its store recovered from
@@ -199,6 +211,7 @@ func New(cfg Config) *Service {
 		tel:        newTelemetry(),
 		started:    time.Now(),
 		jobs:       make(map[string]*Job),
+		sweeps:     make(map[string]*Sweep),
 	}
 	// Route per-curve solver tallies into the iterations histogram. The
 	// registration is process-global, like TotalSolveTelemetry; the newest
@@ -221,8 +234,62 @@ func New(cfg Config) *Service {
 	for _, rj := range rec.Jobs {
 		s.restore(rj, rec.Results)
 	}
+	// Terminal sweeps restore before the pool starts; interrupted ones
+	// restart their controllers after it, so their point jobs have workers.
+	var resume []*Sweep
+	for _, rs := range rec.Sweeps {
+		if sw := s.restoreSweepRec(rs); sw != nil {
+			resume = append(resume, sw)
+		}
+	}
 	s.pool = startPool(cfg.Workers, s.queue, s.execute)
+	for _, sw := range resume {
+		s.sweepWG.Add(1)
+		go s.runSweep(sw)
+	}
 	return s
+}
+
+// restoreSweepRec re-creates one recovered sweep. Terminal sweeps come back
+// as-is (their persisted aggregate re-attached); a sweep that was running at
+// crash time returns non-nil and the caller restarts its controller once the
+// pool is up — completed points answer from the restored cache, queued
+// recovered point jobs are adopted by key, and only the remainder re-runs.
+func (s *Service) restoreSweepRec(rs RecoveredSweep) *Sweep {
+	// IDs are "sw000001" or, under Config.NodeID, "s1-sw000001"; the counter
+	// always follows the last "sw".
+	var n int64
+	num := rs.ID
+	if i := strings.LastIndex(num, "sw"); i >= 0 {
+		num = num[i:]
+	}
+	if _, err := fmt.Sscanf(num, "sw%d", &n); err == nil && n > s.nextSweepID {
+		s.nextSweepID = n
+	}
+	var spec SweepSpec
+	if err := json.Unmarshal(rs.Spec, &spec); err != nil {
+		s.log.Warn("recovery: dropping sweep with undecodable spec", "sweep", rs.ID, "err", err)
+		return nil
+	}
+	if err := spec.Normalize(); err != nil {
+		s.log.Warn("recovery: dropping sweep with invalid spec", "sweep", rs.ID, "err", err)
+		return nil
+	}
+	points, err := spec.Points()
+	if err != nil {
+		s.log.Warn("recovery: dropping sweep with unplannable grid", "sweep", rs.ID, "err", err)
+		return nil
+	}
+	if rs.State.Terminal() {
+		s.trackSweep(restoreSweep(rs, spec, points))
+		return nil
+	}
+	s.replayed++
+	sw := newSweep(s.baseCtx, rs.ID, spec, rs.Key, rs.Tenant, points, s.cfg.EventBuffer)
+	sw.created = rs.Created
+	sw.onState = s.onSweepState
+	s.trackSweep(sw)
+	return sw
 }
 
 // restore re-creates one recovered job. Replay never appends a fresh
@@ -397,6 +464,108 @@ func (s *Service) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
 	return j, nil
 }
 
+// SubmitSweep validates a sweep spec, plans its grid, and starts the
+// controller that drives the point jobs. The returned sweep is already
+// tracked and running.
+func (s *Service) SubmitSweep(spec SweepSpec) (*Sweep, error) { return s.SubmitSweepAs("", spec) }
+
+// SubmitSweepAs is SubmitSweep attributed to a tenant. Fairness for the
+// whole grid (one token per point) is charged at the HTTP layer before this
+// call, exactly like batch submits.
+func (s *Service) SubmitSweepAs(tenant string, spec SweepSpec) (*Sweep, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	// Cap intra-point parallelism once, in the planner's base, so every
+	// point job inherits it (Submit re-caps defensively; keys are unaffected).
+	if spec.Base.Parallelism > s.cfg.MaxJobParallelism {
+		spec.Base.Parallelism = s.cfg.MaxJobParallelism
+	}
+	points, err := spec.Points()
+	if err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	key := spec.Key()
+
+	s.sweepMu.Lock()
+	s.nextSweepID++
+	id := fmt.Sprintf("sw%06d", s.nextSweepID)
+	s.sweepMu.Unlock()
+	if s.cfg.NodeID != "" {
+		id = s.cfg.NodeID + "-" + id
+	}
+
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshal sweep spec: %w", err)
+	}
+	sw := newSweep(s.baseCtx, id, spec, key, tenant, points, s.cfg.EventBuffer)
+	sw.onState = s.onSweepState
+	if perr := s.st.AppendSweep(id, raw, key, tenant, sw.created); perr != nil {
+		s.appendErrs.Add(1)
+		s.log.Error("persist sweep submit failed", "sweep", id, "err", perr)
+	}
+	s.trackSweep(sw)
+	s.sweepWG.Add(1)
+	go s.runSweep(sw)
+	return sw, nil
+}
+
+// onSweepState persists every committed sweep transition. The aggregate
+// result rides the terminal record: it embeds nondeterministic job IDs, so
+// it is journal-state, never a content-addressed cache entry.
+func (s *Service) onSweepState(sw *Sweep, state State, errMsg string, result json.RawMessage, at time.Time) {
+	if state.Terminal() {
+		if errMsg != "" {
+			s.log.Info("sweep finished", "sweep", sw.ID, "state", state, "err", errMsg)
+		} else {
+			s.log.Info("sweep finished", "sweep", sw.ID, "state", state, "points", len(sw.points))
+		}
+	}
+	if err := s.st.AppendSweepState(sw.ID, state, errMsg, result, at); err != nil {
+		s.appendErrs.Add(1)
+		s.log.Error("persist sweep state failed", "sweep", sw.ID, "state", state, "err", err)
+	}
+}
+
+func (s *Service) trackSweep(sw *Sweep) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	s.sweeps[sw.ID] = sw
+	s.sweepOrder = append(s.sweepOrder, sw)
+}
+
+// GetSweep returns a sweep by ID.
+func (s *Service) GetSweep(id string) (*Sweep, error) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return nil, ErrSweepNotFound
+	}
+	return sw, nil
+}
+
+// Sweeps returns every known sweep in submission order.
+func (s *Service) Sweeps() []*Sweep {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	return append([]*Sweep(nil), s.sweepOrder...)
+}
+
+// CancelSweep requests cancellation of a sweep; false means it was already
+// terminal (409 at the HTTP layer).
+func (s *Service) CancelSweep(id string) (*Sweep, bool, error) {
+	sw, err := s.GetSweep(id)
+	if err != nil {
+		return nil, false, err
+	}
+	return sw, sw.Cancel(), nil
+}
+
 // persistSubmit appends the job's submit record, logging (not failing) on
 // store errors: the service prefers availability over durability.
 func (s *Service) persistSubmit(j *Job, raw json.RawMessage, cached bool) {
@@ -472,12 +641,25 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.queue.close()
 	if s.pool.wait(ctx) {
-		return nil
+		// Workers are idle; sweep controllers can only be finishing their
+		// bookkeeping or failing a pending submit with ErrDraining ("resume
+		// by resubmitting — completed points answer from cache").
+		done := make(chan struct{})
+		go func() { s.sweepWG.Wait(); close(done) }()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			s.baseCancel()
+			<-done
+			return fmt.Errorf("service: drain aborted: %w", ctx.Err())
+		}
 	}
 	// Deadline hit: hard-cancel whatever is still running and give the
 	// workers a moment to unwind at their next checkpoint.
 	s.baseCancel()
 	s.pool.wait(context.Background())
+	s.sweepWG.Wait() // controllers observe the base cancel and finish
 	return fmt.Errorf("service: drain aborted: %w", ctx.Err())
 }
 
@@ -501,7 +683,21 @@ func (s *Service) execute(j *Job) {
 	// the computed result.
 	ctx := obsv.WithTrace(j.ctx, j.trace)
 	ctx = obsv.WithEmitter(ctx, j.publish)
-	ctx = withRunHooks(ctx, runHooks{indicatorHist: s.tel.indicator})
+	ctx = withRunHooks(ctx, runHooks{
+		indicatorHist: s.tel.indicator,
+		// Warm-chained points resolve their predecessor's payload from the
+		// local cache, falling back to the cluster read-through (point i-1
+		// may have computed on another shard).
+		warmResolver: func(key string) (json.RawMessage, bool) {
+			if p, ok := s.cache.peek(key); ok {
+				return p, true
+			}
+			if s.cfg.RemoteCache != nil {
+				return s.cfg.RemoteCache(key)
+			}
+			return nil, false
+		},
+	})
 	runCtx, runSpan := obsv.StartSpan(ctx, "run", obsv.S("job", j.ID))
 
 	res, err := s.runFn(runCtx, j.Spec, j.counter)
@@ -587,6 +783,14 @@ type Metrics struct {
 	ReplayedJobs int `json:"replayed_jobs,omitempty"`
 	// Store carries the persistence counters; absent without a data dir.
 	Store *StoreStats `json:"store,omitempty"`
+	// Sweeps counts known sweeps by state; the point/warm/saved counters
+	// aggregate over every completed sweep: points driven to completion,
+	// points seeded from a predecessor, and the estimated simulations those
+	// warm starts avoided.
+	Sweeps          map[State]int `json:"sweeps,omitempty"`
+	SweepPointsDone int64         `json:"sweep_points_done,omitempty"`
+	SweepWarmPoints int64         `json:"sweep_warm_points,omitempty"`
+	SweepSimsSaved  int64         `json:"sweep_sims_saved,omitempty"`
 	// NodeID is the shard name when the service runs as a cluster member.
 	NodeID string `json:"node_id,omitempty"`
 	// Tenants is the per-tenant usage snapshot; absent with auth off.
@@ -663,5 +867,14 @@ func (s *Service) Snapshot() Metrics {
 		m.Jobs[j.State()]++
 		m.SimsTotal += j.Sims()
 	}
+	if sweeps := s.Sweeps(); len(sweeps) > 0 {
+		m.Sweeps = map[State]int{}
+		for _, sw := range sweeps {
+			m.Sweeps[sw.State()]++
+		}
+	}
+	m.SweepPointsDone = s.sweepPointsDone.Load()
+	m.SweepWarmPoints = s.sweepWarmPoints.Load()
+	m.SweepSimsSaved = s.sweepSimsSaved.Load()
 	return m
 }

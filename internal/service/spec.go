@@ -82,6 +82,27 @@ type JobSpec struct {
 	// and the service caps it so pool-level and intra-job parallelism
 	// compose (see Config.MaxJobParallelism).
 	Parallelism int `json:"parallelism,omitempty"`
+	// WarmIn names the content key of a predecessor job whose exported warm
+	// state (final particle cloud, trained classifier, trust radius) seeds
+	// this job's engine, skipping boundary bisection and classifier warm-up.
+	// The sweep planner sets it to chain adjacent grid points; it requires
+	// estimator=ecripse and a 64-hex content key whose result must already be
+	// resolvable when the job runs. Warm seeding changes the engine's
+	// randomness consumption, so — like adaptive_grid — it is part of the
+	// cache key: a warm point's key transitively encodes its whole
+	// predecessor chain.
+	WarmIn string `json:"warm_in,omitempty"`
+	// WarmCloudOnly restricts the warm input to the particle cloud: the
+	// predecessor's classifier and trust radius are dropped, and every label
+	// is answered by the true simulator. The planner sets it when adjacent
+	// points differ in operating point (Vdd/TempK) — the classifier is
+	// cell-specific, but the neighboring cloud is still a far better stage-1
+	// seed than a fresh boundary search.
+	WarmCloudOnly bool `json:"warm_cloud_only,omitempty"`
+	// ExportWarm includes the engine's final warm state in the result payload
+	// so a successor job can WarmIn it. Part of the cache key (the payload
+	// differs), which keeps plain point jobs and sweep-chained ones distinct.
+	ExportWarm bool `json:"export_warm,omitempty"`
 }
 
 // Normalize applies the documented defaults in place and validates the
@@ -186,7 +207,36 @@ func (s *JobSpec) Normalize() error {
 	if s.Parallelism != 0 && s.Estimator != EstECRIPSE {
 		return fmt.Errorf("spec: parallelism applies to estimator=ecripse only")
 	}
+	if s.WarmIn != "" {
+		if s.Estimator != EstECRIPSE {
+			return fmt.Errorf("spec: warm_in applies to estimator=ecripse only")
+		}
+		if !validKey(s.WarmIn) {
+			return fmt.Errorf("spec: warm_in %q is not a 64-hex content key", s.WarmIn)
+		}
+	}
+	if s.WarmCloudOnly && s.WarmIn == "" {
+		return fmt.Errorf("spec: warm_cloud_only requires warm_in")
+	}
+	if s.ExportWarm && s.Estimator != EstECRIPSE {
+		return fmt.Errorf("spec: export_warm applies to estimator=ecripse only")
+	}
 	return nil
+}
+
+// validKey reports whether k looks like a content key: 64 lowercase hex
+// characters, as Key produces.
+func validKey(k string) bool {
+	if len(k) != 64 {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

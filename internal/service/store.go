@@ -49,6 +49,14 @@ type Store interface {
 	// shard). Re-appends update the assignment — the failover path moves a
 	// dead shard's jobs to their ring successor.
 	AppendOwner(id, shard, remote string) error
+	// AppendSweep records a newly accepted sweep: id, the normalized
+	// SweepSpec, its content key, and the submitting tenant.
+	AppendSweep(id string, spec json.RawMessage, key, tenant string, at time.Time) error
+	// AppendSweepState records a sweep lifecycle transition. Terminal done
+	// records carry the aggregate result payload — sweep aggregates embed
+	// nondeterministic job IDs, so they live in the journal keyed by sweep,
+	// never in the content-addressed result set.
+	AppendSweepState(id string, state State, errMsg string, result json.RawMessage, at time.Time) error
 	// Stats reports persistence counters for /metrics; a store without
 	// durability returns the zero value.
 	Stats() StoreStats
@@ -63,6 +71,10 @@ type Store interface {
 type Recovery struct {
 	Jobs    []RecoveredJob
 	Results map[string]json.RawMessage
+	// Sweeps is every persisted sweep in submission order. Terminal sweeps
+	// restore with their aggregate; interrupted ones restart their
+	// controllers, re-answering completed points from Results.
+	Sweeps []RecoveredSweep
 	// Tenants is the last persisted usage per tenant name (may be nil).
 	Tenants map[string]TenantUsage
 	// Owners is the last persisted shard assignment per dispatched job ID
@@ -100,6 +112,21 @@ type RecoveredJob struct {
 	Trace json.RawMessage
 }
 
+// RecoveredSweep is one persisted sweep as of the last durable record.
+type RecoveredSweep struct {
+	ID       string
+	Spec     json.RawMessage
+	Key      string
+	State    State
+	Error    string
+	Tenant   string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	// Result is the persisted aggregate of a done sweep (nil otherwise).
+	Result json.RawMessage
+}
+
 // StoreStats are the persistence counters surfaced at /metrics.
 type StoreStats struct {
 	// Appends counts journal records written since the process started.
@@ -120,11 +147,15 @@ func (nopStore) Recover() *Recovery { return &Recovery{} }
 func (nopStore) AppendSubmit(string, json.RawMessage, string, string, bool, time.Time) error {
 	return nil
 }
-func (nopStore) AppendState(string, State, string, time.Time) error { return nil }
-func (nopStore) AppendResult(string, json.RawMessage) error         { return nil }
-func (nopStore) AppendDrop(string) error                            { return nil }
-func (nopStore) AppendTrace(string, json.RawMessage) error          { return nil }
-func (nopStore) AppendTenant(string, TenantUsage) error             { return nil }
-func (nopStore) AppendOwner(string, string, string) error           { return nil }
-func (nopStore) Stats() StoreStats                                  { return StoreStats{} }
-func (nopStore) Close() error                                       { return nil }
+func (nopStore) AppendState(string, State, string, time.Time) error                   { return nil }
+func (nopStore) AppendResult(string, json.RawMessage) error                           { return nil }
+func (nopStore) AppendDrop(string) error                                              { return nil }
+func (nopStore) AppendTrace(string, json.RawMessage) error                            { return nil }
+func (nopStore) AppendTenant(string, TenantUsage) error                               { return nil }
+func (nopStore) AppendOwner(string, string, string) error                             { return nil }
+func (nopStore) AppendSweep(string, json.RawMessage, string, string, time.Time) error { return nil }
+func (nopStore) AppendSweepState(string, State, string, json.RawMessage, time.Time) error {
+	return nil
+}
+func (nopStore) Stats() StoreStats { return StoreStats{} }
+func (nopStore) Close() error      { return nil }

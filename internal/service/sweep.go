@@ -1,0 +1,548 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/obsv"
+)
+
+// ErrSweepNotFound is returned for unknown sweep IDs.
+var ErrSweepNotFound = errors.New("service: no such sweep")
+
+// Sweep is one submitted sweep: a grid of point jobs planned from a
+// SweepSpec and driven by a controller goroutine. Point jobs are ordinary
+// jobs — content-addressed, cached, persisted — so a re-submitted or
+// recovered sweep answers its completed points from the cache and only
+// computes the remainder.
+type Sweep struct {
+	ID     string
+	Spec   SweepSpec
+	Key    string // content address of the sweep spec
+	Tenant string
+
+	points []PointPlan
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	events *eventRing
+	trace  *obsv.Trace
+
+	// onState observes committed sweep transitions (the service persists
+	// them); result rides the terminal record so the aggregate — which
+	// contains nondeterministic job IDs and is therefore not content-
+	// addressable — survives restarts without entering the result cache.
+	onState func(sw *Sweep, state State, errMsg string, result json.RawMessage, at time.Time)
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	result    *SweepResult
+	rawResult json.RawMessage // recovered terminal sweeps
+	pstate    []SweepPointStatus
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// SweepPointStatus is the live per-point progress of a sweep.
+type SweepPointStatus struct {
+	Index  int    `json:"index"`
+	State  State  `json:"state"`
+	JobID  string `json:"job_id,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// SweepPointResult is one finished grid point in the sweep's aggregate.
+type SweepPointResult struct {
+	Index  int      `json:"index"`
+	Alpha  *float64 `json:"alpha,omitempty"`
+	Vdd    *float64 `json:"vdd,omitempty"`
+	TempK  *float64 `json:"temp_k,omitempty"`
+	JobID  string   `json:"job_id,omitempty"`
+	Key    string   `json:"key"`
+	Cached bool     `json:"cached,omitempty"`
+	Warm   bool     `json:"warm,omitempty"`
+	Error  string   `json:"error,omitempty"`
+
+	Estimate Estimate  `json:"estimate"`
+	Cost     CostSplit `json:"cost"`
+}
+
+// SweepResult aggregates a finished sweep. TotalSims and SimsSaved are
+// derived from the deterministic point payloads, so two runs of the same
+// sweep — cached or not — report identical figures.
+type SweepResult struct {
+	Points []SweepPointResult `json:"points"`
+	// TotalSims sums every point payload's total simulation cost (what the
+	// grid costs to compute once, regardless of how many points this
+	// particular run answered from cache).
+	TotalSims int64 `json:"total_sims"`
+	// SimsSaved estimates the simulations warm seeding avoided: for every
+	// warm-seeded point, the boundary-init (and, unless cloud-only, the
+	// classifier warm-up) cost its nearest cold predecessor actually paid.
+	SimsSaved int64 `json:"sims_saved,omitempty"`
+	// CachedPoints counts points this run answered without new computation;
+	// WarmPoints counts points seeded from their predecessor.
+	CachedPoints int `json:"cached_points,omitempty"`
+	WarmPoints   int `json:"warm_points,omitempty"`
+}
+
+// newSweep creates a running-ready sweep whose context descends from parent.
+func newSweep(parent context.Context, id string, spec SweepSpec, key, tenant string, points []PointPlan, eventCap int) *Sweep {
+	ctx, cancel := context.WithCancel(parent)
+	sw := &Sweep{
+		ID:      id,
+		Spec:    spec,
+		Key:     key,
+		Tenant:  tenant,
+		points:  points,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		events:  newEventRing(eventCap),
+		trace:   obsv.NewTrace(),
+		state:   StateQueued,
+		created: time.Now(),
+		pstate:  make([]SweepPointStatus, len(points)),
+	}
+	for i := range sw.pstate {
+		sw.pstate[i] = SweepPointStatus{Index: i, State: StateQueued}
+	}
+	return sw
+}
+
+// restoreSweep rebuilds a terminal sweep from the persistent store.
+func restoreSweep(r RecoveredSweep, spec SweepSpec, points []PointPlan) *Sweep {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sw := &Sweep{
+		ID:        r.ID,
+		Spec:      spec,
+		Key:       r.Key,
+		Tenant:    r.Tenant,
+		points:    points,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		events:    newEventRing(0),
+		trace:     obsv.NewTrace(),
+		state:     r.State,
+		errMsg:    r.Error,
+		rawResult: r.Result,
+		created:   r.Created,
+		started:   r.Started,
+		finished:  r.Finished,
+	}
+	close(sw.done)
+	return sw
+}
+
+// State returns the sweep's lifecycle state.
+func (sw *Sweep) State() State {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.state
+}
+
+// Done returns a channel closed when the sweep reaches a terminal state.
+func (sw *Sweep) Done() <-chan struct{} { return sw.done }
+
+// Result returns the aggregate (nil while unfinished). For sweeps recovered
+// from disk it is the persisted payload decoded lazily.
+func (sw *Sweep) Result() *SweepResult {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.result == nil && len(sw.rawResult) > 0 {
+		var r SweepResult
+		if err := json.Unmarshal(sw.rawResult, &r); err == nil {
+			sw.result = &r
+		}
+	}
+	return sw.result
+}
+
+// Cancel requests cancellation of the sweep and its in-flight points.
+// Reports false once terminal.
+func (sw *Sweep) Cancel() bool {
+	sw.mu.Lock()
+	if sw.state.Terminal() {
+		sw.mu.Unlock()
+		return false
+	}
+	sw.mu.Unlock()
+	sw.cancel() // the controller observes it and finishes as canceled
+	return true
+}
+
+// markRunning transitions queued → running (the controller's first act).
+func (sw *Sweep) markRunning() {
+	sw.mu.Lock()
+	sw.state = StateRunning
+	sw.started = time.Now()
+	at := sw.started
+	sw.mu.Unlock()
+	if sw.onState != nil {
+		sw.onState(sw, StateRunning, "", nil, at)
+	}
+}
+
+// finish commits the terminal state (idempotent, like Job.finish).
+func (sw *Sweep) finish(state State, res *SweepResult, errMsg string) {
+	sw.mu.Lock()
+	if sw.state.Terminal() {
+		sw.mu.Unlock()
+		return
+	}
+	sw.state = state
+	sw.result = res
+	sw.errMsg = errMsg
+	sw.finished = time.Now()
+	at := sw.finished
+	sw.mu.Unlock()
+	sw.cancel()
+	var raw json.RawMessage
+	if res != nil {
+		raw, _ = json.Marshal(res)
+	}
+	close(sw.done)
+	if sw.onState != nil {
+		sw.onState(sw, state, errMsg, raw, at)
+	}
+}
+
+// setPoint commits one point's progress and publishes it to SSE consumers.
+func (sw *Sweep) setPoint(i int, st SweepPointStatus) {
+	sw.mu.Lock()
+	if i < len(sw.pstate) {
+		sw.pstate[i] = st
+	}
+	sw.mu.Unlock()
+	sw.events.publish("point", st)
+}
+
+// DiagSince drains sweep events (per-point progress) at or after cursor.
+func (sw *Sweep) DiagSince(cursor uint64) (events []DiagEvent, dropped uint64, next uint64) {
+	return sw.events.since(cursor)
+}
+
+// PointsDone counts points in a terminal state.
+func (sw *Sweep) PointsDone() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	n := 0
+	for _, p := range sw.pstate {
+		if p.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// SweepView is the JSON representation of a sweep served by the API.
+type SweepView struct {
+	ID         string             `json:"id"`
+	State      State              `json:"state"`
+	Tenant     string             `json:"tenant,omitempty"`
+	Error      string             `json:"error,omitempty"`
+	Key        string             `json:"key"`
+	NumPoints  int                `json:"num_points"`
+	PointsDone int                `json:"points_done"`
+	WarmStart  bool               `json:"warm_start,omitempty"`
+	CreatedAt  string             `json:"created_at"`
+	StartedAt  string             `json:"started_at,omitempty"`
+	FinishedAt string             `json:"finished_at,omitempty"`
+	Spec       SweepSpec          `json:"spec"`
+	Points     []SweepPointStatus `json:"points,omitempty"`
+	Result     *SweepResult       `json:"result,omitempty"`
+}
+
+// Snapshot renders the sweep for the API; withDetail adds per-point status
+// and, when finished, the aggregate result.
+func (sw *Sweep) Snapshot(withDetail bool) SweepView {
+	res := sw.Result() // before taking the lock (Result locks too)
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	v := SweepView{
+		ID:        sw.ID,
+		State:     sw.state,
+		Tenant:    sw.Tenant,
+		Error:     sw.errMsg,
+		Key:       sw.Key,
+		NumPoints: len(sw.points),
+		WarmStart: sw.Spec.WarmStart,
+		CreatedAt: sw.created.UTC().Format(time.RFC3339Nano),
+		Spec:      sw.Spec,
+	}
+	for _, p := range sw.pstate {
+		if p.State.Terminal() {
+			v.PointsDone++
+		}
+	}
+	if sw.state.Terminal() && len(sw.pstate) == 0 {
+		v.PointsDone = len(sw.points) // recovered terminal sweep
+	}
+	if !sw.started.IsZero() {
+		v.StartedAt = sw.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !sw.finished.IsZero() {
+		v.FinishedAt = sw.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if withDetail {
+		v.Points = append([]SweepPointStatus(nil), sw.pstate...)
+		v.Result = res
+	}
+	return v
+}
+
+// runSweep is the controller: it drives every planned point through the
+// regular job pipeline and assembles the aggregate. Warm sweeps run their
+// points strictly sequentially — point i's spec names point i-1's result by
+// content key, so there is no intra-chain parallelism to exploit; cold
+// sweeps fan all points out to the worker pool at once. Either way the
+// points are plain cached jobs, so a crashed or re-submitted sweep only
+// recomputes what the journal and cache do not already hold.
+func (s *Service) runSweep(sw *Sweep) {
+	defer s.sweepWG.Done()
+	sw.markRunning()
+	tctx := obsv.WithTrace(context.Background(), sw.trace)
+	_, span := obsv.StartSpan(tctx, "sweep", obsv.S("sweep", sw.ID), obsv.I("points", int64(len(sw.points))))
+
+	var jobs []*Job
+	var firstErr error
+	if sw.Spec.WarmStart {
+		for i := range sw.points {
+			j, err := s.submitPoint(sw, i)
+			if err != nil {
+				firstErr = fmt.Errorf("point %d: %w", i, err)
+				break
+			}
+			jobs = append(jobs, j)
+			if err := s.waitPoint(sw, i, j, span); err != nil {
+				firstErr = fmt.Errorf("point %d (%s): %w", i, j.ID, err)
+				break
+			}
+		}
+	} else {
+		for i := range sw.points {
+			j, err := s.submitPoint(sw, i)
+			if err != nil {
+				firstErr = fmt.Errorf("point %d: %w", i, err)
+				break
+			}
+			jobs = append(jobs, j)
+		}
+		for i, j := range jobs {
+			if err := s.waitPoint(sw, i, j, span); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("point %d (%s): %w", i, j.ID, err)
+			}
+		}
+	}
+
+	if firstErr != nil {
+		// Cancel whatever this sweep still has in flight, then fail. The
+		// completed points are cached and journaled: re-submitting the same
+		// sweep answers them instantly and resumes from the failure point.
+		for _, j := range jobs {
+			j.Cancel()
+		}
+		state := StateFailed
+		if errors.Is(firstErr, context.Canceled) || sw.ctx.Err() != nil {
+			state = StateCanceled
+		}
+		span.SetAttr(obsv.S("error", firstErr.Error()))
+		span.End()
+		sw.finish(state, nil, firstErr.Error()+" — completed points are cached; resubmit the sweep to resume")
+		return
+	}
+
+	res := s.assembleSweep(sw, jobs)
+	s.sweepPointsDone.Add(int64(len(res.Points)))
+	s.sweepWarmPoints.Add(int64(res.WarmPoints))
+	s.sweepSimsSaved.Add(res.SimsSaved)
+	span.SetAttr(obsv.I("total_sims", res.TotalSims), obsv.I("sims_saved", res.SimsSaved))
+	span.End()
+	sw.finish(StateDone, res, "")
+}
+
+// submitPoint hands one planned point to the job pipeline. An active job
+// with the same content key — typically a crash-recovered re-enqueue — is
+// adopted instead of duplicated; a full queue is retried with backoff until
+// the sweep is canceled (cold sweeps can be far larger than the queue).
+func (s *Service) submitPoint(sw *Sweep, i int) (*Job, error) {
+	p := sw.points[i]
+	if j := s.findActiveByKey(p.Key); j != nil {
+		sw.setPoint(i, SweepPointStatus{Index: i, State: j.State(), JobID: j.ID})
+		return j, nil
+	}
+	for {
+		j, err := s.SubmitAs(sw.Tenant, p.Spec)
+		if err == nil {
+			sw.setPoint(i, SweepPointStatus{Index: i, State: j.State(), JobID: j.ID})
+			return j, nil
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			sw.setPoint(i, SweepPointStatus{Index: i, State: StateFailed, Error: err.Error()})
+			return nil, err
+		}
+		select {
+		case <-sw.ctx.Done():
+			return nil, sw.ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// waitPoint blocks until the point's job is terminal (or the sweep is
+// canceled), records a span for it under the sweep span, and commits the
+// point status. A non-done terminal state is the point's error.
+func (s *Service) waitPoint(sw *Sweep, i int, j *Job, parent *obsv.Span) error {
+	start := time.Now()
+	select {
+	case <-j.Done():
+	case <-sw.ctx.Done():
+		return sw.ctx.Err()
+	}
+	v := j.Snapshot(false)
+	sw.trace.Add("point", parent.Index(), start, time.Now(),
+		obsv.I("index", int64(i)), obsv.S("job", j.ID), obsv.I("sims", v.Sims))
+	st := SweepPointStatus{Index: i, State: v.State, JobID: j.ID, Cached: v.Cached, Error: v.Error}
+	sw.setPoint(i, st)
+	if v.State != StateDone {
+		if v.Error != "" {
+			return errors.New(v.Error)
+		}
+		return fmt.Errorf("job ended %s", v.State)
+	}
+	return nil
+}
+
+// findActiveByKey returns a queued or running job computing the given
+// content key, if any.
+func (s *Service) findActiveByKey(key string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.order {
+		if j.Key == key && !j.State().Terminal() {
+			return j
+		}
+	}
+	return nil
+}
+
+// assembleSweep folds the finished point jobs into the aggregate.
+func (s *Service) assembleSweep(sw *Sweep, jobs []*Job) *SweepResult {
+	res := &SweepResult{Points: make([]SweepPointResult, 0, len(jobs))}
+	var lastColdInit, lastColdWarmup int64
+	for i, j := range jobs {
+		p := sw.points[i]
+		v := j.Snapshot(true)
+		pr := SweepPointResult{
+			Index: i, Alpha: p.Alpha, Vdd: p.Vdd, TempK: p.TempK,
+			JobID: j.ID, Key: p.Key, Cached: v.Cached, Warm: p.Warm,
+		}
+		var rr RunResult
+		if err := json.Unmarshal(v.Result, &rr); err == nil {
+			pr.Estimate, pr.Cost = rr.Estimate, rr.Cost
+			pr.Cost.Total = rr.Cost.Total
+		}
+		res.TotalSims += pr.Cost.Total
+		if v.Cached {
+			res.CachedPoints++
+		}
+		if p.Warm {
+			res.WarmPoints++
+			saved := lastColdInit
+			if !p.CloudOnly {
+				saved += lastColdWarmup
+			}
+			res.SimsSaved += saved
+		} else {
+			lastColdInit, lastColdWarmup = pr.Cost.Init, pr.Cost.Warmup
+		}
+		res.Points = append(res.Points, pr)
+	}
+	return res
+}
+
+// RunSweepLocal executes a normalized sweep in-process, without a service:
+// the CLI entry point (cmd/ecripse, cmd/dutysweep) and the equivalence tests
+// drive it directly. Points run sequentially in grid order; warm linkage is
+// resolved from an in-memory map of this run's own payloads. runFn nil
+// selects the real estimator runner.
+//
+// A warm sweep stops at the first point error (its successors' inputs are
+// gone); a cold sweep runs every point and reports each failure in its
+// point's Error field. Either way the error return joins every per-point
+// failure — callers must treat a non-nil error as a failed sweep even though
+// the partial aggregate is returned for inspection.
+func RunSweepLocal(ctx context.Context, spec SweepSpec, runFn func(context.Context, JobSpec, *montecarlo.Counter) (*RunResult, error)) (*SweepResult, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	points, err := spec.Points()
+	if err != nil {
+		return nil, err
+	}
+	if runFn == nil {
+		runFn = runSpec
+	}
+	payloads := make(map[string]json.RawMessage, len(points))
+	hooks := runHooks{warmResolver: func(key string) (json.RawMessage, bool) {
+		p, ok := payloads[key]
+		return p, ok
+	}}
+
+	res := &SweepResult{Points: make([]SweepPointResult, 0, len(points))}
+	var errs []error
+	var lastColdInit, lastColdWarmup int64
+	for _, p := range points {
+		pr := SweepPointResult{
+			Index: p.Index, Alpha: p.Alpha, Vdd: p.Vdd, TempK: p.TempK,
+			Key: p.Key, Warm: p.Warm,
+		}
+		counter := &montecarlo.Counter{}
+		out, rerr := runFn(withRunHooks(ctx, hooks), p.Spec, counter)
+		if rerr != nil {
+			pr.Error = rerr.Error()
+			res.Points = append(res.Points, pr)
+			errs = append(errs, fmt.Errorf("point %d: %w", p.Index, rerr))
+			if spec.WarmStart {
+				break // successors would need this point's warm state
+			}
+			continue
+		}
+		raw, merr := json.Marshal(out)
+		if merr != nil {
+			pr.Error = merr.Error()
+			res.Points = append(res.Points, pr)
+			errs = append(errs, fmt.Errorf("point %d: marshal: %w", p.Index, merr))
+			if spec.WarmStart {
+				break
+			}
+			continue
+		}
+		payloads[p.Key] = raw
+		pr.Estimate, pr.Cost = out.Estimate, out.Cost
+		res.TotalSims += out.Cost.Total
+		if p.Warm {
+			res.WarmPoints++
+			saved := lastColdInit
+			if !p.CloudOnly {
+				saved += lastColdWarmup
+			}
+			res.SimsSaved += saved
+		} else {
+			lastColdInit, lastColdWarmup = out.Cost.Init, out.Cost.Warmup
+		}
+		res.Points = append(res.Points, pr)
+	}
+	return res, errors.Join(errs...)
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzAxis builds one sweep axis from fuzz-driven fields. mode%3 selects the
+// shape: absent, explicit values, or a from/to/steps range. Returns the axis
+// and whether any of the numbers it carries are non-finite (which Normalize
+// must reject).
+func fuzzAxis(mode uint8, from, to float64, steps int) (*Axis, bool) {
+	switch mode % 3 {
+	case 0:
+		return nil, false
+	case 1:
+		return &Axis{Values: []float64{from, to}}, !finite(from) || !finite(to)
+	default:
+		return &Axis{From: from, To: to, Steps: steps}, !finite(from) || !finite(to)
+	}
+}
+
+// FuzzSweepSpec fuzzes the sweep validation and content-addressing pipeline
+// the HTTP layer and the planner both lean on: non-finite axis values and
+// oversized grids are always rejected, Normalize is idempotent, the sweep key
+// is insensitive to JSON field order and to range-vs-explicit-values axis
+// spelling, Parallelism stays out of the key while WarmStart stays in, and
+// Points() expansion agrees with NumPoints and assigns warm linkage only past
+// the first point.
+func FuzzSweepSpec(f *testing.F) {
+	// Valid shapes: an alpha range, explicit vdd values, a downward temp_k
+	// range (reversed ranges sweep high-to-low, they are not errors).
+	f.Add(uint8(2), 0.0, 1.0, 5, uint8(0), 0.0, 0.0, 0, uint8(0), 0.0, 0.0, 0, true, int64(7))
+	f.Add(uint8(0), 0.0, 0.0, 0, uint8(1), 0.6, 0.8, 0, uint8(0), 0.0, 0.0, 0, false, int64(1))
+	f.Add(uint8(0), 0.0, 0.0, 0, uint8(0), 0.0, 0.0, 0, uint8(2), 400.0, 250.0, 4, true, int64(3))
+	// Invalid shapes that must come back as errors, never as panics or
+	// silently accepted grids: NaN values, an Inf range endpoint, a
+	// degenerate range (from == to with steps > 1), an empty axis, and a
+	// cross-product grid far beyond MaxSweepPoints.
+	f.Add(uint8(1), math.NaN(), 0.5, 0, uint8(0), 0.0, 0.0, 0, uint8(0), 0.0, 0.0, 0, false, int64(0))
+	f.Add(uint8(0), 0.0, 0.0, 0, uint8(2), math.Inf(1), 1.0, 3, uint8(0), 0.0, 0.0, 0, false, int64(0))
+	f.Add(uint8(2), 0.5, 0.5, 9, uint8(0), 0.0, 0.0, 0, uint8(0), 0.0, 0.0, 0, false, int64(0))
+	f.Add(uint8(2), 0.0, 1.0, 0, uint8(0), 0.0, 0.0, 0, uint8(0), 0.0, 0.0, 0, false, int64(0))
+	f.Add(uint8(2), 0.0, 1.0, 200, uint8(2), 0.5, 1.0, 200, uint8(0), 0.0, 0.0, 0, false, int64(0))
+
+	f.Fuzz(func(t *testing.T,
+		aMode uint8, aFrom, aTo float64, aSteps int,
+		vMode uint8, vFrom, vTo float64, vSteps int,
+		tMode uint8, tFrom, tTo float64, tSteps int,
+		warm bool, seed int64) {
+
+		alpha, aBad := fuzzAxis(aMode, aFrom, aTo, aSteps)
+		vdd, vBad := fuzzAxis(vMode, vFrom, vTo, vSteps)
+		tempK, tBad := fuzzAxis(tMode, tFrom, tTo, tSteps)
+		spec := SweepSpec{
+			Base:      JobSpec{RTN: alpha != nil, Seed: seed, N: 2000, M: 3},
+			Alpha:     alpha,
+			Vdd:       vdd,
+			TempK:     tempK,
+			WarmStart: warm,
+		}
+
+		err := spec.Normalize()
+		if err != nil {
+			return // invalid input is rejected, not hashed
+		}
+		if aBad || vBad || tBad {
+			t.Fatalf("non-finite axis value survived Normalize: %+v", spec)
+		}
+		if n := spec.NumPoints(); n < 1 || n > MaxSweepPoints {
+			t.Fatalf("normalized grid has %d points (limit %d)", n, MaxSweepPoints)
+		}
+		key := spec.Key()
+
+		// Idempotence: normalizing a normalized spec changes nothing.
+		again := spec
+		if err := again.Normalize(); err != nil {
+			t.Fatalf("re-normalize failed: %v", err)
+		}
+		if k := again.Key(); k != key {
+			t.Fatalf("Normalize is not idempotent: %s -> %s", key, k)
+		}
+
+		// Field-order insensitivity: the same sweep arriving with JSON keys
+		// in any order must land on the same key.
+		canon, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("normalized sweep does not marshal: %v", err)
+		}
+		var reordered SweepSpec
+		if err := json.Unmarshal(reorderJSON(t, canon), &reordered); err != nil {
+			t.Fatalf("decode reordered sweep: %v", err)
+		}
+		if err := reordered.Normalize(); err != nil {
+			t.Fatalf("reordered sweep failed Normalize: %v", err)
+		}
+		if k := reordered.Key(); k != key {
+			t.Fatalf("key depends on JSON field order: %s vs %s\ncanon: %s", key, k, canon)
+		}
+
+		// Axis-spelling insensitivity: rebuilding every axis from the
+		// expanded Values (how an explicit-values client would have written
+		// the same grid) must hash identically to the range spelling.
+		respelled := spec
+		for _, ax := range []**Axis{&respelled.Alpha, &respelled.Vdd, &respelled.TempK} {
+			if *ax != nil {
+				*ax = &Axis{Values: append([]float64(nil), (*ax).Values...)}
+			}
+		}
+		if err := respelled.Normalize(); err != nil {
+			t.Fatalf("respelled sweep failed Normalize: %v", err)
+		}
+		if k := respelled.Key(); k != key {
+			t.Fatalf("range and explicit-values spellings hash differently: %s vs %s", key, k)
+		}
+
+		// Parallelism must stay out of the key; WarmStart must stay in.
+		par := spec
+		par.Base.Parallelism = 16
+		if par.Key() != key {
+			t.Fatalf("key depends on base parallelism")
+		}
+		flipped := spec
+		flipped.WarmStart = !spec.WarmStart
+		if flipped.Key() == key {
+			t.Fatalf("warm and cold sweeps share key %s", key)
+		}
+
+		// Points() expansion: grid size agrees with NumPoints, point keys are
+		// pairwise distinct, and warm linkage starts at point 1.
+		if spec.NumPoints() <= 64 {
+			pts, err := spec.Points()
+			if err != nil {
+				t.Fatalf("Points on a normalized sweep: %v", err)
+			}
+			if len(pts) != spec.NumPoints() {
+				t.Fatalf("Points returned %d plans for a %d-point grid", len(pts), spec.NumPoints())
+			}
+			seen := make(map[string]int, len(pts))
+			for i, p := range pts {
+				if j, dup := seen[p.Key]; dup {
+					t.Fatalf("points %d and %d share key %s", j, i, p.Key)
+				}
+				seen[p.Key] = i
+				if (i == 0 && p.Warm) || (i > 0 && warm != p.Warm) {
+					t.Fatalf("point %d warm=%v under sweep warm_start=%v", i, p.Warm, warm)
+				}
+			}
+		}
+	})
+}
+
+// TestSweepSpecRejects pins the rejection behavior the HTTP layer turns into
+// 400s: every malformed shape must surface as an error from Normalize (the
+// oversized grid specifically as ErrTooManyPoints, which the handlers map to
+// a limit-specific message), while a reversed range is a legal downward
+// sweep.
+func TestSweepSpecRejects(t *testing.T) {
+	rtnBase := JobSpec{RTN: true, N: 1000, M: 2}
+	cases := []struct {
+		name     string
+		spec     SweepSpec
+		wantErr  bool
+		tooLarge bool
+	}{
+		{name: "no axes", spec: SweepSpec{Base: rtnBase}, wantErr: true},
+		{name: "nan value", spec: SweepSpec{Base: rtnBase, Alpha: &Axis{Values: []float64{math.NaN()}}}, wantErr: true},
+		{name: "inf range", spec: SweepSpec{Base: JobSpec{N: 1000, M: 2}, Vdd: &Axis{From: 0.5, To: math.Inf(1), Steps: 3}}, wantErr: true},
+		{name: "empty axis", spec: SweepSpec{Base: rtnBase, Alpha: &Axis{}}, wantErr: true},
+		{name: "degenerate range", spec: SweepSpec{Base: rtnBase, Alpha: &Axis{From: 0.5, To: 0.5, Steps: 4}}, wantErr: true},
+		{name: "values and range", spec: SweepSpec{Base: rtnBase, Alpha: &Axis{Values: []float64{0.5}, Steps: 2, To: 1}}, wantErr: true},
+		{name: "axis over limit", spec: SweepSpec{Base: rtnBase, Alpha: &Axis{From: 0, To: 1, Steps: MaxSweepPoints + 1}}, wantErr: true, tooLarge: true},
+		{name: "grid over limit", spec: SweepSpec{Base: JobSpec{RTN: true, N: 1000, M: 2}, Alpha: &Axis{From: 0, To: 1, Steps: 200}, Vdd: &Axis{From: 0.5, To: 1.0, Steps: 200}}, wantErr: true, tooLarge: true},
+		{name: "alpha outside unit interval", spec: SweepSpec{Base: rtnBase, Alpha: &Axis{Values: []float64{1.5}}}, wantErr: true},
+		{name: "alpha without rtn", spec: SweepSpec{Base: JobSpec{N: 1000, M: 2}, Alpha: &Axis{Values: []float64{0.5}}}, wantErr: true},
+		{name: "negative vdd", spec: SweepSpec{Base: JobSpec{N: 1000, M: 2}, Vdd: &Axis{Values: []float64{-0.7}}}, wantErr: true},
+		{name: "repeated axis value", spec: SweepSpec{Base: rtnBase, Alpha: &Axis{Values: []float64{0.25, 0.25}}}, wantErr: true},
+		{name: "reversed range sweeps downward", spec: SweepSpec{Base: JobSpec{N: 1000, M: 2}, TempK: &Axis{From: 400, To: 250, Steps: 4}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Normalize()
+			if tc.wantErr && err == nil {
+				t.Fatalf("Normalize accepted %+v", tc.spec)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("Normalize rejected a legal sweep: %v", err)
+			}
+			if tc.tooLarge && !errors.Is(err, ErrTooManyPoints) {
+				t.Fatalf("oversized grid error is not ErrTooManyPoints: %v", err)
+			}
+			if !tc.wantErr && tc.spec.TempK != nil {
+				vals := tc.spec.TempK.Values
+				if len(vals) != 4 || vals[0] != 400 || vals[len(vals)-1] != 250 {
+					t.Fatalf("reversed range expanded wrong: %v", vals)
+				}
+			}
+		})
+	}
+}

@@ -32,6 +32,14 @@ const (
 	// routers only); the latest record per job wins, so a failover
 	// re-assignment replaces the original dispatch.
 	OpOwner Op = "owner"
+	// OpSweep introduces a sweep: id (in Job), normalized SweepSpec, content
+	// key and tenant. Older binaries replay it as an unknown op — warned
+	// about and ignored, never fatal.
+	OpSweep Op = "sweep"
+	// OpSweepState records a sweep lifecycle transition; terminal done
+	// records carry the aggregate result payload in Result (sweep aggregates
+	// are journal state keyed by sweep ID, not content-addressed).
+	OpSweepState Op = "sweep_state"
 )
 
 // Record is one journal entry. Seq is assigned by the store and is strictly

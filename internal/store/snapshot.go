@@ -27,6 +27,21 @@ type jobState struct {
 	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
+// sweepState is the store's mirror of one sweep, as of the last applied
+// record. Result is the aggregate payload of a done sweep.
+type sweepState struct {
+	ID       string          `json:"id"`
+	Spec     json.RawMessage `json:"spec"`
+	Key      string          `json:"key"`
+	State    string          `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Tenant   string          `json:"tenant,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  time.Time       `json:"started"`
+	Finished time.Time       `json:"finished"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
 // memState is the materialized journal: what a replay of every record up to
 // LastSeq produces. The store maintains it incrementally on each append so
 // that a snapshot is a plain marshal, and recovery hands it to the service.
@@ -36,12 +51,15 @@ type memState struct {
 	Jobs    []*jobState                `json:"jobs"` // submission order
 	Results map[string]json.RawMessage `json:"results"`
 	// Tenants is the latest usage snapshot per tenant; Owners the latest
-	// shard placement per dispatched job (cluster routers). Both absent in
-	// older snapshots (same version — additive fields).
+	// shard placement per dispatched job (cluster routers); Sweeps every
+	// known sweep in submission order. All absent in older snapshots (same
+	// version — additive fields).
 	Tenants map[string]service.TenantUsage `json:"tenants,omitempty"`
 	Owners  map[string]service.OwnerRecord `json:"owners,omitempty"`
+	Sweeps  []*sweepState                  `json:"sweeps,omitempty"`
 
-	index map[string]*jobState // id → entry; rebuilt after load
+	index      map[string]*jobState   // id → entry; rebuilt after load
+	sweepIndex map[string]*sweepState // id → entry; rebuilt after load
 }
 
 const snapshotVersion = 1
@@ -54,6 +72,10 @@ func (m *memState) reindex() {
 	m.index = make(map[string]*jobState, len(m.Jobs))
 	for _, js := range m.Jobs {
 		m.index[js.ID] = js
+	}
+	m.sweepIndex = make(map[string]*sweepState, len(m.Sweeps))
+	for _, ss := range m.Sweeps {
+		m.sweepIndex[ss.ID] = ss
 	}
 	if m.Results == nil {
 		m.Results = make(map[string]json.RawMessage)
@@ -113,6 +135,36 @@ func (m *memState) apply(rec *Record, logf func(string, ...any)) {
 			m.Owners = make(map[string]service.OwnerRecord)
 		}
 		m.Owners[rec.Job] = service.OwnerRecord{Shard: rec.Shard, Remote: rec.Remote}
+	case OpSweep:
+		if _, dup := m.sweepIndex[rec.Job]; dup {
+			logf("store: replay: duplicate sweep submit for %s (seq %d), keeping the first", rec.Job, rec.Seq)
+			break
+		}
+		ss := &sweepState{
+			ID:      rec.Job,
+			Spec:    rec.Spec,
+			Key:     rec.Key,
+			State:   string(service.StateQueued),
+			Tenant:  rec.Tenant,
+			Created: rec.At,
+		}
+		m.Sweeps = append(m.Sweeps, ss)
+		m.sweepIndex[rec.Job] = ss
+	case OpSweepState:
+		ss, ok := m.sweepIndex[rec.Job]
+		if !ok {
+			logf("store: replay: sweep state %q for unknown sweep %s (seq %d), ignoring", rec.State, rec.Job, rec.Seq)
+			break
+		}
+		ss.State = rec.State
+		ss.Error = rec.Error
+		switch {
+		case rec.State == string(service.StateRunning):
+			ss.Started = rec.At
+		case service.State(rec.State).Terminal():
+			ss.Finished = rec.At
+			ss.Result = rec.Result
+		}
 	case OpDrop:
 		if js, ok := m.index[rec.Job]; ok {
 			delete(m.index, rec.Job)
@@ -150,6 +202,20 @@ func (m *memState) recovery() *service.Recovery {
 			Started:  js.Started,
 			Finished: js.Finished,
 			Trace:    js.Trace,
+		})
+	}
+	for _, ss := range m.Sweeps {
+		rec.Sweeps = append(rec.Sweeps, service.RecoveredSweep{
+			ID:       ss.ID,
+			Spec:     ss.Spec,
+			Key:      ss.Key,
+			State:    service.State(ss.State),
+			Error:    ss.Error,
+			Tenant:   ss.Tenant,
+			Created:  ss.Created,
+			Started:  ss.Started,
+			Finished: ss.Finished,
+			Result:   ss.Result,
 		})
 	}
 	if len(m.Tenants) > 0 {

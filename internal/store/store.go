@@ -242,6 +242,16 @@ func (fs *FileStore) AppendOwner(id, shard, remote string) error {
 	return fs.append(Record{Op: OpOwner, Job: id, Shard: shard, Remote: remote})
 }
 
+// AppendSweep implements service.Store.
+func (fs *FileStore) AppendSweep(id string, spec json.RawMessage, key, tenant string, at time.Time) error {
+	return fs.append(Record{Op: OpSweep, Job: id, Spec: spec, Key: key, Tenant: tenant, At: at})
+}
+
+// AppendSweepState implements service.Store.
+func (fs *FileStore) AppendSweepState(id string, state service.State, errMsg string, result json.RawMessage, at time.Time) error {
+	return fs.append(Record{Op: OpSweepState, Job: id, State: string(state), Error: errMsg, Result: result, At: at})
+}
+
 // Stats implements service.Store.
 func (fs *FileStore) Stats() service.StoreStats {
 	fs.mu.Lock()
