@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-diff bench-smoke bench-sweep figures figures-full clean
+.PHONY: all build test race bench bench-batch bench-diff bench-smoke bench-sweep figures figures-full clean
 
 # Fig-6/7/8 end-to-end benchmarks plus the hot kernels and the engine
 # parallelism scaling sweep.
@@ -34,6 +34,18 @@ bench:
 	out=results/bench/BENCH_$$(date -u +%F).json; \
 	if [ -e $$out ]; then out=results/bench/BENCH_$$(date -u +%F)-$$(date -u +%H%M%S).json; fi; \
 	$(GO) run ./cmd/benchjson -o $$out < results/bench/bench_raw.txt
+
+# Scalar-vs-lockstep indicator throughput: BenchmarkNoiseMarginBatch solves
+# the same 256 samples per-sample and through the batch VTC kernel at lane
+# widths 64/128/256 (margins/s), recorded as results/bench/BATCH_<date>.json
+# so lane-width regressions show up in the trajectory.
+bench-batch:
+	mkdir -p results/bench
+	$(GO) test -bench NoiseMarginBatch -benchmem -benchtime 2s -count 3 -run XXX -timeout 30m ./internal/sram/ \
+		| tee results/bench/batch_raw.txt
+	out=results/bench/BATCH_$$(date -u +%F).json; \
+	if [ -e $$out ]; then out=results/bench/BATCH_$$(date -u +%F)-$$(date -u +%H%M%S).json; fi; \
+	$(GO) run ./cmd/benchjson -o $$out < results/bench/batch_raw.txt
 
 # Run the suite once and diff it against the committed baseline
 # ($(BENCH_BASELINE)); prints per-benchmark ratios and the geomean.
@@ -85,4 +97,5 @@ figures-full:
 clean:
 	rm -f test_output.txt bench_output.txt results/bench/bench_raw.txt \
 		results/bench/bench_new_raw.txt results/bench/bench_new.json \
+		results/bench/batch_raw.txt \
 		results/bench/sweep_cold_raw.txt results/bench/sweep_warm_raw.txt

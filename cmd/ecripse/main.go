@@ -229,6 +229,9 @@ func main() {
 		res.InitSims, res.WarmupSims, res.Stage1Sims, res.Stage2Sims,
 		elapsed.Round(time.Millisecond), *parallel)
 	fmt.Printf("  solver: %d root solves, %d iterations\n", res.RootSolves, res.SolverIters)
+	if res.LaneSlots > 0 {
+		fmt.Printf("  batch kernel: %d lane slots, %.1f%% occupied\n", res.LaneSlots, 100*res.LaneUtilization())
+	}
 	if *adaptive && res.CoarseSims > 0 {
 		fmt.Printf("  adaptive: %d coarse-tier samples, %d escalated to the full grid (%.1f%%)\n",
 			res.CoarseSims, res.Escalated, 100*float64(res.Escalated)/float64(res.CoarseSims))

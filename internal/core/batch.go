@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/montecarlo"
+	"ecripse/internal/randx"
+	"ecripse/internal/rtn"
+	"ecripse/internal/sram"
+)
+
+// simulateBatch evaluates the true indicator at every point of us in bulk,
+// writing out[i] for us[i]. One call bills len(us) simulations, and every
+// label is bit-identical to a simulate call on the same point — the batch
+// exists purely for throughput: the margin evaluations march through the
+// lockstep SRAM solver instead of one root-solve latency chain per sample.
+// Called at batch barriers (single-threaded per engine); the margin work
+// inside fans out across Opts.Parallelism workers in lane-width chunks.
+func (e *Engine) simulateBatch(us []linalg.Vector, out []bool) {
+	n := len(us)
+	if n == 0 {
+		return
+	}
+	h := e.Opts.IndicatorHist
+	var t0 time.Time
+	if h != nil {
+		t0 = time.Now()
+	}
+	e.Counter.Add(int64(n))
+	shs := make([]sram.Shifts, n)
+	for i, u := range us {
+		shs[i] = e.shifts(u)
+	}
+	margins := make([]float64, n)
+	if e.Opts.AdaptiveGrid {
+		// Tiered fidelity, batched: the coarse grid decides the whole batch
+		// first, then the samples inside the conservative band escalate to
+		// the full grid as one (smaller) batch. Tier decisions are the same
+		// pure function of the shift vector as in the scalar indicator.
+		atomic.AddInt64(&e.coarseSims, int64(n))
+		e.marginBatch(shs, margins, e.coarseOpts)
+		var esc []int
+		for i, m := range margins {
+			if math.Abs(m) >= e.Opts.EscalationBand {
+				out[i] = m < 0
+			} else {
+				esc = append(esc, i)
+			}
+		}
+		if len(esc) > 0 {
+			atomic.AddInt64(&e.escalated, int64(len(esc)))
+			escSh := make([]sram.Shifts, len(esc))
+			for j, i := range esc {
+				escSh[j] = shs[i]
+			}
+			escM := make([]float64, len(esc))
+			e.marginBatch(escSh, escM, e.snmOpts)
+			for j, i := range esc {
+				out[i] = escM[j] < 0
+			}
+		}
+	} else {
+		e.marginBatch(shs, margins, e.snmOpts)
+		for i, m := range margins {
+			out[i] = m < 0
+		}
+	}
+	if h != nil {
+		// One observation per simulation, each billed the batch mean, so the
+		// histogram's count keeps meaning "simulations" on both paths.
+		h.ObserveN(time.Since(t0).Seconds()/float64(n), int64(n))
+	}
+}
+
+// marginBatch evaluates the mode's signed margin [V] for every shift
+// vector, chunked to the lockstep lane width; chunks spread across the
+// engine's workers. Each margin is bit-identical to the scalar margin().
+func (e *Engine) marginBatch(shs []sram.Shifts, out []float64, opts *sram.SNMOptions) {
+	if e.Opts.Mode == WriteFailure {
+		// No batched write-margin solver (yet): the write indicator keeps
+		// the scalar solve, parallel across samples.
+		montecarlo.ParFor(montecarlo.ClampWorkers(e.Opts.Parallelism, len(shs)), len(shs), func(w, i int) {
+			out[i] = e.Cell.WriteMargin(shs[i], opts)
+		})
+		return
+	}
+	o := *opts
+	if e.Opts.Mode == HoldFailure {
+		o.Hold = true
+	}
+	lanes := o.Lanes
+	if lanes <= 0 {
+		lanes = sram.DefaultBatchLanes
+	}
+	chunks := (len(shs) + lanes - 1) / lanes
+	montecarlo.ParFor(montecarlo.ClampWorkers(e.Opts.Parallelism, chunks), chunks, func(w, ci int) {
+		lo := ci * lanes
+		hi := lo + lanes
+		if hi > len(shs) {
+			hi = len(shs)
+		}
+		res := make([]sram.SNMResult, hi-lo)
+		e.Cell.NoiseMarginBatch(shs[lo:hi], res, &o)
+		for i, r := range res {
+			out[lo+i] = r.SNM()
+		}
+	})
+}
+
+// stagedEval adapts the engine's labeling rules to the staged batch
+// contract of montecarlo.ImportanceSampleParStaged and
+// pfilter.StepParStaged. Prepare replays exactly the randomness and the
+// classify-or-simulate decisions of the scalar labeler — decisions depend
+// only on the point and on classifier state frozen at the barrier, never
+// on pending simulation results, which is what makes the split exact —
+// labeling classifier-decided draws immediately and parking the rest.
+// Resolve settles every parked draw of the window through one
+// simulateBatch sweep and records the observations for the classifier
+// replay at the caller's flush barrier, preserving per-index draw order.
+type stagedEval struct {
+	e       *Engine
+	lab     *batchLabeler
+	sampler *rtn.Sampler
+	m       int
+	stage1  bool // labelStage1's rule; otherwise labelStage2's
+
+	slots []stagedSlot // barrier window ring, indexed k mod len
+	pts   []linalg.Vector
+	outs  []bool
+}
+
+// stagedSlot is one sample's in-window state.
+type stagedSlot struct {
+	fails    int             // failures among classifier-decided draws, then all draws
+	deferred []linalg.Vector // draws parked for the batched indicator
+}
+
+// newStagedEval sizes the ring for the widest barrier window the caller
+// will resolve (the stage-2 batch size, or a whole stage-1 round).
+func newStagedEval(e *Engine, lab *batchLabeler, sampler *rtn.Sampler, m int, stage1 bool, window int) *stagedEval {
+	return &stagedEval{e: e, lab: lab, sampler: sampler, m: m, stage1: stage1, slots: make([]stagedSlot, window)}
+}
+
+// Prepare implements montecarlo.StagedValue. It consumes rng exactly as
+// rtnValue under labelStage1/labelStage2 would: one RTN draw per inner
+// sample, plus (stage 1, trained classifier) one uniform per draw for the
+// train-fraction decision.
+func (s *stagedEval) Prepare(rng *rand.Rand, k int, x linalg.Vector) {
+	sl := &s.slots[k%len(s.slots)]
+	sl.fails = 0
+	sl.deferred = sl.deferred[:0]
+	e := s.e
+	for d := 0; d < s.m; d++ {
+		u := x.Clone()
+		if s.sampler != nil {
+			sh := s.sampler.Sample(rng)
+			if e.whiten != nil {
+				u.AddInPlace(e.whiten.Whiten(sh.Vector()))
+			} else {
+				for i := range u {
+					u[i] += sh[i] / e.sigma[i]
+				}
+			}
+		}
+		if s.stage1 {
+			if e.classifierOff() || !s.lab.trained || rng.Float64() < e.Opts.TrainFrac {
+				sl.deferred = append(sl.deferred, u)
+			} else {
+				atomic.AddInt64(&e.classified, 1)
+				if s.lab.score(u) > 0 {
+					sl.fails++
+				}
+			}
+			continue
+		}
+		if !e.classifierOff() && s.lab.trained && (e.trustR <= 0 || u.Norm() <= e.trustR) {
+			if sc := s.lab.score(u); sc <= -e.Opts.Band || sc >= e.Opts.Band {
+				atomic.AddInt64(&e.classified, 1)
+				if sc > 0 {
+					sl.fails++
+				}
+				continue
+			}
+		}
+		sl.deferred = append(sl.deferred, u)
+	}
+}
+
+// Resolve implements montecarlo.StagedValue: one batched indicator sweep
+// over every draw parked in [lo, hi), with the labels banked per slot and
+// the observations recorded for the flush-barrier classifier replay.
+func (s *stagedEval) Resolve(lo, hi int) {
+	s.pts = s.pts[:0]
+	for k := lo; k < hi; k++ {
+		s.pts = append(s.pts, s.slots[k%len(s.slots)].deferred...)
+	}
+	if len(s.pts) == 0 {
+		return
+	}
+	if cap(s.outs) < len(s.pts) {
+		s.outs = make([]bool, len(s.pts))
+	}
+	s.outs = s.outs[:len(s.pts)]
+	s.e.simulateBatch(s.pts, s.outs)
+	i := 0
+	for k := lo; k < hi; k++ {
+		sl := &s.slots[k%len(s.slots)]
+		for _, u := range sl.deferred {
+			failed := s.outs[i]
+			i++
+			if failed {
+				sl.fails++
+			}
+			s.lab.record(k, u, failed)
+		}
+	}
+}
+
+// Value implements montecarlo.StagedValue: sample k's conditional failure
+// value — and, on the stage-1 rule, the particle weight v·P(x) of
+// eq. (16). Safe for concurrent calls on distinct k (slot reads only).
+func (s *stagedEval) Value(k int, x linalg.Vector) float64 {
+	sl := &s.slots[k%len(s.slots)]
+	v := float64(sl.fails) / float64(s.m)
+	if !s.stage1 {
+		return v
+	}
+	if v <= 0 {
+		return 0
+	}
+	return v * randx.StdNormalPDF(x)
+}

@@ -69,7 +69,8 @@ func NewEngine(cell *sram.Cell, counter *montecarlo.Counter, opts Options) *Engi
 		snmOpts: &sram.SNMOptions{GridN: 24, BisectIter: 24},
 	}
 	e.snmOpts.Telemetry = &e.solver
-	e.coarseOpts = &sram.SNMOptions{GridN: 16, BisectIter: 24, Telemetry: &e.solver}
+	e.snmOpts.Lanes = opts.BatchLanes
+	e.coarseOpts = &sram.SNMOptions{GridN: 16, BisectIter: 24, Lanes: opts.BatchLanes, Telemetry: &e.solver}
 	if opts.Covariance != nil {
 		w, err := linalg.NewWhitener(linalg.NewVector(sram.NumTransistors), opts.Covariance)
 		if err != nil {
@@ -100,17 +101,23 @@ func (e *Engine) simulate(u linalg.Vector) bool {
 	return failed
 }
 
+// shifts converts a normalized variability point into the physical
+// per-transistor threshold shifts the cell model takes.
+func (e *Engine) shifts(u linalg.Vector) sram.Shifts {
+	if e.whiten != nil {
+		return sram.FromVector(e.whiten.Unwhiten(u))
+	}
+	var sh sram.Shifts
+	for i := range sh {
+		sh[i] = u[i] * e.sigma[i]
+	}
+	return sh
+}
+
 // indicator is the untimed indicator body.
 func (e *Engine) indicator(u linalg.Vector) bool {
 	e.Counter.Add(1)
-	var sh sram.Shifts
-	if e.whiten != nil {
-		sh = sram.FromVector(e.whiten.Unwhiten(u))
-	} else {
-		for i := range sh {
-			sh[i] = u[i] * e.sigma[i]
-		}
-	}
+	sh := e.shifts(u)
 	if e.Opts.AdaptiveGrid {
 		// Tiered fidelity: a coarse-grid margin decides most samples; only
 		// those inside the conservative band around zero pay for the full
@@ -186,7 +193,11 @@ func (e *Engine) InitCtx(ctx context.Context, rng *rand.Rand) {
 	dim := sram.NumTransistors
 	bseed := rng.Int63()
 	_, bspan := obsv.StartSpan(ctx, "boundary.init")
-	e.initial = pfilter.BoundaryInitPar(bseed, dim, e.Opts.Directions, e.Opts.RMax, e.Opts.RTol, e.simulate, e.Opts.Parallelism)
+	if e.Opts.scalarPath {
+		e.initial = pfilter.BoundaryInitPar(bseed, dim, e.Opts.Directions, e.Opts.RMax, e.Opts.RTol, e.simulate, e.Opts.Parallelism)
+	} else {
+		e.initial = pfilter.BoundaryInitBatch(bseed, dim, e.Opts.Directions, e.Opts.RMax, e.Opts.RTol, e.simulateBatch, e.Opts.Parallelism)
+	}
 	if len(e.initial) == 0 {
 		// Pathological cell: fall back to a ring at RMax so downstream code
 		// stays functional; the estimate will come out ~0.
@@ -237,8 +248,15 @@ func (e *Engine) InitCtx(ctx context.Context, rng *rand.Rand) {
 			u = base.Scale(1.2 + 0.5*r.Float64())
 		}
 		xs[i] = u
-		ys[i] = e.simulate(u)
+		if e.Opts.scalarPath {
+			ys[i] = e.simulate(u)
+		}
 	})
+	if !e.Opts.scalarPath {
+		// The parallel loop above only staged the points (consuming exactly
+		// the scalar path's randomness); label them in one batched sweep.
+		e.simulateBatch(xs, ys)
+	}
 	e.classifier.Train(rng, xs, ys, e.Opts.Epochs)
 	e.warmupSims = e.Counter.Count() - start
 	wspan.SetAttr(obsv.I("train_points", int64(e.Opts.WarmupTrain)), obsv.I("sims", e.warmupSims))
@@ -286,6 +304,7 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 	coarseStart := atomic.LoadInt64(&e.coarseSims)
 	escalatedStart := atomic.LoadInt64(&e.escalated)
 	solvesStart, itersStart := e.solver.Totals()
+	laneSlotsStart, laneOccStart := e.solver.LaneTotals()
 	// Telemetry carriers, resolved once: spans record the phase timeline,
 	// the emitter streams convergence diagnostics. Both are nil/no-op when
 	// the context carries neither, and both operate strictly at phase/round/
@@ -343,12 +362,21 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		e.startCloud[i] = p.Clone()
 	}
 	perRound := ens.NumFilters() * e.Opts.Particles
+	var sv1 *stagedEval
+	if !e.Opts.scalarPath {
+		sv1 = newStagedEval(e, lab, sampler, m, true, perRound)
+	}
 	var pfRounds []PFRoundDiag
 	for it := 0; it < e.Opts.PFIters && ctx.Err() == nil; it++ {
 		roundSeed := rng.Int63()
 		lab.begin(perRound)
 		_, rspan := obsv.StartSpan(ctx, "pf.round", obsv.I("round", int64(it)))
-		recs := ens.StepPar(roundSeed, weight, func(scored int) { lab.flushRange(0, scored) }, workers)
+		var recs []pfilter.StepRecord
+		if sv1 != nil {
+			recs = ens.StepParStaged(roundSeed, sv1, func(scored int) { lab.flushRange(0, scored) }, workers)
+		} else {
+			recs = ens.StepPar(roundSeed, weight, func(scored int) { lab.flushRange(0, scored) }, workers)
+		}
 		diag := PFRoundDiag{Round: it, Sims: e.Counter.Count() - start, Filters: make([]FilterDiag, len(recs))}
 		for fi, rec := range recs {
 			diag.Filters[fi] = NewFilterDiag(rec)
@@ -391,13 +419,20 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 			emit("is_batch", newISBatchDiag(samples, pt))
 		}
 	}
-	series := montecarlo.ImportanceSamplePar(ctx, proposal, value, e.Opts.NIS, montecarlo.ParOptions{
+	po := montecarlo.ParOptions{
 		Seed:    seed2,
 		Workers: workers,
 		Batch:   stage2Batch,
 		Flush:   lab.flushRange,
 		OnBatch: onBatch,
-	}, e.Counter, e.Opts.RecordEvery)
+	}
+	var series stats.Series
+	if e.Opts.scalarPath {
+		series = montecarlo.ImportanceSamplePar(ctx, proposal, value, e.Opts.NIS, po, e.Counter, e.Opts.RecordEvery)
+	} else {
+		sv2 := newStagedEval(e, lab, sampler, m, false, stage2Batch)
+		series = montecarlo.ImportanceSampleParStaged(ctx, proposal, sv2, e.Opts.NIS, po, e.Counter, e.Opts.RecordEvery)
+	}
 	stage2Sims := e.Counter.Count() - stage2Start
 	if s2span != nil {
 		fin := series.Final()
@@ -407,6 +442,7 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 
 	fin := series.Final()
 	solves, iters := e.solver.Totals()
+	laneSlots, laneOcc := e.solver.LaneTotals()
 	return Result{
 		Series: series,
 		Estimate: stats.Estimate{
@@ -420,8 +456,10 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		Classified:  atomic.LoadInt64(&e.classified) - classifiedStart,
 		RootSolves:  solves - solvesStart,
 		SolverIters: iters - itersStart,
-		CoarseSims:  atomic.LoadInt64(&e.coarseSims) - coarseStart,
-		Escalated:   atomic.LoadInt64(&e.escalated) - escalatedStart,
+		CoarseSims:   atomic.LoadInt64(&e.coarseSims) - coarseStart,
+		Escalated:    atomic.LoadInt64(&e.escalated) - escalatedStart,
+		LaneSlots:    laneSlots - laneSlotsStart,
+		LaneOccupied: laneOcc - laneOccStart,
 		PFRounds:    pfRounds,
 		Proposal:    q,
 	}, ctx.Err()

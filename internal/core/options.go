@@ -99,6 +99,22 @@ type Options struct {
 	// check per call.
 	IndicatorHist *obsv.Histogram
 
+	// BatchLanes is the lockstep lane width of the batched indicator: the
+	// engine gathers the simulations deferred at each batch barrier and
+	// marches them through the SRAM solver in chunks of this many shift
+	// vectors (0 selects sram.DefaultBatchLanes). Pure grouping — labels,
+	// estimates and series are bit-identical at any width; the knob only
+	// trades kernel occupancy against per-lane cache footprint.
+	BatchLanes int
+
+	// scalarPath forces the per-sample evaluation path that predates the
+	// batched indicator: every simulate call runs its own root solves
+	// inside the worker that drew the sample. Both paths produce
+	// bit-identical results — this is the cross-check hook the staged-vs-
+	// scalar equivalence suite uses, kept unexported because there is no
+	// user-facing reason to give up the batch throughput.
+	scalarPath bool
+
 	// Parallelism is the worker-goroutine count for the engine's hot loops
 	// (boundary search, classifier warm-up, particle-filter measurement,
 	// stage-2 importance sampling). Results are bit-identical for any value:

@@ -27,6 +27,13 @@ type Result struct {
 	CoarseSims  int64 // adaptive samples evaluated at the coarse tier (0 in exact mode)
 	Escalated   int64 // adaptive samples escalated to the full grid
 
+	// Lane-utilization accounting for the batched indicator (0 on the
+	// scalar path): kernel slots issued by the lockstep solver and the
+	// slots that carried a live (unconverged) lane. Occupied/Slots is the
+	// fraction of batch-kernel work spent on real residuals.
+	LaneSlots    int64
+	LaneOccupied int64
+
 	// PFRounds records the stage-1 convergence diagnostics, one entry per
 	// particle-filter round. Deterministic (derived from weights and
 	// resampling indices only), so it is cached and persisted with the rest
@@ -43,5 +50,17 @@ func (r Result) String() string {
 	if r.CoarseSims > 0 {
 		s += fmt.Sprintf(" [adaptive: coarse=%d escalated=%d]", r.CoarseSims, r.Escalated)
 	}
+	if r.LaneSlots > 0 {
+		s += fmt.Sprintf(" [lanes: %.0f%% occupied]", 100*r.LaneUtilization())
+	}
 	return s
+}
+
+// LaneUtilization is LaneOccupied/LaneSlots, the live fraction of the
+// batch kernel's lockstep work (0 when the batch path did not run).
+func (r Result) LaneUtilization() float64 {
+	if r.LaneSlots == 0 {
+		return 0
+	}
+	return float64(r.LaneOccupied) / float64(r.LaneSlots)
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ecripse/internal/rtn"
+	"ecripse/internal/sram"
+)
+
+// TestStagedMatchesScalar pins the batched evaluation path — staged
+// boundary search, warm-up labeling, particle-filter measurement and
+// stage-2 importance sampling, all settling their indicator calls through
+// simulateBatch — to the per-sample scalar path bit for bit: identical
+// estimate, convergence series, cost split and solver-effort counters for
+// the same seed.
+func TestStagedMatchesScalar(t *testing.T) {
+	cell := sram.NewCell(0.5)
+	cfg := rtn.TableIConfig(cell)
+	cases := []struct {
+		name string
+		opts Options
+		rtn  bool
+	}{
+		{"rdf", Options{NIS: 4000, Directions: 64, WarmupTrain: 120, PFIters: 3, RecordEvery: 300}, false},
+		{"rtn", Options{NIS: 1200, M: 5, Directions: 64, WarmupTrain: 120, PFIters: 3}, true},
+		{"adaptive-parallel", Options{NIS: 3000, AdaptiveGrid: true, Parallelism: 4, Directions: 64, WarmupTrain: 120, PFIters: 2}, false},
+		{"noclassifier", Options{NIS: 800, NoClassifier: true, Directions: 48, PFIters: 2}, false},
+		{"hold-lanes256", Options{Mode: HoldFailure, NIS: 1500, BatchLanes: 256, Directions: 48, WarmupTrain: 120, PFIters: 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sampler *rtn.Sampler
+			if tc.rtn {
+				sampler = rtn.NewSampler(cell, cfg, 0.3)
+			}
+			scalarOpts := tc.opts
+			scalarOpts.scalarPath = true
+			want := NewEngine(cell, nil, scalarOpts).Run(rand.New(rand.NewSource(91)), sampler)
+			got := NewEngine(cell, nil, tc.opts).Run(rand.New(rand.NewSource(91)), sampler)
+
+			if math.Float64bits(got.Estimate.P) != math.Float64bits(want.Estimate.P) ||
+				math.Float64bits(got.Estimate.CI95) != math.Float64bits(want.Estimate.CI95) {
+				t.Fatalf("estimate diverged: staged %+v, scalar %+v", got.Estimate, want.Estimate)
+			}
+			if got.Estimate.Sims != want.Estimate.Sims {
+				t.Fatalf("simulation count diverged: staged %d, scalar %d", got.Estimate.Sims, want.Estimate.Sims)
+			}
+			if !reflect.DeepEqual(got.Series, want.Series) {
+				t.Fatalf("convergence series diverged:\nstaged %v\nscalar %v", got.Series, want.Series)
+			}
+			if got.InitSims != want.InitSims || got.WarmupSims != want.WarmupSims ||
+				got.Stage1Sims != want.Stage1Sims || got.Stage2Sims != want.Stage2Sims ||
+				got.Classified != want.Classified {
+				t.Fatalf("cost split diverged:\nstaged %v\nscalar %v", got, want)
+			}
+			if got.RootSolves != want.RootSolves || got.SolverIters != want.SolverIters {
+				t.Fatalf("solver effort diverged: staged solves=%d iters=%d, scalar solves=%d iters=%d",
+					got.RootSolves, got.SolverIters, want.RootSolves, want.SolverIters)
+			}
+			if got.CoarseSims != want.CoarseSims || got.Escalated != want.Escalated {
+				t.Fatalf("adaptive split diverged: staged %v, scalar %v", got, want)
+			}
+			if !reflect.DeepEqual(got.PFRounds, want.PFRounds) {
+				t.Fatalf("stage-1 diagnostics diverged")
+			}
+			if !reflect.DeepEqual(got.Proposal.Means, want.Proposal.Means) {
+				t.Fatalf("proposal means diverged")
+			}
+			// The lane counters are the one legitimate difference: only the
+			// batched path issues kernel slots. Write mode keeps the scalar
+			// solver, so it is exempt.
+			if want.LaneSlots != 0 {
+				t.Fatalf("scalar path issued lane slots: %d", want.LaneSlots)
+			}
+			if tc.opts.Mode != WriteFailure && got.LaneSlots == 0 {
+				t.Fatalf("staged path issued no lane slots")
+			}
+			if got.LaneOccupied > got.LaneSlots {
+				t.Fatalf("lane occupancy %d exceeds slots %d", got.LaneOccupied, got.LaneSlots)
+			}
+		})
+	}
+}
+
+// TestLaneUtilizationReported checks the derived utilization and its
+// String rendering.
+func TestLaneUtilizationReported(t *testing.T) {
+	r := Result{LaneSlots: 200, LaneOccupied: 150}
+	if u := r.LaneUtilization(); u != 0.75 {
+		t.Fatalf("utilization = %v, want 0.75", u)
+	}
+	if s := r.String(); !strings.Contains(s, "lanes: 75% occupied") {
+		t.Fatalf("String() = %q, missing lane utilization", s)
+	}
+	if u := (Result{}).LaneUtilization(); u != 0 {
+		t.Fatalf("empty utilization = %v", u)
+	}
+}

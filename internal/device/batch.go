@@ -1,0 +1,99 @@
+package device
+
+// ResolvedBatch is the structure-of-arrays counterpart of Resolved for a
+// lane batch: many instances of one prototype device that differ only in
+// their per-sample threshold shift. The SRAM batch solver marches 64–256
+// shift vectors through the VTC root solve in lockstep, and at every
+// lockstep step it needs the drain current of the *same* device position
+// (load, driver or access) across all lanes — a loop whose per-lane
+// arithmetic is independent, so the CPU can overlap the exp/sqrt latency
+// chains that serialize the scalar solver.
+//
+// Only the threshold (VT0 + DVth + lane shift) varies per lane; every other
+// resolved constant is shared, exactly as it would come out of
+// Device.Resolve on each shifted copy. Per-lane currents are bit-identical
+// to Resolved.Ids — TestResolvedBatchMatchesResolved and
+// FuzzResolvedBatchIds pin this.
+type ResolvedBatch struct {
+	pol Polarity
+
+	// vt0 is the per-lane threshold magnitude including the lane's shift.
+	vt0 []float64
+
+	// Lane-invariant constants, identical to the Resolved fields of any
+	// shifted copy of the prototype (shifting only changes DVth).
+	gamma   float64
+	phi     float64
+	sqrtPhi float64
+	dibl    float64
+	lambda  float64
+	theta   float64
+	slope   float64
+
+	ut      float64
+	slopeUt float64
+	tcvTerm float64
+	ispec   float64
+
+	fastVsb0 bool
+
+	// Softplus staging scratch for idsLanes (see batch_lanes.go). A batch
+	// is owned by one solver goroutine; it is not safe for concurrent use.
+	argF, argR, argO []float64
+	spF, spR, spO    []float64
+	clm              []float64
+	neg              []bool
+}
+
+// ResolveLanes positions b on a lane batch of d: lane l behaves exactly like
+// a copy of d with DVth increased by dvth[l], resolved. b's slices are
+// reused when capacity allows, so a solver can re-resolve per batch without
+// allocating.
+func (d *Device) ResolveLanes(dvth []float64, b *ResolvedBatch) {
+	r := d.Resolve()
+	b.pol = r.pol
+	b.gamma, b.phi, b.sqrtPhi = r.gamma, r.phi, r.sqrtPhi
+	b.dibl, b.lambda, b.theta, b.slope = r.dibl, r.lambda, r.theta, r.slope
+	b.ut, b.slopeUt, b.tcvTerm, b.ispec = r.ut, r.slopeUt, r.tcvTerm, r.ispec
+	b.fastVsb0 = r.fastVsb0
+	if cap(b.vt0) < len(dvth) {
+		b.vt0 = make([]float64, len(dvth))
+	}
+	b.vt0 = b.vt0[:len(dvth)]
+	for l, dv := range dvth {
+		// Same association as the scalar path: the shifted copy first folds
+		// the lane shift into DVth, then Resolve computes VT0 + DVth.
+		shift := d.DVth + dv
+		b.vt0[l] = d.VT0 + shift
+	}
+}
+
+// Lanes returns the lane count of the current batch.
+func (b *ResolvedBatch) Lanes() int { return len(b.vt0) }
+
+// Lane returns lane l as a scalar Resolved (test/cross-check helper; the
+// hot path never materializes one).
+func (b *ResolvedBatch) Lane(l int) Resolved {
+	return Resolved{
+		pol: b.pol, vt0: b.vt0[l],
+		gamma: b.gamma, phi: b.phi, sqrtPhi: b.sqrtPhi,
+		dibl: b.dibl, lambda: b.lambda, theta: b.theta, slope: b.slope,
+		ut: b.ut, slopeUt: b.slopeUt, tcvTerm: b.tcvTerm, ispec: b.ispec,
+		fastVsb0: b.fastVsb0,
+	}
+}
+
+// StoreIds writes each active lane's drain current at (vg, vd[l], vs, vb)
+// into out[l]; inactive lanes are left untouched. active == nil means all
+// lanes. Each lane's value is bit-identical to Resolved.Ids on that lane.
+func (b *ResolvedBatch) StoreIds(vg float64, vd []float64, vs, vb float64, active []bool, out []float64) {
+	b.idsLanes(vg, vd, vs, vb, active, out, false)
+}
+
+// AddIds adds each active lane's drain current at (vg, vd[l], vs, vb) onto
+// out[l]. The KCL residual of the SRAM half-cell is built by one StoreIds
+// followed by AddIds per remaining device, reproducing the scalar sum
+// (iDrv + iLoad) + iAcc with identical association.
+func (b *ResolvedBatch) AddIds(vg float64, vd []float64, vs, vb float64, active []bool, out []float64) {
+	b.idsLanes(vg, vd, vs, vb, active, out, true)
+}

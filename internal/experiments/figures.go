@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -136,16 +137,25 @@ func Fig7(seed int64, scale Scale, alpha float64, eng *core.Engine) (Fig7Result,
 
 	rngN := rand.New(rand.NewSource(seed))
 	var cn montecarlo.Counter
-	trial := func(r *rand.Rand) bool {
-		cn.Add(1)
+	// The naive reference settles its indicator calls through the lockstep
+	// batch solver: draws stay on the sequential rng in trial order, labels
+	// are bit-identical to cell.Fails, and NaiveBatched replays the scalar
+	// recording schedule — so the series matches the per-trial loop exactly
+	// while the margins march through the batch kernel.
+	shs := make([]sram.Shifts, montecarlo.DefaultBatch)
+	outs := make([]sram.SNMResult, montecarlo.DefaultBatch)
+	draw := func(r *rand.Rand, slot int) {
 		var sh sram.Shifts
 		for i := range sh {
 			sh[i] = sigma[i] * r.NormFloat64()
 		}
-		sh = sh.Add(sampler.Sample(r))
-		return cell.Fails(sh, snm)
+		shs[slot] = sh.Add(sampler.Sample(r))
 	}
-	naiveSeries := montecarlo.Naive(rngN, trial, nNaive, &cn, nNaive/200)
+	label := func(slots int, fails []bool) {
+		cn.Add(int64(slots))
+		cell.FailsBatch(shs[:slots], fails, outs[:slots], snm)
+	}
+	naiveSeries := montecarlo.NaiveBatched(context.Background(), rngN, draw, label, nNaive, montecarlo.DefaultBatch, &cn, nNaive/200)
 	fin := naiveSeries.Final()
 	naive := MethodSeries{Name: fmt.Sprintf("naive MC (alpha=%.1f)", alpha), Series: naiveSeries,
 		Estimate: statsEstimate(fin, nNaive, cn.Count())}

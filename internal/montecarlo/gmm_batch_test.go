@@ -1,0 +1,115 @@
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecripse/internal/linalg"
+)
+
+// randomGMM builds a mixture with the requested size and weighting,
+// including dead (zero-weight) components when weighted.
+func randomGMM(rng *rand.Rand, dim, k int, weighted bool) *GMM {
+	g := &GMM{Sigma: make(linalg.Vector, dim)}
+	for d := range g.Sigma {
+		g.Sigma[d] = 0.2 + rng.Float64()
+	}
+	g.Means = make([]linalg.Vector, k)
+	for i := range g.Means {
+		m := make(linalg.Vector, dim)
+		for d := range m {
+			m[d] = 4 * rng.NormFloat64()
+		}
+		g.Means[i] = m
+	}
+	if weighted {
+		g.Weights = make([]float64, k)
+		for i := range g.Weights {
+			if rng.Float64() < 0.15 {
+				g.Weights[i] = 0 // dead component: skipped by both folds
+			} else {
+				g.Weights[i] = rng.Float64()
+			}
+		}
+	}
+	return g
+}
+
+// TestGMMLogPDFBatchedMatchesScalar pins the staged LogPDF (SoA quadratics
+// plus one batched exp sweep) bit-for-bit against the scalar reference fold
+// across mixture sizes, weightings, and query points from the bulk to the
+// far tail (where the −40 cutoff and the running rescale fire).
+func TestGMMLogPDFBatchedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, dim := range []int{1, 2, 6} {
+		for _, k := range []int{1, 5, 8, 9, 64, 301} {
+			for _, weighted := range []bool{false, true} {
+				g := randomGMM(rng, dim, k, weighted)
+				for trial := 0; trial < 40; trial++ {
+					x := make(linalg.Vector, dim)
+					scale := 1.0
+					if trial%3 == 1 {
+						scale = 20 // tail: spreads the component log-densities far past the cutoff
+					}
+					for d := range x {
+						x[d] = scale * rng.NormFloat64()
+					}
+					got := g.LogPDF(x)
+					want := g.logPDFScalar(x)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("dim=%d k=%d weighted=%v x=%v: batched %v (%#x) != scalar %v (%#x)",
+							dim, k, weighted, x, got, math.Float64bits(got), want, math.Float64bits(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGMMLogPDFBatchedSpecials exercises the degenerate inputs the scalar
+// fold defines behavior for: all-dead mixtures (−Inf), NaN and infinite
+// query coordinates.
+func TestGMMLogPDFBatchedSpecials(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	dead := randomGMM(rng, 3, 16, true)
+	for i := range dead.Weights {
+		dead.Weights[i] = 0
+	}
+	if got := dead.LogPDF(linalg.Vector{0, 0, 0}); !math.IsInf(got, -1) {
+		t.Fatalf("all-dead mixture: got %v want -Inf", got)
+	}
+
+	g := randomGMM(rng, 3, 33, false)
+	for _, x := range []linalg.Vector{
+		{math.NaN(), 0, 0},
+		{math.Inf(1), 0, 0},
+		{math.Inf(-1), 1, 2},
+	} {
+		got := g.LogPDF(x)
+		want := g.logPDFScalar(x)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("x=%v: batched %v != scalar %v", x, got, want)
+		}
+	}
+}
+
+func BenchmarkGMMLogPDF(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomGMM(rng, 6, 600, true)
+	x := make(linalg.Vector, 6)
+	for d := range x {
+		x[d] = 2 * rng.NormFloat64()
+	}
+	g.LogPDF(x) // warm the caches
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.LogPDF(x)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.logPDFScalar(x)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"ecripse/internal/linalg"
 	"ecripse/internal/randx"
 	"ecripse/internal/stats"
+	"ecripse/internal/vecmath"
 )
 
 // Counter tallies transistor-level simulations. Every estimator in this
@@ -167,6 +168,23 @@ type GMM struct {
 	once      sync.Once
 	invSigma  linalg.Vector
 	logCoeffs []float64 // per-component log(w_i/Σw) − Σ log σ_d − D/2·log 2π
+
+	// Structure-of-arrays means for the batched LogPDF: meansT[d*kpad+i] is
+	// component i's coordinate d, rows padded to a multiple of the kernel
+	// width so AccSqDiff can sweep them without a tail. scratch pools the
+	// per-call work buffers (LogPDF runs concurrently from the stage-2
+	// workers).
+	kpad    int
+	meansT  []float64
+	scratch sync.Pool
+}
+
+// gmmScratch is one worker's LogPDF buffers: the per-component quadratics,
+// the collected exponential arguments and results, and the fold-event tags
+// (opAdd/opRescale) that let the replay skip the pruned components.
+type gmmScratch struct {
+	q, args, exps []float64
+	ops           []uint8
 }
 
 // prepare builds the LogPDF caches exactly once; Means/Sigma/Weights must
@@ -202,6 +220,13 @@ func (g *GMM) buildCaches() {
 		}
 		g.logCoeffs[i] = c
 	}
+	g.kpad = (len(g.Means) + 3) &^ 3
+	g.meansT = make([]float64, d*g.kpad)
+	for i, m := range g.Means {
+		for dd := 0; dd < d && dd < len(m); dd++ {
+			g.meansT[dd*g.kpad+i] = m[dd]
+		}
+	}
 }
 
 // Dim returns the dimensionality.
@@ -225,10 +250,100 @@ func (g *GMM) Sample(rng *rand.Rand) linalg.Vector {
 
 // LogPDF returns log Q(x) via a numerically stable log-sum-exp over the
 // mixture components.
+//
+// Large mixtures take a staged path that batches the arithmetic through the
+// vecmath kernels: the per-component quadratics sweep the SoA means
+// dimension-major, and — because the running-rescale control flow below
+// depends only on the component log-densities, never on the exponentials it
+// triggers — the exp arguments are collected in a first sweep, settled in
+// one bit-exact vectorized batch, and consumed by an identical replay
+// sweep. The result is bit-for-bit the scalar fold at any mixture size.
 func (g *GMM) LogPDF(x linalg.Vector) float64 {
 	g.prepare()
-	// Running log-sum-exp: rescale the accumulator whenever a new maximum
-	// appears, so no per-call buffer is needed.
+	k := len(g.Means)
+	if k < 8 {
+		return g.logPDFScalar(x)
+	}
+	s, _ := g.scratch.Get().(*gmmScratch)
+	if s == nil || cap(s.q) < g.kpad {
+		s = &gmmScratch{
+			q:    make([]float64, g.kpad),
+			args: make([]float64, 0, k),
+			exps: make([]float64, k),
+			ops:  make([]uint8, 0, k),
+		}
+	}
+	defer g.scratch.Put(s)
+
+	// Pass 1: per-component quadratics Σ_d z², accumulated in the same
+	// per-component dimension order as the scalar loop.
+	q := s.q[:g.kpad]
+	for i := range q {
+		q[i] = 0
+	}
+	for d := range x {
+		vecmath.AccSqDiff(q, g.meansT[d*g.kpad:(d+1)*g.kpad], x[d], g.invSigma[d])
+	}
+
+	// Pass 2: run the running-rescale control flow on the component
+	// log-densities l_i = logCoeff_i − ½q_i, collecting each exp argument
+	// and its fold event in order instead of calling exp inline. The first
+	// finite l always becomes the maximum (contributing the bare s++), a
+	// later maximum rescales the accumulator, and a component within the
+	// −40 cutoff adds to it. Zero-weight components (logCoeff −Inf) fall
+	// out as l = −Inf and are skipped exactly as the scalar `continue`
+	// skips them; a NaN l fails both comparisons on both paths.
+	const (
+		opAdd     = uint8(0) // sum += e
+		opRescale = uint8(1) // sum = sum*e, then sum++
+	)
+	args, ops := s.args[:0], s.ops[:0]
+	maxLog := math.Inf(-1)
+	for i, c := range g.logCoeffs {
+		li := c - 0.5*q[i]
+		switch {
+		case li > maxLog:
+			if !math.IsInf(maxLog, -1) {
+				args = append(args, maxLog-li)
+				ops = append(ops, opRescale)
+			}
+			maxLog = li
+		case li-maxLog > -40:
+			args = append(args, li-maxLog)
+			ops = append(ops, opAdd)
+		}
+	}
+	s.args, s.ops = args, ops
+	if math.IsInf(maxLog, -1) {
+		return math.Inf(-1)
+	}
+
+	// Pass 3: settle every exponential in one bit-exact batch, then replay
+	// the fold events in order — the identical sequence of multiplies and
+	// adds the scalar fold performs on its accumulator.
+	exps := s.exps[:cap(s.exps)]
+	if len(args) > len(exps) {
+		exps = make([]float64, len(args))
+		s.exps = exps
+	}
+	vecmath.Exp(exps, args)
+	sum := 1.0 // the first maximum's own s++
+	for j, op := range ops {
+		if op == opRescale {
+			sum *= exps[j]
+			sum++
+		} else {
+			sum += exps[j]
+		}
+	}
+	return maxLog + math.Log(sum)
+}
+
+// logPDFScalar is the reference fold the staged path is pinned against; it
+// also serves small mixtures, where the batch setup costs more than it
+// saves. Running log-sum-exp: rescale the accumulator whenever a new
+// maximum appears, so no per-call buffer is needed.
+func (g *GMM) logPDFScalar(x linalg.Vector) float64 {
 	maxLog := math.Inf(-1)
 	s := 0.0
 	for i, m := range g.Means {

@@ -54,6 +54,80 @@ func BoundaryInitPar(seed int64, dim, directions int, rmax, rtol float64, fails 
 	return out
 }
 
+// BoundaryInitBatch is BoundaryInitPar with the indicator calls gathered
+// into lockstep batches: all directions march their bisections in step,
+// and every step labels one point per still-bisecting direction through a
+// single failsBatch call — which the engine answers with its batched
+// margin solver. Direction draws replicate BoundaryInitPar's substreams
+// and bisection decisions depend only on each direction's own labels, so
+// the boundary points (and the total number of indicator evaluations) are
+// identical to BoundaryInitPar with the same seed. failsBatch must write
+// out[i] for pts[i]; it is always called single-threaded.
+func BoundaryInitBatch(seed int64, dim, directions int, rmax, rtol float64, failsBatch func(pts []linalg.Vector, out []bool), workers int) []linalg.Vector {
+	if rtol <= 0 {
+		rtol = 0.05
+	}
+	workers = montecarlo.ClampWorkers(workers, directions)
+	dirs := make([]linalg.Vector, directions)
+	streams := randx.NewStreams(seed, workers)
+	montecarlo.ParFor(workers, directions, func(w, k int) {
+		dirs[k] = randx.SphereDirection(streams.At(w, uint64(k)), dim)
+	})
+
+	// Ring probe at rmax: directions that pass there have no bracketed
+	// boundary and drop out, exactly as in the scalar walk.
+	pts := make([]linalg.Vector, directions)
+	outs := make([]bool, directions)
+	for k, d := range dirs {
+		pts[k] = d.Scale(rmax)
+	}
+	failsBatch(pts, outs)
+	lo := make([]float64, directions)
+	hi := make([]float64, directions)
+	failed := make([]bool, directions)
+	for k, f := range outs {
+		failed[k] = f
+		hi[k] = rmax
+	}
+
+	// Lockstep bisection. The interval halves identically everywhere, but
+	// the loop keeps a per-direction width test anyway so floating-point
+	// drift between directions can never desynchronize it from the scalar
+	// per-direction loop.
+	stage := make([]int, 0, directions)
+	for {
+		stage = stage[:0]
+		for k := range dirs {
+			if failed[k] && hi[k]-lo[k] > rtol {
+				stage = append(stage, k)
+			}
+		}
+		if len(stage) == 0 {
+			break
+		}
+		for j, k := range stage {
+			pts[j] = dirs[k].Scale(0.5 * (lo[k] + hi[k]))
+		}
+		failsBatch(pts[:len(stage)], outs[:len(stage)])
+		for j, k := range stage {
+			mid := 0.5 * (lo[k] + hi[k])
+			if outs[j] {
+				hi[k] = mid
+			} else {
+				lo[k] = mid
+			}
+		}
+	}
+
+	out := make([]linalg.Vector, 0, directions)
+	for k, d := range dirs {
+		if failed[k] {
+			out = append(out, d.Scale(hi[k])) // just inside the failure region
+		}
+	}
+	return out
+}
+
 // StepPar advances every filter one prediction/measurement/resampling round
 // with the measurement step parallelized across workers goroutines. Each
 // candidate carries a global index (filter-major order across the whole
@@ -97,7 +171,57 @@ func (e *Ensemble) StepPar(seed int64, weight ParWeight, flush func(scored int),
 	if flush != nil {
 		flush(total)
 	}
+	return e.resampleTail(seed, offs, cands, ws)
+}
 
+// StepParStaged is StepPar with the measurement step routed through a
+// montecarlo.StagedValue: prediction draws and label decisions run in
+// parallel per candidate substream exactly as in StepPar, the deferred
+// indicator evaluations of the whole round settle in one Resolve barrier,
+// and the weights assemble from the banked labels. One round is
+// bit-identical to StepPar over a ParWeight implementing the same rule.
+func (e *Ensemble) StepParStaged(seed int64, sv montecarlo.StagedValue, flush func(scored int), workers int) []StepRecord {
+	offs := make([]int, len(e.filters)+1)
+	for fi, f := range e.filters {
+		offs[fi+1] = offs[fi] + len(f)
+	}
+	total := offs[len(e.filters)]
+	workers = montecarlo.ClampWorkers(workers, total)
+
+	cands := make([]linalg.Vector, total)
+	ws := make([]float64, total)
+	streams := randx.NewStreams(seed, workers)
+	montecarlo.ParFor(workers, total, func(w, idx int) {
+		fi := 0
+		for offs[fi+1] <= idx {
+			fi++
+		}
+		particles := e.filters[fi]
+		rng := streams.At(w, uint64(idx))
+		base := particles[rng.Intn(len(particles))]
+		x := make(linalg.Vector, len(base))
+		for d := range x {
+			x[d] = base[d] + e.opts.KernelStd*rng.NormFloat64()
+		}
+		cands[idx] = x
+		sv.Prepare(rng, idx, x)
+	})
+	sv.Resolve(0, total)
+	montecarlo.ParFor(workers, total, func(w, idx int) {
+		ws[idx] = sv.Value(idx, cands[idx])
+	})
+	if flush != nil {
+		flush(total)
+	}
+	return e.resampleTail(seed, offs, cands, ws)
+}
+
+// resampleTail is the shared post-measurement half of a round: per-filter
+// systematic resampling from the scored candidates, record assembly, and
+// pooling of the positively-weighted candidates. Deterministic given
+// (seed, offs, cands, ws) — both Step variants feed it identical inputs.
+func (e *Ensemble) resampleTail(seed int64, offs []int, cands []linalg.Vector, ws []float64) []StepRecord {
+	total := offs[len(e.filters)]
 	records := make([]StepRecord, len(e.filters))
 	for fi := range e.filters {
 		lo, hi := offs[fi], offs[fi+1]

@@ -1,0 +1,96 @@
+package pfilter
+
+import (
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"ecripse/internal/linalg"
+	"ecripse/internal/randx"
+)
+
+// stubStaged mirrors the ParWeight below under the staged contract: one
+// uniform consumed from the candidate substream, weight u·P(x).
+type stubStaged struct {
+	us       []float64
+	resolves int
+}
+
+func (s *stubStaged) Prepare(rng *rand.Rand, idx int, x linalg.Vector) {
+	s.us[idx] = rng.Float64()
+}
+
+func (s *stubStaged) Resolve(lo, hi int) { s.resolves++ }
+
+func (s *stubStaged) Value(idx int, x linalg.Vector) float64 {
+	return s.us[idx] * randx.StdNormalPDF(x)
+}
+
+// TestStepParStagedMatchesStepPar pins the staged measurement round to
+// StepPar over the equivalent scalar weight — identical records and
+// identical post-round ensembles at several worker counts.
+func TestStepParStagedMatchesStepPar(t *testing.T) {
+	weight := func(rng *rand.Rand, idx int, x linalg.Vector) float64 {
+		return rng.Float64() * randx.StdNormalPDF(x)
+	}
+	dim := 3
+	seedPts := func() []linalg.Vector {
+		rng := rand.New(rand.NewSource(2))
+		pts := make([]linalg.Vector, 6)
+		for i := range pts {
+			pts[i] = randx.NormalVector(rng, dim).Scale(3)
+		}
+		return pts
+	}
+	opts := Options{Particles: 15, Filters: 2, KernelStd: 0.3}
+	for _, workers := range []int{1, 4} {
+		a := New(rand.New(rand.NewSource(3)), opts, seedPts())
+		b := New(rand.New(rand.NewSource(3)), opts, seedPts())
+		for round := 0; round < 3; round++ {
+			seed := int64(100 + round)
+			recA := a.StepPar(seed, weight, nil, workers)
+			sv := &stubStaged{us: make([]float64, opts.Particles*opts.Filters)}
+			recB := b.StepParStaged(seed, sv, nil, workers)
+			if !reflect.DeepEqual(recA, recB) {
+				t.Fatalf("workers=%d round=%d: staged records diverged", workers, round)
+			}
+			if sv.resolves != 1 {
+				t.Fatalf("expected exactly one Resolve barrier, got %d", sv.resolves)
+			}
+			if !reflect.DeepEqual(a.Particles(), b.Particles()) {
+				t.Fatalf("workers=%d round=%d: ensembles diverged", workers, round)
+			}
+		}
+	}
+}
+
+// TestBoundaryInitBatchMatchesPar pins the lockstep boundary search to the
+// scalar one: identical boundary points and identical indicator-call
+// totals for the same seed.
+func TestBoundaryInitBatchMatchesPar(t *testing.T) {
+	fails := func(x linalg.Vector) bool { return x.Norm() > 3.5 }
+	var nScalar, nBatch atomic.Int64
+	countedFails := func(x linalg.Vector) bool {
+		nScalar.Add(1)
+		return fails(x)
+	}
+	failsBatch := func(pts []linalg.Vector, out []bool) {
+		nBatch.Add(int64(len(pts)))
+		for i, p := range pts {
+			out[i] = fails(p)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		nScalar.Store(0)
+		nBatch.Store(0)
+		want := BoundaryInitPar(77, 4, 64, 8, 0.05, countedFails, workers)
+		got := BoundaryInitBatch(77, 4, 64, 8, 0.05, failsBatch, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: boundary points diverged (%d vs %d found)", workers, len(got), len(want))
+		}
+		if nScalar.Load() != nBatch.Load() {
+			t.Fatalf("workers=%d: indicator calls diverged: scalar %d, batch %d", workers, nScalar.Load(), nBatch.Load())
+		}
+	}
+}

@@ -79,6 +79,10 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 		"Half-cell root solves, process-wide.", float64(m.SolverRootSolves))
 	p.Counter("ecripsed_solver_iterations_total",
 		"Illinois iterations spent in root solves, process-wide.", float64(m.SolverIters))
+	p.Counter("ecripsed_batch_lane_slots_total",
+		"Lockstep kernel slots issued by the batched indicator, process-wide.", float64(m.LaneSlots))
+	p.Counter("ecripsed_batch_lanes_occupied_total",
+		"Lockstep kernel slots that carried a live lane, process-wide.", float64(m.LaneOccupied))
 
 	if m.Store != nil {
 		p.Counter("ecripsed_store_appends_total", "Journal records appended.", float64(m.Store.Appends))

@@ -147,6 +147,12 @@ type CostSplit struct {
 	SolverIters int64 `json:"solver_iters,omitempty"`
 	Coarse      int64 `json:"coarse,omitempty"`
 	Escalated   int64 `json:"escalated,omitempty"`
+
+	// Lane occupancy of the batched indicator kernel: lockstep slots
+	// issued and slots that carried a live lane (zero when the job ran on
+	// the scalar path).
+	LaneSlots    int64 `json:"lane_slots,omitempty"`
+	LaneOccupied int64 `json:"lane_occupied,omitempty"`
 }
 
 // SweepPoint is one duty-ratio point of a Fig. 8-style sweep job.
@@ -440,4 +446,6 @@ func addCost(c *CostSplit, r core.Result) {
 	c.SolverIters += r.SolverIters
 	c.Coarse += r.CoarseSims
 	c.Escalated += r.Escalated
+	c.LaneSlots += r.LaneSlots
+	c.LaneOccupied += r.LaneOccupied
 }

@@ -774,6 +774,10 @@ type Metrics struct {
 	// half-cell root solves ran and how many Illinois iterations they took.
 	SolverRootSolves int64 `json:"solver_root_solves"`
 	SolverIters      int64 `json:"solver_iters"`
+	// Lane occupancy of the batched indicator kernel, process-wide: slots
+	// issued by the lockstep solver and slots carrying a live lane.
+	LaneSlots    int64 `json:"lane_slots"`
+	LaneOccupied int64 `json:"lane_occupied"`
 	Draining         bool  `json:"draining"`
 	// UptimeSeconds and Build identify the serving process.
 	UptimeSeconds float64   `json:"uptime_seconds"`
@@ -863,6 +867,7 @@ func (s *Service) Snapshot() Metrics {
 		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
 	}
 	m.SolverRootSolves, m.SolverIters = sram.TotalSolveTelemetry()
+	m.LaneSlots, m.LaneOccupied = sram.TotalLaneTelemetry()
 	for _, j := range s.Jobs() {
 		m.Jobs[j.State()]++
 		m.SimsTotal += j.Sims()

@@ -12,11 +12,22 @@ type SNMOptions struct {
 	BisectIter int  // half-cell bisection iterations (default 40)
 	Hold       bool // compute the hold margin (WL = 0) instead of read
 
+	// Lanes is the lockstep width of NoiseMarginBatch: batches larger than
+	// this are processed in chunks of Lanes shift vectors (default 64).
+	// Pure grouping — results are bit-identical at any width.
+	Lanes int
+
 	// Telemetry optionally accumulates root-solve effort counters across
 	// every margin evaluation that uses these options (safe to share
 	// between goroutines; the counters are atomic).
 	Telemetry *SolveTelemetry
 }
+
+// DefaultBatchLanes is the default lockstep width of NoiseMarginBatch: wide
+// enough to keep late Illinois iterations busy (lanes converge at different
+// steps), narrow enough that the per-lane state stays L1-resident. See
+// EXPERIMENTS.md for the width sweep behind the choice.
+const DefaultBatchLanes = 64
 
 func (o *SNMOptions) fill() {
 	if o.GridN == 0 {
@@ -25,6 +36,19 @@ func (o *SNMOptions) fill() {
 	if o.BisectIter == 0 {
 		o.BisectIter = 40
 	}
+	if o.Lanes == 0 {
+		o.Lanes = DefaultBatchLanes
+	}
+}
+
+// vtcOptions derives the filled half-cell solver options from the margin
+// options. This is the single place SNM-level knobs map onto VTC-level
+// ones — Butterfly, NoiseMargin and NoiseMarginBatch all go through it, so
+// the scalar and batch paths cannot drift apart on defaults.
+func (o *SNMOptions) vtcOptions(vdd float64) VTCOptions {
+	vo := VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold, Telemetry: o.Telemetry}
+	vo.fill(vdd)
+	return vo
 }
 
 // Sqrt2 is √2; SNM results are diagonal distances divided by this.
@@ -83,9 +107,9 @@ func (c *Cell) Butterfly(sh Shifts, opts *SNMOptions) (a, b Curve) {
 		o = *opts
 	}
 	o.fill()
-	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold, Telemetry: o.Telemetry}
-	a = c.ReadVTC(Right, sh, o.GridN, vo)
-	b = c.ReadVTC(Left, sh, o.GridN, vo)
+	vo := o.vtcOptions(c.Vdd)
+	a = c.ReadVTC(Right, sh, o.GridN, &vo)
+	b = c.ReadVTC(Left, sh, o.GridN, &vo)
 	return a, b
 }
 
@@ -127,13 +151,12 @@ func (c *Cell) NoiseMargin(sh Shifts, opts *SNMOptions) SNMResult {
 		o = *opts
 	}
 	o.fill()
-	vo := &VTCOptions{BisectIter: o.BisectIter, AccessOff: o.Hold, Telemetry: o.Telemetry}
-	vo.fill(c.Vdd)
+	vo := o.vtcOptions(c.Vdd)
 
 	s := snmPool.Get().(*snmScratch)
 	s.resize(o.GridN + 1)
-	c.readVTCInto(Right, sh, o.GridN, vo, s.aIn, s.aOut)
-	c.readVTCInto(Left, sh, o.GridN, vo, s.bIn, s.bOut)
+	c.readVTCInto(Right, sh, o.GridN, &vo, s.aIn, s.aOut)
+	c.readVTCInto(Left, sh, o.GridN, &vo, s.bIn, s.bOut)
 	rotateCurves(s.aIn, s.aOut, s.bIn, s.bOut, s.ra, s.rb)
 	res := marginFromRot(s.ra, s.rb)
 	snmPool.Put(s)

@@ -16,7 +16,17 @@ import (
 // off the inner loop.
 type SolveTelemetry struct {
 	Solves atomic.Int64 // half-cell root solves
-	Iters  atomic.Int64 // Illinois iterations across those solves
+	Iters  atomic.Int64 // residual evaluations across those solves
+
+	// Lane-utilization counters, filled only by the batch solver: every
+	// lockstep residual-evaluation round bills LaneSlots with the batch
+	// width and LaneOccupied with the lanes actually evaluated, so
+	// LaneOccupied/LaneSlots is the fraction of kernel work that was live
+	// (converged lanes ride along masked out until their batch drains).
+	// Both are exact integer tallies over a fixed chunking of the sample
+	// stream, hence deterministic at any parallelism level.
+	LaneSlots    atomic.Int64
+	LaneOccupied atomic.Int64
 }
 
 // add folds a local tally into the telemetry (nil-safe).
@@ -28,9 +38,23 @@ func (t *SolveTelemetry) add(solves, iters int64) {
 	t.Iters.Add(iters)
 }
 
+// addLanes folds a batch sweep's lane-occupancy tally in (nil-safe).
+func (t *SolveTelemetry) addLanes(slots, occupied int64) {
+	if t == nil {
+		return
+	}
+	t.LaneSlots.Add(slots)
+	t.LaneOccupied.Add(occupied)
+}
+
 // Totals reads the accumulated counters.
 func (t *SolveTelemetry) Totals() (solves, iters int64) {
 	return t.Solves.Load(), t.Iters.Load()
+}
+
+// LaneTotals reads the batch-path lane-occupancy counters.
+func (t *SolveTelemetry) LaneTotals() (slots, occupied int64) {
+	return t.LaneSlots.Load(), t.LaneOccupied.Load()
 }
 
 // totalTelemetry is the process-wide tally behind TotalSolveTelemetry.
@@ -40,6 +64,12 @@ var totalTelemetry SolveTelemetry
 // totals since start — the figures the service's /metrics endpoint exposes.
 func TotalSolveTelemetry() (solves, iters int64) {
 	return totalTelemetry.Solves.Load(), totalTelemetry.Iters.Load()
+}
+
+// TotalLaneTelemetry reports the process-wide batch-kernel lane-occupancy
+// totals since start (zero when only the scalar path has run).
+func TotalLaneTelemetry() (slots, occupied int64) {
+	return totalTelemetry.LaneSlots.Load(), totalTelemetry.LaneOccupied.Load()
 }
 
 // SolveObserver receives per-curve solver tallies: v is the mean Illinois
@@ -72,4 +102,10 @@ func recordGlobal(solves, iters int64) {
 	if p := solveObserver.Load(); p != nil && solves > 0 {
 		(*p).ObserveN(float64(iters)/float64(solves), solves)
 	}
+}
+
+// recordGlobalLanes folds a batch sweep's lane-occupancy tally into the
+// process-wide counters. Called once per batched curve sweep.
+func recordGlobalLanes(slots, occupied int64) {
+	totalTelemetry.addLanes(slots, occupied)
 }

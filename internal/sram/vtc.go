@@ -117,36 +117,41 @@ const (
 // using the Illinois variant of regula falsi (superlinear on this smooth
 // monotone residual), falling back to plain bisection steps whenever the
 // interpolated point stalls. The second return is the number of residual
-// evaluations spent inside the iteration loop (solver telemetry).
+// evaluations beyond the two bracket-entry ones — bracket-expansion steps
+// plus iteration-loop steps — which is what the solver telemetry bills as
+// "iterations": every one of them costs a full KCL residual (three Ids
+// calls), wherever it happens.
 func (h *halfCell) solve(vin, lo, hi float64, maxIter int) (float64, int) {
 	flo := h.current(vin, lo)
 	fhi := h.current(vin, hi)
+	iters := 0
 	// Expand the bracket in the rare case the root is outside.
 	for k := 0; flo > 0 && k < 8; k++ {
 		lo -= 0.2
 		flo = h.current(vin, lo)
+		iters++
 	}
 	for k := 0; fhi < 0 && k < 8; k++ {
 		hi += 0.2
 		fhi = h.current(vin, hi)
+		iters++
 	}
 	if flo > 0 || fhi < 0 {
 		// Degenerate bias: return the end with the smaller |residual|.
 		if math.Abs(flo) < math.Abs(fhi) {
-			return lo, 0
+			return lo, iters
 		}
-		return hi, 0
+		return hi, iters
 	}
 	ftol := solveFtolRel * math.Max(-flo, fhi)
 	if flo >= -ftol {
-		return lo, 0
+		return lo, iters
 	}
 	if fhi <= ftol {
-		return hi, 0
+		return hi, iters
 	}
 
 	side := 0
-	iters := 0
 	for i := 0; i < maxIter && hi-lo > solveXtol; i++ {
 		var mid float64
 		if fhi != flo {

@@ -1,0 +1,53 @@
+package vecmath
+
+// Implemented in cpu_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// Implemented in cpu_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// spAVX2 is the 4-wide softplus kernel in softplus_amd64.s. n must be a
+// positive multiple of 4; lanes outside the certified envelope produce
+// garbage that Softplus's rescue pass overwrites.
+//
+//go:noescape
+func spAVX2(dst, src *float64, n int)
+
+// expAVX2 is the bare 4-wide exp kernel in softplus_amd64.s (the same
+// EXPBODY stage softplus uses, stored directly). n must be a positive
+// multiple of 4; lanes outside the certified envelope produce garbage that
+// Exp's rescue pass overwrites.
+//
+//go:noescape
+func expAVX2(dst, src *float64, n int)
+
+// sqdAVX2 is the 4-wide squared-difference accumulator in sqdiff_amd64.s:
+// q[k] += ((x-m[k])*invs)^2. n must be a positive multiple of 4.
+//
+//go:noescape
+func sqdAVX2(q, m *float64, x, invs float64, n int)
+
+// cpuSupportsAVX2 reports whether both the CPU and the OS support the
+// AVX2+FMA kernel: the AVX2 and FMA instruction sets plus OS-managed YMM
+// state (OSXSAVE with the XMM and YMM bits enabled in XCR0).
+func cpuSupportsAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuidex(1, 0)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	if xlo, _ := xgetbv0(); xlo&6 != 6 {
+		return false
+	}
+	const avx2 = 1 << 5
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&avx2 != 0
+}

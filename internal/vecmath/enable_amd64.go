@@ -1,0 +1,7 @@
+//go:build amd64 && !amd64.v3
+
+package vecmath
+
+// Default GOAMD64 levels probe the CPU once at startup; binaries built
+// this way still get the vector kernel on any AVX2+FMA machine.
+var useAVX2 = cpuSupportsAVX2()

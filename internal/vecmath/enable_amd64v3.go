@@ -1,0 +1,11 @@
+//go:build amd64 && amd64.v3
+
+package vecmath
+
+// GOAMD64=v3 guarantees AVX2+FMA (the runtime refuses to start otherwise),
+// so the kernel is enabled statically and the startup probe is skipped.
+var useAVX2 = true
+
+// Keep the probe referenced so the v3 build exercises the same code paths
+// the default build ships.
+var _ = cpuSupportsAVX2

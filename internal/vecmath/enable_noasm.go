@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package vecmath
+
+var useAVX2 = false
+
+// The kernels are unreachable without amd64: useAVX2 is constant false above.
+func spAVX2(dst, src *float64, n int) {
+	panic("vecmath: spAVX2 called on non-amd64")
+}
+
+func expAVX2(dst, src *float64, n int) {
+	panic("vecmath: expAVX2 called on non-amd64")
+}
+
+func sqdAVX2(q, m *float64, x, invs float64, n int) {
+	panic("vecmath: sqdAVX2 called on non-amd64")
+}

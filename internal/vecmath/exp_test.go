@@ -1,0 +1,123 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkExpLanes runs Exp on xs and requires every lane to match math.Exp
+// bit for bit.
+func checkExpLanes(t *testing.T, xs []float64) {
+	t.Helper()
+	out := make([]float64, len(xs))
+	Exp(out, xs)
+	for i, x := range xs {
+		want := math.Exp(x)
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("lane %d: Exp(%v) = %v (%#x), math.Exp gives %v (%#x)",
+				i, x, out[i], math.Float64bits(out[i]), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestExpBoundaries hits the envelope edges (where the rescue pass splices
+// in math.Exp for the overflow/denormal/non-finite exits) plus the special
+// values of the scalar implementation.
+func TestExpBoundaries(t *testing.T) {
+	xs := []float64{
+		0, math.Copysign(0, -1), 1, -1, math.Ln2, -math.Ln2,
+		minVecArg, math.Nextafter(minVecArg, 0), math.Nextafter(minVecArg, -709),
+		maxVecArg, math.Nextafter(maxVecArg, 0), math.Nextafter(maxVecArg, 710),
+		-700, -708.3, -708.5, -710, -744.4, -745, -746, -1000,
+		700, 708, 709.4, 709.7, 709.8, 710, 1000,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		6.9e-16, -6.9e-16, 1e-300, -1e-300,
+	}
+	checkExpLanes(t, xs)
+}
+
+// TestExpSweep covers the log-sum-exp working range densely — LogPDF only
+// ever asks for arguments in (−∞, 0] with a −40 cutoff on the additive
+// ones — and the full finite range coarsely.
+func TestExpSweep(t *testing.T) {
+	var xs []float64
+	for x := -45.0; x <= 1.0; x += 0.0009765625 { // exact step: 2**-10
+		xs = append(xs, x)
+	}
+	for x := -800.0; x <= 800.0; x += 0.8046875 {
+		xs = append(xs, x)
+	}
+	checkExpLanes(t, xs)
+}
+
+// TestExpTails pins the scalar tail: every length mod 4 must agree.
+func TestExpTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 0; n <= 9; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = -45 * rng.Float64()
+		}
+		checkExpLanes(t, xs)
+	}
+}
+
+// checkSqDiffLanes runs AccSqDiff over the given means and requires every
+// accumulator to match the scalar loop bit for bit, including a non-zero
+// starting value.
+func checkSqDiffLanes(t *testing.T, means []float64, x, invs float64) {
+	t.Helper()
+	q := make([]float64, len(means))
+	want := make([]float64, len(means))
+	for i := range q {
+		q[i] = float64(i) * 0.125
+		want[i] = q[i]
+		z := (x - means[i]) * invs
+		want[i] += z * z
+	}
+	AccSqDiff(q, means, x, invs)
+	for i := range q {
+		if math.Float64bits(q[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("lane %d: got %v (%#x), scalar gives %v (%#x) for m=%v x=%v invs=%v",
+				i, q[i], math.Float64bits(q[i]), want[i], math.Float64bits(want[i]), means[i], x, invs)
+		}
+	}
+}
+
+// TestAccSqDiff sweeps lengths across the quad boundaries with random
+// operands, plus non-finite means.
+func TestAccSqDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for n := 0; n <= 70; n++ {
+		means := make([]float64, n)
+		for i := range means {
+			means[i] = 10 * rng.NormFloat64()
+		}
+		checkSqDiffLanes(t, means, 3*rng.NormFloat64(), math.Abs(rng.NormFloat64())+0.1)
+	}
+	checkSqDiffLanes(t, []float64{math.Inf(1), math.Inf(-1), math.NaN(), 0, 1e308, -1e308, 2.5}, 0.5, 2)
+}
+
+func BenchmarkExp(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = -40 * rng.Float64()
+	}
+	out := make([]float64, len(xs))
+	b.Run("vector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Exp(out, xs)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, x := range xs {
+				out[j] = math.Exp(x)
+			}
+		}
+	})
+}

@@ -1,0 +1,399 @@
+#include "textflag.h"
+
+// 4-wide softplus(x) = log1p(exp(x)) over AVX2+FMA.
+//
+// Bit-exactness contract: inside the envelope (-708, 709) — see vecmath.go —
+// every lane gets exactly the bits of math.Log1p(math.Exp(x)) with the ±35
+// clamps of vecmath.Scalar. The exp stage below replicates math.archExp's
+// FMA path (GOROOT/src/math/exp_amd64.s) instruction for instruction in
+// packed form; the log1p stage replicates math.log1p (GOROOT/src/math/
+// log1p.go, an FDLIBM translation) with plain packed mul/add/div only —
+// no FMA contraction — because the scalar code has none. Both branches of
+// every data-dependent scalar decision are computed on all lanes and
+// resolved with VBLENDVPD masks, in an order that mirrors the scalar
+// control flow (later blends override earlier ones exactly where the
+// scalar branch would have been taken first).
+//
+// Lanes outside the envelope — where archExp would take its overflow,
+// denormal or non-finite exits — produce garbage without faulting (all FP
+// exceptions are masked) and are overwritten by the rescue pass in
+// Softplus.
+
+DATA spdata<>+0(SB)/8, $1.4426950408889634073599246810018920
+DATA spdata<>+8(SB)/8, $1.4426950408889634073599246810018920
+DATA spdata<>+16(SB)/8, $1.4426950408889634073599246810018920
+DATA spdata<>+24(SB)/8, $1.4426950408889634073599246810018920
+DATA spdata<>+32(SB)/8, $0.69314718055966295651160180568695068359375
+DATA spdata<>+40(SB)/8, $0.69314718055966295651160180568695068359375
+DATA spdata<>+48(SB)/8, $0.69314718055966295651160180568695068359375
+DATA spdata<>+56(SB)/8, $0.69314718055966295651160180568695068359375
+DATA spdata<>+64(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA spdata<>+72(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA spdata<>+80(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA spdata<>+88(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA spdata<>+96(SB)/8, $0.0625
+DATA spdata<>+104(SB)/8, $0.0625
+DATA spdata<>+112(SB)/8, $0.0625
+DATA spdata<>+120(SB)/8, $0.0625
+DATA spdata<>+128(SB)/8, $2.4801587301587301587e-5
+DATA spdata<>+136(SB)/8, $2.4801587301587301587e-5
+DATA spdata<>+144(SB)/8, $2.4801587301587301587e-5
+DATA spdata<>+152(SB)/8, $2.4801587301587301587e-5
+DATA spdata<>+160(SB)/8, $1.9841269841269841270e-4
+DATA spdata<>+168(SB)/8, $1.9841269841269841270e-4
+DATA spdata<>+176(SB)/8, $1.9841269841269841270e-4
+DATA spdata<>+184(SB)/8, $1.9841269841269841270e-4
+DATA spdata<>+192(SB)/8, $1.3888888888888888889e-3
+DATA spdata<>+200(SB)/8, $1.3888888888888888889e-3
+DATA spdata<>+208(SB)/8, $1.3888888888888888889e-3
+DATA spdata<>+216(SB)/8, $1.3888888888888888889e-3
+DATA spdata<>+224(SB)/8, $8.3333333333333333333e-3
+DATA spdata<>+232(SB)/8, $8.3333333333333333333e-3
+DATA spdata<>+240(SB)/8, $8.3333333333333333333e-3
+DATA spdata<>+248(SB)/8, $8.3333333333333333333e-3
+DATA spdata<>+256(SB)/8, $4.1666666666666666667e-2
+DATA spdata<>+264(SB)/8, $4.1666666666666666667e-2
+DATA spdata<>+272(SB)/8, $4.1666666666666666667e-2
+DATA spdata<>+280(SB)/8, $4.1666666666666666667e-2
+DATA spdata<>+288(SB)/8, $1.6666666666666666667e-1
+DATA spdata<>+296(SB)/8, $1.6666666666666666667e-1
+DATA spdata<>+304(SB)/8, $1.6666666666666666667e-1
+DATA spdata<>+312(SB)/8, $1.6666666666666666667e-1
+DATA spdata<>+320(SB)/8, $0.5
+DATA spdata<>+328(SB)/8, $0.5
+DATA spdata<>+336(SB)/8, $0.5
+DATA spdata<>+344(SB)/8, $0.5
+DATA spdata<>+352(SB)/8, $1.0
+DATA spdata<>+360(SB)/8, $1.0
+DATA spdata<>+368(SB)/8, $1.0
+DATA spdata<>+376(SB)/8, $1.0
+DATA spdata<>+384(SB)/8, $2.0
+DATA spdata<>+392(SB)/8, $2.0
+DATA spdata<>+400(SB)/8, $2.0
+DATA spdata<>+408(SB)/8, $2.0
+DATA spdata<>+416(SB)/8, $0x00000000000003FF
+DATA spdata<>+424(SB)/8, $0x00000000000003FF
+DATA spdata<>+432(SB)/8, $0x00000000000003FF
+DATA spdata<>+440(SB)/8, $0x00000000000003FF
+DATA spdata<>+448(SB)/8, $4.142135623730950488017e-01
+DATA spdata<>+456(SB)/8, $4.142135623730950488017e-01
+DATA spdata<>+464(SB)/8, $4.142135623730950488017e-01
+DATA spdata<>+472(SB)/8, $4.142135623730950488017e-01
+DATA spdata<>+480(SB)/8, $0x3E20000000000000
+DATA spdata<>+488(SB)/8, $0x3E20000000000000
+DATA spdata<>+496(SB)/8, $0x3E20000000000000
+DATA spdata<>+504(SB)/8, $0x3E20000000000000
+DATA spdata<>+512(SB)/8, $6.93147180369123816490e-01
+DATA spdata<>+520(SB)/8, $6.93147180369123816490e-01
+DATA spdata<>+528(SB)/8, $6.93147180369123816490e-01
+DATA spdata<>+536(SB)/8, $6.93147180369123816490e-01
+DATA spdata<>+544(SB)/8, $1.90821492927058770002e-10
+DATA spdata<>+552(SB)/8, $1.90821492927058770002e-10
+DATA spdata<>+560(SB)/8, $1.90821492927058770002e-10
+DATA spdata<>+568(SB)/8, $1.90821492927058770002e-10
+DATA spdata<>+576(SB)/8, $6.666666666666735130e-01
+DATA spdata<>+584(SB)/8, $6.666666666666735130e-01
+DATA spdata<>+592(SB)/8, $6.666666666666735130e-01
+DATA spdata<>+600(SB)/8, $6.666666666666735130e-01
+DATA spdata<>+608(SB)/8, $3.999999999940941908e-01
+DATA spdata<>+616(SB)/8, $3.999999999940941908e-01
+DATA spdata<>+624(SB)/8, $3.999999999940941908e-01
+DATA spdata<>+632(SB)/8, $3.999999999940941908e-01
+DATA spdata<>+640(SB)/8, $2.857142874366239149e-01
+DATA spdata<>+648(SB)/8, $2.857142874366239149e-01
+DATA spdata<>+656(SB)/8, $2.857142874366239149e-01
+DATA spdata<>+664(SB)/8, $2.857142874366239149e-01
+DATA spdata<>+672(SB)/8, $2.222219843214978396e-01
+DATA spdata<>+680(SB)/8, $2.222219843214978396e-01
+DATA spdata<>+688(SB)/8, $2.222219843214978396e-01
+DATA spdata<>+696(SB)/8, $2.222219843214978396e-01
+DATA spdata<>+704(SB)/8, $1.818357216161805012e-01
+DATA spdata<>+712(SB)/8, $1.818357216161805012e-01
+DATA spdata<>+720(SB)/8, $1.818357216161805012e-01
+DATA spdata<>+728(SB)/8, $1.818357216161805012e-01
+DATA spdata<>+736(SB)/8, $1.531383769920937332e-01
+DATA spdata<>+744(SB)/8, $1.531383769920937332e-01
+DATA spdata<>+752(SB)/8, $1.531383769920937332e-01
+DATA spdata<>+760(SB)/8, $1.531383769920937332e-01
+DATA spdata<>+768(SB)/8, $1.479819860511658591e-01
+DATA spdata<>+776(SB)/8, $1.479819860511658591e-01
+DATA spdata<>+784(SB)/8, $1.479819860511658591e-01
+DATA spdata<>+792(SB)/8, $1.479819860511658591e-01
+DATA spdata<>+800(SB)/8, $0x000FFFFFFFFFFFFF
+DATA spdata<>+808(SB)/8, $0x000FFFFFFFFFFFFF
+DATA spdata<>+816(SB)/8, $0x000FFFFFFFFFFFFF
+DATA spdata<>+824(SB)/8, $0x000FFFFFFFFFFFFF
+DATA spdata<>+832(SB)/8, $0x0006A09E667F3BCD
+DATA spdata<>+840(SB)/8, $0x0006A09E667F3BCD
+DATA spdata<>+848(SB)/8, $0x0006A09E667F3BCD
+DATA spdata<>+856(SB)/8, $0x0006A09E667F3BCD
+DATA spdata<>+864(SB)/8, $0x3FF0000000000000
+DATA spdata<>+872(SB)/8, $0x3FF0000000000000
+DATA spdata<>+880(SB)/8, $0x3FF0000000000000
+DATA spdata<>+888(SB)/8, $0x3FF0000000000000
+DATA spdata<>+896(SB)/8, $0x3FE0000000000000
+DATA spdata<>+904(SB)/8, $0x3FE0000000000000
+DATA spdata<>+912(SB)/8, $0x3FE0000000000000
+DATA spdata<>+920(SB)/8, $0x3FE0000000000000
+DATA spdata<>+928(SB)/8, $0x0010000000000000
+DATA spdata<>+936(SB)/8, $0x0010000000000000
+DATA spdata<>+944(SB)/8, $0x0010000000000000
+DATA spdata<>+952(SB)/8, $0x0010000000000000
+DATA spdata<>+960(SB)/8, $0x4330000000000000
+DATA spdata<>+968(SB)/8, $0x4330000000000000
+DATA spdata<>+976(SB)/8, $0x4330000000000000
+DATA spdata<>+984(SB)/8, $0x4330000000000000
+DATA spdata<>+992(SB)/8, $1023.0
+DATA spdata<>+1000(SB)/8, $1023.0
+DATA spdata<>+1008(SB)/8, $1023.0
+DATA spdata<>+1016(SB)/8, $1023.0
+DATA spdata<>+1024(SB)/8, $35.0
+DATA spdata<>+1032(SB)/8, $35.0
+DATA spdata<>+1040(SB)/8, $35.0
+DATA spdata<>+1048(SB)/8, $35.0
+DATA spdata<>+1056(SB)/8, $-35.0
+DATA spdata<>+1064(SB)/8, $-35.0
+DATA spdata<>+1072(SB)/8, $-35.0
+DATA spdata<>+1080(SB)/8, $-35.0
+DATA spdata<>+1088(SB)/8, $0.66666666666666666
+DATA spdata<>+1096(SB)/8, $0.66666666666666666
+DATA spdata<>+1104(SB)/8, $0.66666666666666666
+DATA spdata<>+1112(SB)/8, $0.66666666666666666
+GLOBL spdata<>+0(SB), RODATA, $1120
+
+#define LOG2E spdata<>+0(SB)
+#define LN2U spdata<>+32(SB)
+#define LN2L spdata<>+64(SB)
+#define SIXTEENTH spdata<>+96(SB)
+#define EXPC8 spdata<>+128(SB)
+#define EXPC7 spdata<>+160(SB)
+#define EXPC6 spdata<>+192(SB)
+#define EXPC5 spdata<>+224(SB)
+#define EXPC4 spdata<>+256(SB)
+#define EXPC3 spdata<>+288(SB)
+#define HALF spdata<>+320(SB)
+#define ONE spdata<>+352(SB)
+#define TWO spdata<>+384(SB)
+#define BIASQ spdata<>+416(SB)
+#define SQRT2M1 spdata<>+448(SB)
+#define SMALL spdata<>+480(SB)
+#define LN2HI spdata<>+512(SB)
+#define LN2LO spdata<>+544(SB)
+#define LP1 spdata<>+576(SB)
+#define LP2 spdata<>+608(SB)
+#define LP3 spdata<>+640(SB)
+#define LP4 spdata<>+672(SB)
+#define LP5 spdata<>+704(SB)
+#define LP6 spdata<>+736(SB)
+#define LP7 spdata<>+768(SB)
+#define MANTMASK spdata<>+800(SB)
+#define SQRT2MANT spdata<>+832(SB)
+#define EXPF1 spdata<>+864(SB)
+#define EXPFHALF spdata<>+896(SB)
+#define IMPBIT spdata<>+928(SB)
+#define MAGIC52 spdata<>+960(SB)
+#define C1023 spdata<>+992(SB)
+#define P35 spdata<>+1024(SB)
+#define N35 spdata<>+1056(SB)
+#define TWOTHIRD spdata<>+1088(SB)
+
+// EXPBODY computes e = exp(x) for the quad at xoff(SI) into eout,
+// replicating math.archExp's FMA path. Clobbers Y0-Y5, X6.
+#define EXPBODY(xoff, eout) \
+	VMOVUPD xoff(SI), Y0;          \ // x
+	VMULPD LOG2E, Y0, Y1;          \ // x * log2(e)
+	VCVTPD2DQY Y1, X6;             \ // n = round-to-nearest (per MXCSR), as the scalar CVTSD2SL
+	VCVTDQ2PD X6, Y3;              \ // float64(n)
+	VMOVAPD Y0, Y1;                \ // r = x
+	VFNMADD231PD LN2U, Y3, Y1;     \ // r -= n*LN2U
+	VFNMADD231PD LN2L, Y3, Y1;     \ // r -= n*LN2L
+	VMULPD SIXTEENTH, Y1, Y1;      \ // r *= 0.0625
+	VMOVUPD EXPC8, Y4;             \
+	VFMADD213PD EXPC7, Y1, Y4;     \ // u = u*r + c7
+	VFMADD213PD EXPC6, Y1, Y4;     \
+	VFMADD213PD EXPC5, Y1, Y4;     \
+	VFMADD213PD EXPC4, Y1, Y4;     \
+	VFMADD213PD EXPC3, Y1, Y4;     \
+	VFMADD213PD HALF, Y1, Y4;      \
+	VFMADD213PD ONE, Y1, Y4;       \ // u = u*r + 1.0
+	VMULPD Y4, Y1, Y1;             \ // r *= u
+	VADDPD TWO, Y1, Y4;            \ // u = r + 2
+	VMULPD Y4, Y1, Y1;             \ // r *= u (×4 squaring steps: r was scaled by 1/16)
+	VADDPD TWO, Y1, Y4;            \
+	VMULPD Y4, Y1, Y1;             \
+	VADDPD TWO, Y1, Y4;            \
+	VMULPD Y4, Y1, Y1;             \
+	VADDPD TWO, Y1, Y4;            \
+	VFMADD213PD ONE, Y4, Y1;       \ // r = r*u + 1.0
+	VPMOVSXDQ X6, Y5;              \ // int64(n)
+	VPADDQ BIASQ, Y5, Y5;          \ // biased exponent (in (0, 0x7FF) inside the envelope)
+	VPSLLQ $52, Y5, Y5;            \ // bits of 2**n
+	VMULPD Y5, Y1, eout              // e = r * 2**n
+
+// LOG1PBODY computes softplus from e (read-only) and x at xoff(SI),
+// storing the result to xoff(DI): the FDLIBM log1p with plain packed
+// mul/add/div (no FMA contraction — the scalar code has none), then the
+// ±35 clamp blends. Clobbers Y0-Y11, Y14. Y15 must hold 1.0.
+#define LOG1PBODY(e, xoff) \
+	VADDPD Y15, e, Y2;             \ // u = 1 + e
+	VPSRLQ $52, Y2, Y3;            \ // biased exponent of u (u >= 1 on live lanes)
+	VPOR MAGIC52, Y3, Y3;          \ // bits of 2**52 + bexp
+	VSUBPD MAGIC52, Y3, Y3;        \ // (MAGIC52 is also the double 2**52)
+	VSUBPD C1023, Y3, Y3;          \ // kd = float64(k), exact
+	VCMPPD $0x1D, ONE, Y3, Y4;     \ // kpos: kd >= 1.0  <=>  scalar k > 0
+	VSUBPD e, Y2, Y5;              \ // u - e
+	VSUBPD Y5, Y15, Y5;            \ // c (k>0 form): 1 - (u-e)
+	VSUBPD ONE, Y2, Y6;            \ // u - 1
+	VSUBPD Y6, e, Y6;              \ // c (k==0 form): e - (u-1)
+	VBLENDVPD Y4, Y5, Y6, Y5;      \
+	VDIVPD Y2, Y5, Y5;             \ // c /= u
+	VPAND MANTMASK, Y2, Y6;        \ // m: mantissa field of u
+	VMOVDQU SQRT2MANT, Y7;         \
+	VPCMPGTQ Y6, Y7, Y7;           \ // lowmant: m < sqrt2's mantissa
+	VANDNPD ONE, Y7, Y8;           \
+	VADDPD Y8, Y3, Y3;             \ // kd++ on the high-mantissa lanes (scalar k++)
+	VPOR EXPF1, Y6, Y8;            \ // u normalized to [1, sqrt2)
+	VPOR EXPFHALF, Y6, Y9;         \ // u normalized to [sqrt2/2, 1)
+	VBLENDVPD Y7, Y8, Y9, Y8;      \
+	VMOVDQU IMPBIT, Y9;            \
+	VPSUBQ Y6, Y9, Y9;             \ // implicit bit - m
+	VPSRLQ $2, Y9, Y9;             \
+	VBLENDVPD Y7, Y6, Y9, Y9;      \ // iu: scalar's masked mantissa after normalization
+	VPXOR Y10, Y10, Y10;           \
+	VPCMPEQQ Y10, Y9, Y9;          \ // iu0: iu == 0 (f fits the quadratic shortcut)
+	VSUBPD ONE, Y8, Y8;            \ // f = u - 1
+	VCMPPD $1, SQRT2M1, e, Y10;    \ // e < Sqrt2M1: scalar's shortcut branch (f = e, k = 0)
+	VBLENDVPD Y10, e, Y8, Y8;      \ // f = e on those lanes (their kd is already 0)
+	VPXOR Y10, Y10, Y10;           \
+	VCMPPD $0, Y10, Y3, Y10;       \ // kz: final k == 0 — selects the no-c result forms
+	VANDNPD Y5, Y10, Y5;           \ // c = 0 on k==0 lanes (scalar never reads c there)
+	VMULPD HALF, Y8, Y2;           \
+	VMULPD Y8, Y2, Y2;             \ // hfsq = (0.5*f)*f
+	VADDPD TWO, Y8, Y4;            \
+	VDIVPD Y4, Y8, Y4;             \ // s = f/(2+f)
+	VMULPD Y4, Y4, Y6;             \ // z = s*s
+	VMOVUPD LP7, Y7;               \
+	VMULPD Y6, Y7, Y7;             \
+	VADDPD LP6, Y7, Y7;            \ // Lp6 + z*Lp7
+	VMULPD Y6, Y7, Y7;             \
+	VADDPD LP5, Y7, Y7;            \
+	VMULPD Y6, Y7, Y7;             \
+	VADDPD LP4, Y7, Y7;            \
+	VMULPD Y6, Y7, Y7;             \
+	VADDPD LP3, Y7, Y7;            \
+	VMULPD Y6, Y7, Y7;             \
+	VADDPD LP2, Y7, Y7;            \
+	VMULPD Y6, Y7, Y7;             \
+	VADDPD LP1, Y7, Y7;            \
+	VMULPD Y6, Y7, Y7;             \ // R = z*(Lp1 + z*(...))
+	VADDPD Y7, Y2, Y6;             \ // hfsq + R
+	VMULPD Y6, Y4, Y6;             \ // s*(hfsq+R)
+	VSUBPD Y6, Y2, Y11;            \
+	VSUBPD Y11, Y8, Y11;           \ // k==0 result: f - (hfsq - s*(hfsq+R))
+	VMULPD LN2LO, Y3, Y0;          \ // kd*Ln2Lo
+	VADDPD Y5, Y0, Y0;             \ // kd*Ln2Lo + c
+	VADDPD Y0, Y6, Y0;             \ // s*(hfsq+R) + (kd*Ln2Lo + c)
+	VSUBPD Y0, Y2, Y0;             \ // hfsq - (...)
+	VSUBPD Y8, Y0, Y0;             \ // (...) - f
+	VMULPD LN2HI, Y3, Y1;          \ // kd*Ln2Hi
+	VSUBPD Y0, Y1, Y0;             \ // k>0 result: kd*Ln2Hi - (...)
+	VMULPD TWOTHIRD, Y8, Y6;       \ // iu==0 shortcut, both sub-branches:
+	VSUBPD Y6, Y15, Y6;            \
+	VMULPD Y6, Y2, Y6;             \ // R2 = hfsq*(1 - (2/3)*f)
+	VMULPD LN2LO, Y3, Y4;          \
+	VADDPD Y4, Y5, Y4;             \ // c + kd*Ln2Lo
+	VADDPD Y4, Y1, Y4;             \ // f==0 result: kd*Ln2Hi + (c + kd*Ln2Lo)
+	VMULPD LN2LO, Y3, Y2;          \
+	VADDPD Y5, Y2, Y2;             \ // kd*Ln2Lo + c
+	VSUBPD Y2, Y6, Y2;             \ // R2 - (...)
+	VSUBPD Y8, Y2, Y2;             \ // (...) - f
+	VSUBPD Y2, Y1, Y2;             \ // f!=0 result: kd*Ln2Hi - (...)
+	VPXOR Y6, Y6, Y6;              \
+	VCMPPD $0, Y6, Y8, Y6;         \ // f == 0
+	VBLENDVPD Y6, Y4, Y2, Y2;      \
+	VBLENDVPD Y9, Y2, Y0, Y0;      \ // resolve in scalar priority order (later blends win):
+	VBLENDVPD Y10, Y11, Y0, Y0;    \ // k==0 main result over the k>0 one
+	VCMPPD $1, SMALL, e, Y2;       \ // e < Small
+	VMULPD e, e, Y4;               \
+	VMULPD HALF, Y4, Y4;           \
+	VSUBPD Y4, e, Y4;              \ // e - (e*e)*0.5
+	VBLENDVPD Y2, Y4, Y0, Y0;      \
+	VMOVUPD xoff(SI), Y14;         \ // x
+	VCMPPD $1, N35, Y14, Y2;       \ // x < -35: softplus(x) = exp(x)
+	VBLENDVPD Y2, e, Y0, Y0;       \
+	VCMPPD $0x1E, P35, Y14, Y2;    \ // x > 35: softplus(x) = x
+	VBLENDVPD Y2, Y14, Y0, Y0;     \
+	VMOVUPD Y0, xoff(DI)
+
+// func spAVX2(dst, src *float64, n int)
+// n must be a positive multiple of 4. Quads are processed two at a time in
+// phase order (exp A, exp B, log1p A, log1p B): the two dependency chains
+// are independent, so the out-of-order core overlaps them — one quad alone
+// leaves the floating-point units half idle on its long serial chain.
+TEXT ·spAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VMOVUPD ONE, Y15 // 1.0, loop-invariant (needed in non-foldable positions)
+
+loop8:
+	CMPQ CX, $8
+	JL tail4
+	EXPBODY(0, Y13)
+	EXPBODY(32, Y12)
+	LOG1PBODY(Y13, 0)
+	LOG1PBODY(Y12, 32)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP loop8
+
+tail4:
+	CMPQ CX, $4
+	JL done
+	EXPBODY(0, Y13)
+	LOG1PBODY(Y13, 0)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP tail4
+
+done:
+	VZEROUPPER
+	RET
+
+// func expAVX2(dst, src *float64, n int)
+// Bare 4-wide exp: the same EXPBODY stage the softplus kernel certifies
+// (math.archExp's FMA path, bit for bit inside the envelope), stored
+// directly. n must be a positive multiple of 4; out-of-envelope lanes are
+// garbage and must be rescued by the caller, exactly as in Softplus.
+TEXT ·expAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+exploop8:
+	CMPQ CX, $8
+	JL exptail4
+	EXPBODY(0, Y13)
+	EXPBODY(32, Y12)
+	VMOVUPD Y13, 0(DI)
+	VMOVUPD Y12, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP exploop8
+
+exptail4:
+	CMPQ CX, $4
+	JL expdone
+	EXPBODY(0, Y13)
+	VMOVUPD Y13, 0(DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP exptail4
+
+expdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,48 @@
+#include "textflag.h"
+
+// func sqdAVX2(q, m *float64, x, invs float64, n int)
+// q[k] += ((x - m[k]) * invs)^2 for k in [0, n), four lanes at a time.
+// n must be a positive multiple of 4. Plain packed sub/mul/add only — the
+// scalar reference has no FMA contraction, so neither does the kernel and
+// every lane is bit-identical to the scalar loop at any n.
+TEXT ·sqdAVX2(SB), NOSPLIT, $0-40
+	MOVQ q+0(FP), DI
+	MOVQ m+8(FP), SI
+	VBROADCASTSD x+16(FP), Y2
+	VBROADCASTSD invs+24(FP), Y3
+	MOVQ n+32(FP), CX
+
+loop8:
+	CMPQ CX, $8
+	JL tail4
+	VSUBPD 0(SI), Y2, Y0  // x - m
+	VSUBPD 32(SI), Y2, Y1
+	VMULPD Y3, Y0, Y0     // z = (x - m) * invs
+	VMULPD Y3, Y1, Y1
+	VMULPD Y0, Y0, Y0     // z * z
+	VMULPD Y1, Y1, Y1
+	VADDPD 0(DI), Y0, Y0  // q += z*z
+	VADDPD 32(DI), Y1, Y1
+	VMOVUPD Y0, 0(DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP loop8
+
+tail4:
+	CMPQ CX, $4
+	JL done
+	VSUBPD 0(SI), Y2, Y0
+	VMULPD Y3, Y0, Y0
+	VMULPD Y0, Y0, Y0
+	VADDPD 0(DI), Y0, Y0
+	VMOVUPD Y0, 0(DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP tail4
+
+done:
+	VZEROUPPER
+	RET

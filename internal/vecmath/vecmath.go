@@ -1,0 +1,122 @@
+// Package vecmath provides batched math kernels for the structure-of-arrays
+// hot paths: Softplus for the device layer's lane-parallel
+// softplus(x) = ln(1+eˣ), Exp for the mixture log-density's batched
+// exponentials, and AccSqDiff for its quadratic forms. Every kernel is
+// pinned bit-identical to its scalar reference: on AMD64 with AVX2+FMA the
+// transcendentals replicate the exact operation sequence of math.Exp's FMA
+// path and math.Log1p four lanes at a time, and AccSqDiff uses plain packed
+// arithmetic with no FMA contraction — so vectorization changes throughput
+// and nothing else. Everywhere else the package degrades to the scalar
+// loops.
+package vecmath
+
+import "math"
+
+// Enabled reports whether the vectorized kernel is active (AVX2+FMA
+// detected, or the build was pinned to GOAMD64=v3). Exposed for cost
+// telemetry and tests; results are bit-identical either way.
+func Enabled() bool { return useAVX2 }
+
+// The vector kernel certifies lanes strictly inside (minVecArg, maxVecArg):
+// beyond these bounds the scalar exp takes overflow/denormal/non-finite
+// exits that the branch-free kernel does not model. The bounds are
+// deliberately tighter than the true exits (exp overflows above ~709.78 and
+// denormalizes below ~-708.39) so the envelope check stays two compares.
+// NaN fails both compares and is rescued too.
+const (
+	minVecArg = -708.0
+	maxVecArg = 709.0
+)
+
+// Softplus fills dst[i] = Scalar(src[i]) for every lane. dst must be at
+// least as long as src. The results are bit-identical to the scalar loop at
+// any lane count and any ISA level.
+func Softplus(dst, src []float64) {
+	n := len(src)
+	dst = dst[:n]
+	if useAVX2 {
+		q := n &^ 3
+		if q > 0 {
+			spAVX2(&dst[0], &src[0], q)
+			// Rescue pass: recompute any lane outside the certified
+			// envelope. The branch predicts perfectly on clean data.
+			for i, x := range src[:q] {
+				if !(x > minVecArg && x < maxVecArg) {
+					dst[i] = Scalar(x)
+				}
+			}
+		}
+		for i := q; i < n; i++ {
+			dst[i] = Scalar(src[i])
+		}
+		return
+	}
+	for i, x := range src {
+		dst[i] = Scalar(x)
+	}
+}
+
+// Exp fills dst[i] = math.Exp(src[i]) for every lane. dst must be at least
+// as long as src. On AVX2+FMA hardware the results are bit-identical to the
+// scalar loop (the kernel replicates math.archExp's FMA path, and lanes
+// outside the certified envelope are rescued through math.Exp itself); the
+// fallback is the scalar loop.
+func Exp(dst, src []float64) {
+	n := len(src)
+	dst = dst[:n]
+	if useAVX2 {
+		q := n &^ 3
+		if q > 0 {
+			expAVX2(&dst[0], &src[0], q)
+			for i, x := range src[:q] {
+				if !(x > minVecArg && x < maxVecArg) {
+					dst[i] = math.Exp(x)
+				}
+			}
+		}
+		for i := q; i < n; i++ {
+			dst[i] = math.Exp(src[i])
+		}
+		return
+	}
+	for i, x := range src {
+		dst[i] = math.Exp(x)
+	}
+}
+
+// AccSqDiff accumulates q[k] += ((x − means[k]) · invs)² for every k.
+// q must be at least as long as means. The kernel uses plain packed
+// sub/mul/add with no FMA contraction, so the results are bit-identical to
+// the scalar loop at any lane count and any ISA level. This is the inner
+// quadratic of a shared-diagonal Gaussian mixture log-density, swept
+// dimension-major over a structure-of-arrays means layout.
+func AccSqDiff(q, means []float64, x, invs float64) {
+	n := len(means)
+	q = q[:n]
+	k := 0
+	if useAVX2 {
+		if v := n &^ 3; v > 0 {
+			sqdAVX2(&q[0], &means[0], x, invs, v)
+			k = v
+		}
+	}
+	for ; k < n; k++ {
+		z := (x - means[k]) * invs
+		q[k] += z * z
+	}
+}
+
+// Scalar is the reference softplus the vector kernel is pinned against:
+// ln(1+eˣ) with the same large/small-argument clamps as the device model
+// (for x > 35 the +1 is far below double precision; for x < -35 the log1p
+// is the identity to double precision).
+func Scalar(x float64) float64 {
+	switch {
+	case x > 35:
+		return x
+	case x < -35:
+		return math.Exp(x)
+	default:
+		return math.Log1p(math.Exp(x))
+	}
+}
