@@ -232,6 +232,12 @@ func main() {
 	if res.LaneSlots > 0 {
 		fmt.Printf("  batch kernel: %d lane slots, %.1f%% occupied\n", res.LaneSlots, 100*res.LaneUtilization())
 	}
+	if res.PipelinedBatches > 0 {
+		fmt.Printf("  pipeline: %d batches, %.1f%% of generation overlapped (stall=%s settle=%s)\n",
+			res.PipelinedBatches, 100*res.OverlapFraction(),
+			time.Duration(res.PipelineStallNS).Round(time.Microsecond),
+			time.Duration(res.PipelineSettleNS).Round(time.Microsecond))
+	}
 	if *adaptive && res.CoarseSims > 0 {
 		fmt.Printf("  adaptive: %d coarse-tier samples, %d escalated to the full grid (%.1f%%)\n",
 			res.CoarseSims, res.Escalated, 100*float64(res.Escalated)/float64(res.CoarseSims))

@@ -13,6 +13,53 @@ import (
 	"ecripse/internal/sram"
 )
 
+// batchScratch is the engine's reusable per-barrier buffer set. simulateBatch
+// and marginBatch run single-threaded per engine (only their interior margin
+// work fans out, into disjoint sub-slices), so one scratch instance per
+// engine makes the steady-state barrier allocation-free.
+type batchScratch struct {
+	shs     []sram.Shifts
+	margins []float64
+	esc     []int
+	escSh   []sram.Shifts
+	escM    []float64
+	res     []sram.SNMResult
+	tallies []solverTally
+}
+
+// solverTally is a per-worker solver-telemetry accumulator, padded so that
+// neighbouring workers' counters never share a cache line. The lockstep
+// margin chunks bill their root-solve/iteration/lane counters here and the
+// barrier merges the tallies once, instead of every worker hammering the
+// engine's shared telemetry atomics mid-sweep.
+type solverTally struct {
+	t sram.SolveTelemetry
+	_ [32]byte
+}
+
+// shiftsInto fills shs[i] for every us[i] (see shifts).
+func (e *Engine) shiftsInto(us []linalg.Vector, shs []sram.Shifts) {
+	for i, u := range us {
+		shs[i] = e.shifts(u)
+	}
+}
+
+// growShifts returns a length-n shift buffer backed by buf when it fits.
+func growShifts(buf []sram.Shifts, n int) []sram.Shifts {
+	if cap(buf) < n {
+		return make([]sram.Shifts, n)
+	}
+	return buf[:n]
+}
+
+// growFloats returns a length-n float buffer backed by buf when it fits.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // simulateBatch evaluates the true indicator at every point of us in bulk,
 // writing out[i] for us[i]. One call bills len(us) simulations, and every
 // label is bit-identical to a simulate call on the same point — the batch
@@ -20,6 +67,8 @@ import (
 // lockstep SRAM solver instead of one root-solve latency chain per sample.
 // Called at batch barriers (single-threaded per engine); the margin work
 // inside fans out across Opts.Parallelism workers in lane-width chunks.
+// All working buffers come from the engine scratch, so a steady-state
+// barrier allocates nothing.
 func (e *Engine) simulateBatch(us []linalg.Vector, out []bool) {
 	n := len(us)
 	if n == 0 {
@@ -31,19 +80,22 @@ func (e *Engine) simulateBatch(us []linalg.Vector, out []bool) {
 		t0 = time.Now()
 	}
 	e.Counter.Add(int64(n))
-	shs := make([]sram.Shifts, n)
-	for i, u := range us {
-		shs[i] = e.shifts(u)
-	}
-	margins := make([]float64, n)
+	sc := &e.scratch
+	sc.shs = growShifts(sc.shs, n)
+	shs := sc.shs
+	e.shiftsInto(us, shs)
+	sc.margins = growFloats(sc.margins, n)
+	margins := sc.margins
 	if e.Opts.AdaptiveGrid {
 		// Tiered fidelity, batched: the coarse grid decides the whole batch
 		// first, then the samples inside the conservative band escalate to
 		// the full grid as one (smaller) batch. Tier decisions are the same
 		// pure function of the shift vector as in the scalar indicator.
+		// The counters are single adds at the barrier — the per-worker
+		// tallies live inside marginBatch.
 		atomic.AddInt64(&e.coarseSims, int64(n))
 		e.marginBatch(shs, margins, e.coarseOpts)
-		var esc []int
+		esc := sc.esc[:0]
 		for i, m := range margins {
 			if math.Abs(m) >= e.Opts.EscalationBand {
 				out[i] = m < 0
@@ -51,13 +103,16 @@ func (e *Engine) simulateBatch(us []linalg.Vector, out []bool) {
 				esc = append(esc, i)
 			}
 		}
+		sc.esc = esc
 		if len(esc) > 0 {
 			atomic.AddInt64(&e.escalated, int64(len(esc)))
-			escSh := make([]sram.Shifts, len(esc))
+			sc.escSh = growShifts(sc.escSh, len(esc))
+			escSh := sc.escSh
 			for j, i := range esc {
 				escSh[j] = shs[i]
 			}
-			escM := make([]float64, len(esc))
+			sc.escM = growFloats(sc.escM, len(esc))
+			escM := sc.escM
 			e.marginBatch(escSh, escM, e.snmOpts)
 			for j, i := range esc {
 				out[i] = escM[j] < 0
@@ -79,6 +134,9 @@ func (e *Engine) simulateBatch(us []linalg.Vector, out []bool) {
 // marginBatch evaluates the mode's signed margin [V] for every shift
 // vector, chunked to the lockstep lane width; chunks spread across the
 // engine's workers. Each margin is bit-identical to the scalar margin().
+// Solver telemetry accumulates in padded per-worker tallies and merges into
+// the options' telemetry once after the fan-out, so concurrent chunks never
+// contend on the engine's shared counters.
 func (e *Engine) marginBatch(shs []sram.Shifts, out []float64, opts *sram.SNMOptions) {
 	if e.Opts.Mode == WriteFailure {
 		// No batched write-margin solver (yet): the write indicator keeps
@@ -96,31 +154,54 @@ func (e *Engine) marginBatch(shs []sram.Shifts, out []float64, opts *sram.SNMOpt
 	if lanes <= 0 {
 		lanes = sram.DefaultBatchLanes
 	}
+	// Chunking is a pure function of (len, lanes) — never of the worker
+	// count — so the lane-slot accounting (part of cached results) stays
+	// parallelism-independent.
 	chunks := (len(shs) + lanes - 1) / lanes
-	montecarlo.ParFor(montecarlo.ClampWorkers(e.Opts.Parallelism, chunks), chunks, func(w, ci int) {
+	workers := montecarlo.ClampWorkers(e.Opts.Parallelism, chunks)
+	sc := &e.scratch
+	if cap(sc.res) < len(shs) {
+		sc.res = make([]sram.SNMResult, len(shs))
+	}
+	res := sc.res[:len(shs)]
+	if len(sc.tallies) < workers {
+		sc.tallies = make([]solverTally, workers)
+	}
+	tallies := sc.tallies
+	montecarlo.ParFor(workers, chunks, func(w, ci int) {
 		lo := ci * lanes
 		hi := lo + lanes
 		if hi > len(shs) {
 			hi = len(shs)
 		}
-		res := make([]sram.SNMResult, hi-lo)
-		e.Cell.NoiseMarginBatch(shs[lo:hi], res, &o)
-		for i, r := range res {
-			out[lo+i] = r.SNM()
+		co := o
+		co.Telemetry = &tallies[w].t
+		e.Cell.NoiseMarginBatch(shs[lo:hi], res[lo:hi], &co)
+		for i := lo; i < hi; i++ {
+			out[i] = res[i].SNM()
 		}
 	})
+	for w := 0; w < workers; w++ {
+		opts.Telemetry.Merge(&tallies[w].t)
+		tallies[w].t.Reset()
+	}
 }
 
 // stagedEval adapts the engine's labeling rules to the staged batch
 // contract of montecarlo.ImportanceSampleParStaged and
-// pfilter.StepParStaged. Prepare replays exactly the randomness and the
-// classify-or-simulate decisions of the scalar labeler — decisions depend
-// only on the point and on classifier state frozen at the barrier, never
-// on pending simulation results, which is what makes the split exact —
-// labeling classifier-decided draws immediately and parking the rest.
-// Resolve settles every parked draw of the window through one
-// simulateBatch sweep and records the observations for the classifier
-// replay at the caller's flush barrier, preserving per-index draw order.
+// pfilter.StepParStaged, and — for the stage-2 rule — to the pipelined
+// contract of montecarlo.ImportanceSampleParPipelined. Prepare replays
+// exactly the randomness and the classify-or-simulate decisions of the
+// scalar labeler — decisions depend only on the point and on classifier
+// state frozen at the barrier, never on pending simulation results, which
+// is what makes the split exact — labeling classifier-decided draws
+// immediately and parking the rest. Generate/Score are Prepare cut at the
+// classifier boundary: Generate stages the raw draws (randomness only, no
+// classifier reads, safe to overlap with a settling barrier) and Score
+// applies the same frozen-classifier decisions afterwards. Resolve settles
+// every parked draw of the window through one simulateBatch sweep and
+// records the observations for the classifier replay at the caller's flush
+// barrier, preserving per-index draw order.
 type stagedEval struct {
 	e       *Engine
 	lab     *batchLabeler
@@ -135,14 +216,35 @@ type stagedEval struct {
 
 // stagedSlot is one sample's in-window state.
 type stagedSlot struct {
-	fails    int             // failures among classifier-decided draws, then all draws
-	deferred []linalg.Vector // draws parked for the batched indicator
+	fails      int             // failures among classifier-decided draws, then all draws
+	classified int             // draws answered by the classifier (folded at Resolve)
+	draws      []linalg.Vector // staged RTN draws awaiting Score (pipelined path)
+	deferred   []linalg.Vector // draws parked for the batched indicator
 }
 
 // newStagedEval sizes the ring for the widest barrier window the caller
-// will resolve (the stage-2 batch size, or a whole stage-1 round).
+// will resolve: the stage-2 batch size, a whole stage-1 round — or, on the
+// pipelined path, twice the batch size, because batch k+1 generates into
+// the ring while batch k is still being read.
 func newStagedEval(e *Engine, lab *batchLabeler, sampler *rtn.Sampler, m int, stage1 bool, window int) *stagedEval {
 	return &stagedEval{e: e, lab: lab, sampler: sampler, m: m, stage1: stage1, slots: make([]stagedSlot, window)}
+}
+
+// draw computes inner draw d of a sample: the RDF point x plus one RTN
+// shift from rng, in the normalized space.
+func (s *stagedEval) draw(rng *rand.Rand, x linalg.Vector) linalg.Vector {
+	u := x.Clone()
+	if s.sampler != nil {
+		sh := s.sampler.Sample(rng)
+		if s.e.whiten != nil {
+			u.AddInPlace(s.e.whiten.Whiten(sh.Vector()))
+		} else {
+			for i := range u {
+				u[i] += sh[i] / s.e.sigma[i]
+			}
+		}
+	}
+	return u
 }
 
 // Prepare implements montecarlo.StagedValue. It consumes rng exactly as
@@ -152,25 +254,16 @@ func newStagedEval(e *Engine, lab *batchLabeler, sampler *rtn.Sampler, m int, st
 func (s *stagedEval) Prepare(rng *rand.Rand, k int, x linalg.Vector) {
 	sl := &s.slots[k%len(s.slots)]
 	sl.fails = 0
+	sl.classified = 0
 	sl.deferred = sl.deferred[:0]
 	e := s.e
 	for d := 0; d < s.m; d++ {
-		u := x.Clone()
-		if s.sampler != nil {
-			sh := s.sampler.Sample(rng)
-			if e.whiten != nil {
-				u.AddInPlace(e.whiten.Whiten(sh.Vector()))
-			} else {
-				for i := range u {
-					u[i] += sh[i] / e.sigma[i]
-				}
-			}
-		}
+		u := s.draw(rng, x)
 		if s.stage1 {
 			if e.classifierOff() || !s.lab.trained || rng.Float64() < e.Opts.TrainFrac {
 				sl.deferred = append(sl.deferred, u)
 			} else {
-				atomic.AddInt64(&e.classified, 1)
+				sl.classified++
 				if s.lab.score(u) > 0 {
 					sl.fails++
 				}
@@ -179,7 +272,50 @@ func (s *stagedEval) Prepare(rng *rand.Rand, k int, x linalg.Vector) {
 		}
 		if !e.classifierOff() && s.lab.trained && (e.trustR <= 0 || u.Norm() <= e.trustR) {
 			if sc := s.lab.score(u); sc <= -e.Opts.Band || sc >= e.Opts.Band {
-				atomic.AddInt64(&e.classified, 1)
+				sl.classified++
+				if sc > 0 {
+					sl.fails++
+				}
+				continue
+			}
+		}
+		sl.deferred = append(sl.deferred, u)
+	}
+}
+
+// Generate implements montecarlo.PipelinedValue: the classifier-free half
+// of Prepare. It consumes rng exactly as Prepare would — the stage-2 rule
+// draws no uniforms, so the whole consumption is the m RTN draws — and
+// stages the candidate points in the slot for Score. It reads no classifier
+// or labeler state, which is what lets it overlap the previous batch's
+// settlement. Stage 1 has no such split (its train-fraction uniform is
+// interleaved with classifier state), so the stage-1 rule is staged-only.
+func (s *stagedEval) Generate(rng *rand.Rand, k int, x linalg.Vector) {
+	if s.stage1 {
+		panic("core: stage-1 rule cannot generate ahead of the barrier")
+	}
+	sl := &s.slots[k%len(s.slots)]
+	sl.fails = 0
+	sl.classified = 0
+	sl.deferred = sl.deferred[:0]
+	sl.draws = sl.draws[:0]
+	for d := 0; d < s.m; d++ {
+		sl.draws = append(sl.draws, s.draw(rng, x))
+	}
+}
+
+// Score implements montecarlo.PipelinedValue: the frozen-classifier half of
+// Prepare, run after the previous batch's flush barrier. Draw order is
+// preserved, so the deferred list — and with it the simulateBatch ordering
+// and the classifier replay — matches Prepare bit for bit. w indexes the
+// per-worker scorer scratch.
+func (s *stagedEval) Score(w, k int) {
+	sl := &s.slots[k%len(s.slots)]
+	e := s.e
+	for _, u := range sl.draws {
+		if !e.classifierOff() && s.lab.trained && (e.trustR <= 0 || u.Norm() <= e.trustR) {
+			if sc := s.lab.scoreW(w, u); sc <= -e.Opts.Band || sc >= e.Opts.Band {
+				sl.classified++
 				if sc > 0 {
 					sl.fails++
 				}
@@ -192,11 +328,20 @@ func (s *stagedEval) Prepare(rng *rand.Rand, k int, x linalg.Vector) {
 
 // Resolve implements montecarlo.StagedValue: one batched indicator sweep
 // over every draw parked in [lo, hi), with the labels banked per slot and
-// the observations recorded for the flush-barrier classifier replay.
+// the observations recorded for the flush-barrier classifier replay. The
+// slots' classified tallies fold into the engine counter here — one atomic
+// add per barrier instead of one per classified draw.
 func (s *stagedEval) Resolve(lo, hi int) {
 	s.pts = s.pts[:0]
+	classified := 0
 	for k := lo; k < hi; k++ {
-		s.pts = append(s.pts, s.slots[k%len(s.slots)].deferred...)
+		sl := &s.slots[k%len(s.slots)]
+		classified += sl.classified
+		sl.classified = 0
+		s.pts = append(s.pts, sl.deferred...)
+	}
+	if classified > 0 {
+		atomic.AddInt64(&s.e.classified, int64(classified))
 	}
 	if len(s.pts) == 0 {
 		return

@@ -52,6 +52,10 @@ type Engine struct {
 	coarseSims int64 // adaptive samples answered at the coarse tier; atomic
 	escalated  int64 // adaptive samples escalated to the full grid; atomic
 	solver     sram.SolveTelemetry
+
+	// scratch holds the reusable batch-barrier buffers (see batchScratch);
+	// barriers are single-threaded per engine, so one set suffices.
+	scratch batchScratch
 }
 
 // NewEngine builds an estimator for the cell. The counter may be shared
@@ -427,11 +431,21 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		OnBatch: onBatch,
 	}
 	var series stats.Series
-	if e.Opts.scalarPath {
+	var pipe montecarlo.PipelineStats
+	switch {
+	case e.Opts.scalarPath:
 		series = montecarlo.ImportanceSamplePar(ctx, proposal, value, e.Opts.NIS, po, e.Counter, e.Opts.RecordEvery)
-	} else {
+	case e.Opts.NoPipeline:
 		sv2 := newStagedEval(e, lab, sampler, m, false, stage2Batch)
 		series = montecarlo.ImportanceSampleParStaged(ctx, proposal, sv2, e.Opts.NIS, po, e.Counter, e.Opts.RecordEvery)
+	default:
+		// Pipelined staged execution: the ring spans two batches so batch
+		// k+1 can generate (draws + proposal log-densities, both
+		// classifier-independent) while batch k settles; scoring replays
+		// after the flush barrier, so the bits match the staged path.
+		pv := newStagedEval(e, lab, sampler, m, false, 2*stage2Batch)
+		po.PipeStats = &pipe
+		series = montecarlo.ImportanceSampleParPipelined(ctx, proposal, pv, e.Opts.NIS, po, e.Counter, e.Opts.RecordEvery)
 	}
 	stage2Sims := e.Counter.Count() - stage2Start
 	if s2span != nil {
@@ -449,18 +463,22 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 			P: fin.P, CI95: fin.CI95, RelErr: fin.RelErr,
 			N: e.Opts.NIS, Sims: e.Counter.Count() - start,
 		},
-		InitSims:    e.initSims,
-		WarmupSims:  e.warmupSims,
-		Stage1Sims:  stage1Sims,
-		Stage2Sims:  stage2Sims,
-		Classified:  atomic.LoadInt64(&e.classified) - classifiedStart,
-		RootSolves:  solves - solvesStart,
-		SolverIters: iters - itersStart,
-		CoarseSims:   atomic.LoadInt64(&e.coarseSims) - coarseStart,
-		Escalated:    atomic.LoadInt64(&e.escalated) - escalatedStart,
-		LaneSlots:    laneSlots - laneSlotsStart,
-		LaneOccupied: laneOcc - laneOccStart,
-		PFRounds:    pfRounds,
-		Proposal:    q,
+		InitSims:         e.initSims,
+		WarmupSims:       e.warmupSims,
+		Stage1Sims:       stage1Sims,
+		Stage2Sims:       stage2Sims,
+		Classified:       atomic.LoadInt64(&e.classified) - classifiedStart,
+		RootSolves:       solves - solvesStart,
+		SolverIters:      iters - itersStart,
+		CoarseSims:       atomic.LoadInt64(&e.coarseSims) - coarseStart,
+		Escalated:        atomic.LoadInt64(&e.escalated) - escalatedStart,
+		LaneSlots:        laneSlots - laneSlotsStart,
+		LaneOccupied:     laneOcc - laneOccStart,
+		PipelinedBatches: pipe.Batches,
+		PipelineGenNS:    pipe.GenNS,
+		PipelineStallNS:  pipe.StallNS,
+		PipelineSettleNS: pipe.SettleNS,
+		PFRounds:         pfRounds,
+		Proposal:         q,
 	}, ctx.Err()
 }

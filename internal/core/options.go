@@ -107,6 +107,16 @@ type Options struct {
 	// trades kernel occupancy against per-lane cache footprint.
 	BatchLanes int
 
+	// NoPipeline disables the double-buffered stage-2 pipeline and falls
+	// back to the plain staged barrier loop of the previous release: the
+	// barrier settles completely before the next batch's draws generate.
+	// Results are bit-identical either way (the pipeline only reorders
+	// classifier-independent work), so the knob exists for A/B wall-clock
+	// comparison — make bench-scaling records both modes — and as an
+	// escape hatch on single-core hosts where the overlap cannot pay for
+	// its extra goroutine. Default off: pipelined execution.
+	NoPipeline bool
+
 	// scalarPath forces the per-sample evaluation path that predates the
 	// batched indicator: every simulate call runs its own root solves
 	// inside the worker that drew the sample. Both paths produce

@@ -34,11 +34,12 @@ type batchLabeler struct {
 	e       *Engine
 	trained bool // classifier state frozen at the last barrier
 	pending [][]labelObs
-	scorers sync.Pool // *svm.Scorer; per-goroutine feature scratch
+	scorers sync.Pool     // *svm.Scorer; per-goroutine feature scratch
+	perW    []*svm.Scorer // per-worker scorers for worker-indexed callers
 }
 
 func newBatchLabeler(e *Engine) *batchLabeler {
-	l := &batchLabeler{e: e}
+	l := &batchLabeler{e: e, perW: make([]*svm.Scorer, e.Opts.Parallelism)}
 	l.scorers.New = func() any { return e.classifier.NewScorer() }
 	return l
 }
@@ -85,6 +86,22 @@ func (l *batchLabeler) score(u linalg.Vector) float64 {
 	s := sc.Score(u)
 	l.scorers.Put(sc)
 	return s
+}
+
+// scoreW evaluates the frozen classifier through worker w's dedicated
+// scorer — the pooled Get/Put pair of score, without the pool. Callers that
+// know their worker index (the pipelined Score pass) use this; slot w is
+// owned by one goroutine at a time, per the ParFor contract.
+func (l *batchLabeler) scoreW(w int, u linalg.Vector) float64 {
+	if w >= len(l.perW) {
+		return l.score(u) // defensive: more workers than Parallelism
+	}
+	sc := l.perW[w]
+	if sc == nil {
+		sc = l.e.classifier.NewScorer()
+		l.perW[w] = sc
+	}
+	return sc.Score(u)
 }
 
 // labelStage1 is the stage-1 labeling rule under the batch contract: a

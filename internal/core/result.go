@@ -34,6 +34,18 @@ type Result struct {
 	LaneSlots    int64
 	LaneOccupied int64
 
+	// Pipelined-execution accounting for the stage-2 loop. PipelinedBatches
+	// is deterministic (the number of barrier windows the pipelined driver
+	// completed; 0 on the staged and scalar paths). The NS fields are
+	// wall-clock overlap telemetry — generation time, barrier stall waiting
+	// on generation, and settlement time — and are observational only: the
+	// service layer keeps them out of content-addressed results, exactly
+	// like job wall time.
+	PipelinedBatches int64
+	PipelineGenNS    int64
+	PipelineStallNS  int64
+	PipelineSettleNS int64
+
 	// PFRounds records the stage-1 convergence diagnostics, one entry per
 	// particle-filter round. Deterministic (derived from weights and
 	// resampling indices only), so it is cached and persisted with the rest
@@ -53,7 +65,18 @@ func (r Result) String() string {
 	if r.LaneSlots > 0 {
 		s += fmt.Sprintf(" [lanes: %.0f%% occupied]", 100*r.LaneUtilization())
 	}
+	if r.PipelinedBatches > 0 {
+		s += fmt.Sprintf(" [pipeline: %d batches, %.0f%% overlapped]", r.PipelinedBatches, 100*r.OverlapFraction())
+	}
 	return s
+}
+
+// OverlapFraction is the share of stage-2 generation wall-clock hidden
+// behind barrier settlement (0 when the pipelined path did not run).
+func (r Result) OverlapFraction() float64 {
+	return montecarlo.PipelineStats{
+		GenNS: r.PipelineGenNS, StallNS: r.PipelineStallNS,
+	}.OverlapFraction()
 }
 
 // LaneUtilization is LaneOccupied/LaneSlots, the live fraction of the

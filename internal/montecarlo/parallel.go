@@ -144,6 +144,10 @@ type ParOptions struct {
 	// barrier (single-threaded) and sees deterministic values, so it is safe
 	// to stream as a convergence diagnostic without perturbing results.
 	OnBatch func(samples int, pt stats.Point)
+	// PipeStats, if set, receives the overlap/stall tally of a pipelined
+	// run (ImportanceSampleParPipelined only). Wall-clock, observational:
+	// the drivers never read it back.
+	PipeStats *PipelineStats
 }
 
 // DefaultBatch is the stage-2 barrier size: small enough that the classifier

@@ -243,7 +243,7 @@ func (e *Ensemble) resampleTail(seed int64, offs []int, cands []linalg.Vector, w
 			for i, j := range idx {
 				next[i] = fc[j]
 			}
-			unique = uniqueSources(idx)
+			unique = e.uniqueSources(idx)
 		}
 		records[fi] = StepRecord{Candidates: fc, Weights: fw, Resampled: next, Unique: unique}
 		e.filters[fi] = next

@@ -51,6 +51,12 @@ type Ensemble struct {
 	filters [][]linalg.Vector
 	poolX   []linalg.Vector // every positively-weighted candidate ever scored
 	poolW   []float64
+
+	// Scratch for uniqueSources: marks[j] == markEpoch means source j was
+	// already seen this round. The epoch bump makes the pass O(len(idx))
+	// with no clearing and no per-round map allocation.
+	marks     []int
+	markEpoch int
 }
 
 // BoundaryInit performs the paper's step (1): directions uniform on the unit
@@ -171,13 +177,24 @@ type StepRecord struct {
 }
 
 // uniqueSources counts the distinct source indices in a resampling index
-// vector.
-func uniqueSources(idx []int) int {
-	seen := make(map[int]struct{}, len(idx))
-	for _, j := range idx {
-		seen[j] = struct{}{}
+// vector (entries in [0, len(idx)), as systematic resampling produces) via
+// the ensemble's epoch-marked scratch — an index-mark pass instead of the
+// map a naive implementation would allocate per filter per round.
+func (e *Ensemble) uniqueSources(idx []int) int {
+	if len(e.marks) < len(idx) {
+		e.marks = make([]int, len(idx))
+		e.markEpoch = 0
 	}
-	return len(seen)
+	e.markEpoch++
+	epoch := e.markEpoch
+	n := 0
+	for _, j := range idx {
+		if e.marks[j] != epoch {
+			e.marks[j] = epoch
+			n++
+		}
+	}
+	return n
 }
 
 // Step advances every filter one prediction/measurement/resampling round and
@@ -217,7 +234,7 @@ func (e *Ensemble) Step(rng *rand.Rand, weight Weight) []StepRecord {
 			for i, j := range idx {
 				next[i] = cands[j]
 			}
-			unique = uniqueSources(idx)
+			unique = e.uniqueSources(idx)
 		}
 		records[fi] = StepRecord{Candidates: cands, Weights: ws, Resampled: next, Unique: unique}
 		e.filters[fi] = next

@@ -1,0 +1,74 @@
+package pfilter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// uniqueSourcesMap is the reference implementation uniqueSources replaced:
+// a per-call map. Kept here to cross-check the epoch-marked pass.
+func uniqueSourcesMap(idx []int) int {
+	seen := make(map[int]struct{}, len(idx))
+	for _, j := range idx {
+		seen[j] = struct{}{}
+	}
+	return len(seen)
+}
+
+// TestUniqueSources cross-checks the epoch-marked scratch pass against the
+// map reference over randomized index vectors, including repeated calls on
+// one ensemble (the epoch must isolate rounds) and growing/shrinking
+// vectors (the scratch must survive reallocation).
+func TestUniqueSources(t *testing.T) {
+	e := &Ensemble{}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(300)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		got := e.uniqueSources(idx)
+		want := uniqueSourcesMap(idx)
+		if got != want {
+			t.Fatalf("round %d (n=%d): uniqueSources = %d, want %d", round, n, got, want)
+		}
+	}
+	// Degenerate shapes.
+	if got := e.uniqueSources([]int{0, 0, 0, 0}); got != 1 {
+		t.Fatalf("collapsed vector: got %d, want 1", got)
+	}
+	if got := e.uniqueSources([]int{3, 2, 1, 0}); got != 4 {
+		t.Fatalf("permutation: got %d, want 4", got)
+	}
+	if got := e.uniqueSources(nil); got != 0 {
+		t.Fatalf("empty vector: got %d, want 0", got)
+	}
+}
+
+// BenchmarkUniqueSources measures the resampling-diagnostic pass both ways:
+// the epoch-marked scratch (what Step/resampleTail run every filter every
+// round) against the map it replaced. Run with -benchmem: the marks variant
+// is allocation-free after the first call.
+func BenchmarkUniqueSources(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	idx := make([]int, 1024)
+	for i := range idx {
+		idx[i] = rng.Intn(len(idx))
+	}
+	b.Run("marks", func(b *testing.B) {
+		e := &Ensemble{}
+		e.uniqueSources(idx) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.uniqueSources(idx)
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			uniqueSourcesMap(idx)
+		}
+	})
+}

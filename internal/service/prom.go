@@ -83,6 +83,16 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 		"Lockstep kernel slots issued by the batched indicator, process-wide.", float64(m.LaneSlots))
 	p.Counter("ecripsed_batch_lanes_occupied_total",
 		"Lockstep kernel slots that carried a live lane, process-wide.", float64(m.LaneOccupied))
+	p.Counter("ecripsed_pipeline_batches_total",
+		"Barrier windows completed by the pipelined stage-2 driver, process-wide.", float64(m.PipelineBatches))
+	p.Counter("ecripsed_pipeline_gen_seconds_total",
+		"Wall-clock seconds spent generating next-batch draws in the pipelined driver.", float64(m.PipelineGenSeconds))
+	p.Counter("ecripsed_pipeline_stall_seconds_total",
+		"Wall-clock seconds barriers stalled waiting on an unfinished generation.", float64(m.PipelineStallSeconds))
+	p.Counter("ecripsed_pipeline_settle_seconds_total",
+		"Wall-clock seconds spent settling barriers in the pipelined driver.", float64(m.PipelineSettleSeconds))
+	p.Gauge("ecripsed_pipeline_overlap_frac",
+		"Share of generation wall-clock hidden behind barrier settlement.", m.PipelineOverlapFrac)
 
 	if m.Store != nil {
 		p.Counter("ecripsed_store_appends_total", "Journal records appended.", float64(m.Store.Appends))

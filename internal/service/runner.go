@@ -153,6 +153,13 @@ type CostSplit struct {
 	// the scalar path).
 	LaneSlots    int64 `json:"lane_slots,omitempty"`
 	LaneOccupied int64 `json:"lane_occupied,omitempty"`
+
+	// Barrier windows the stage-2 loop ran through the double-buffered
+	// pipelined driver (zero on the staged and scalar paths). Deterministic
+	// — a schedule count, not a timing — so it is safe inside the
+	// content-addressed result; the pipeline's wall-clock overlap/stall
+	// telemetry stays out, on /metrics, like job wall time.
+	PipelinedBatches int64 `json:"pipelined_batches,omitempty"`
 }
 
 // SweepPoint is one duty-ratio point of a Fig. 8-style sweep job.
@@ -448,4 +455,5 @@ func addCost(c *CostSplit, r core.Result) {
 	c.Escalated += r.Escalated
 	c.LaneSlots += r.LaneSlots
 	c.LaneOccupied += r.LaneOccupied
+	c.PipelinedBatches += r.PipelinedBatches
 }

@@ -778,7 +778,17 @@ type Metrics struct {
 	// issued by the lockstep solver and slots carrying a live lane.
 	LaneSlots    int64 `json:"lane_slots"`
 	LaneOccupied int64 `json:"lane_occupied"`
-	Draining         bool  `json:"draining"`
+	// Pipelined stage-2 execution, process-wide: barrier windows completed
+	// by the double-buffered driver, wall-clock seconds spent generating the
+	// next batch, stalling on an unfinished generation, and settling
+	// barriers, plus the derived share of generation hidden behind
+	// settlement. Observational (timings live here, never in results).
+	PipelineBatches       int64   `json:"pipeline_batches"`
+	PipelineGenSeconds    float64 `json:"pipeline_gen_seconds"`
+	PipelineStallSeconds  float64 `json:"pipeline_stall_seconds"`
+	PipelineSettleSeconds float64 `json:"pipeline_settle_seconds"`
+	PipelineOverlapFrac   float64 `json:"pipeline_overlap_frac"`
+	Draining              bool    `json:"draining"`
 	// UptimeSeconds and Build identify the serving process.
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	Build         BuildInfo `json:"build"`
@@ -868,6 +878,12 @@ func (s *Service) Snapshot() Metrics {
 	}
 	m.SolverRootSolves, m.SolverIters = sram.TotalSolveTelemetry()
 	m.LaneSlots, m.LaneOccupied = sram.TotalLaneTelemetry()
+	ps := montecarlo.TotalPipelineStats()
+	m.PipelineBatches = ps.Batches
+	m.PipelineGenSeconds = float64(ps.GenNS) / 1e9
+	m.PipelineStallSeconds = float64(ps.StallNS) / 1e9
+	m.PipelineSettleSeconds = float64(ps.SettleNS) / 1e9
+	m.PipelineOverlapFrac = ps.OverlapFraction()
 	for _, j := range s.Jobs() {
 		m.Jobs[j.State()]++
 		m.SimsTotal += j.Sims()

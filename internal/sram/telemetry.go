@@ -47,6 +47,26 @@ func (t *SolveTelemetry) addLanes(slots, occupied int64) {
 	t.LaneOccupied.Add(occupied)
 }
 
+// Merge folds another telemetry's counters into t (nil-safe on t). The
+// engine's lockstep margin sweep points each worker at a padded private
+// tally and merges them here once per barrier, so the shared counters are
+// touched a bounded number of times per batch instead of per curve.
+func (t *SolveTelemetry) Merge(from *SolveTelemetry) {
+	if t == nil || from == nil {
+		return
+	}
+	t.add(from.Solves.Load(), from.Iters.Load())
+	t.addLanes(from.LaneSlots.Load(), from.LaneOccupied.Load())
+}
+
+// Reset zeroes the counters (for reusing a local tally across barriers).
+func (t *SolveTelemetry) Reset() {
+	t.Solves.Store(0)
+	t.Iters.Store(0)
+	t.LaneSlots.Store(0)
+	t.LaneOccupied.Store(0)
+}
+
 // Totals reads the accumulated counters.
 func (t *SolveTelemetry) Totals() (solves, iters int64) {
 	return t.Solves.Load(), t.Iters.Load()
