@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-batch bench-diff bench-smoke bench-sweep bench-scaling figures figures-full clean
+.PHONY: all build test race lint-metrics bench bench-batch bench-diff bench-smoke bench-sweep bench-scaling figures figures-full clean
 
 # Fig-6/7/8 end-to-end benchmarks plus the hot kernels and the engine
 # parallelism scaling sweep.
@@ -23,6 +23,15 @@ test:
 
 race:
 	$(GO) test -race ./internal/montecarlo/ ./internal/sram/ ./internal/spice/
+
+# Blocking Prometheus-exposition lint: every text exposition the repo
+# serves — the shard's /metrics, the router's cluster roll-up, and both
+# with populated watchdog (ecripsed_health_violations_total) families —
+# must pass the promtool-style in-test linter.
+lint-metrics:
+	$(GO) test -count=1 -run 'TestPromWriterRendering|TestLintPromCatchesViolations' ./internal/obsv/
+	$(GO) test -count=1 -run 'TestMetricsPrometheusLint|TestWatchdogFlagsDegeneratePF' ./internal/service/
+	$(GO) test -count=1 -run 'TestRouterPrometheusRollup|TestRouterHealthRollup' ./internal/cluster/
 
 # Record a benchmark baseline: 5 repetitions of the figure and hot-kernel
 # benchmarks, converted to results/bench/BENCH_<date>.json so future PRs

@@ -14,7 +14,15 @@
 // in which case the submit is steered there and answered without
 // recomputation. GET/DELETE/SSE requests follow the job to its shard;
 // /metrics rolls the whole cluster up (add ?format=prometheus for a
-// shard-labeled text exposition).
+// shard-labeled text exposition, including the shards'
+// ecripsed_health_violations_total watchdog counters).
+//
+// The router is also the root of the cluster's distributed traces: every
+// dispatched submit and sweep carries a W3C traceparent header (minted here
+// unless the client sent one), and GET /v1/sweeps/{id}/trace reassembles one
+// coherent tree — the router's route/dispatch spans, the owning shard's
+// sweep controller spans, and every point job's engine spans — all sharing
+// one trace ID.
 //
 // With -data-dir set, every dispatch is journaled. A shard that stops
 // answering health probes is removed from the ring and its unfinished jobs

@@ -124,6 +124,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget; the run stops cleanly and reports the partial series")
 		maxSims    = flag.Int64("max-sims", 0, "transistor-level simulation budget; the run stops cleanly at the budget")
 		trace      = flag.Bool("trace", false, "print the stage span timeline and per-round convergence diagnostics")
+		health     = flag.Bool("health", false, "evaluate the statistical-health watchdog and print its verdict")
 		sweepAlpha = flag.String("sweep-alpha", "", `duty-ratio sweep axis: comma list ("0,0.5,1") or from:to:steps ("0:1:11"); requires -rtn`)
 		sweepVdd   = flag.String("sweep-vdd", "", "supply sweep axis [V]: comma list or from:to:steps (replaces -vdd)")
 		sweepTemp  = flag.String("sweep-temp", "", "temperature sweep axis [K]: comma list or from:to:steps")
@@ -203,6 +204,11 @@ func main() {
 		tr = obsv.NewTrace()
 		ctx = obsv.WithTrace(ctx, tr)
 	}
+	var hm *obsv.HealthMonitor
+	if *health {
+		hm = obsv.NewHealthMonitor(obsv.HealthConfig{}, nil)
+		ctx = obsv.WithHealth(ctx, hm)
+	}
 
 	runStart := time.Now()
 	var res ecripse.Result
@@ -255,6 +261,15 @@ func main() {
 				fmt.Printf("    round %d: sims=%d ess=%.1f max_w=%.3f unique=%d\n",
 					r.Round, r.Sims, minESS, maxFrac, minUnique)
 			}
+		}
+	}
+
+	if *health {
+		for _, line := range splitLines(hm.Report().Summary()) {
+			fmt.Printf("  %s\n", line)
+		}
+		for _, v := range hm.WallViolations() {
+			fmt.Printf("  [%s] (wall-clock, not cached) %s\n", v.Rule, v.Detail)
 		}
 	}
 

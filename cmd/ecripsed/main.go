@@ -69,6 +69,7 @@ func main() {
 		fsync        = flag.Bool("fsync", true, "fsync the journal on every append (power-loss durability)")
 		compactBytes = flag.Int64("compact-bytes", 8<<20, "journal segment size that triggers snapshot compaction (<0 disables)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+		traceSpans   = flag.Int("trace-max-spans", 0, "span cap per job/sweep trace; overflow is dropped and counted (0 = default 4096)")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 
 		nodeID            = flag.String("node-id", "", "shard name in a cluster; prefixes job IDs (required with -peers)")
@@ -115,6 +116,7 @@ func main() {
 		MaxJobParallelism: *jobParallel,
 		NodeID:            *nodeID,
 		Tenants:           tenants,
+		TraceMaxSpans:     *traceSpans,
 		Logger:            logger,
 	}
 	// The cluster dispatch layer is built after the service (it wraps the

@@ -4,23 +4,36 @@
 // (ΔVth of D1 and A1) of the variability space.
 //
 // With -diag it also prints the per-round convergence diagnostics (ESS,
-// weight concentration, resampling diversity per lobe).
+// weight concentration, resampling diversity per lobe). With -health the
+// recorded rounds are replayed through the statistical-health watchdog and
+// its verdict is printed.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
+	"ecripse/internal/core"
 	"ecripse/internal/experiments"
+	"ecripse/internal/obsv"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	diag := flag.Bool("diag", false, "append per-round convergence diagnostics")
+	health := flag.Bool("health", false, "replay the rounds through the statistical-health watchdog and print its verdict")
 	flag.Parse()
 	r := experiments.Fig4(*seed)
 	r.WriteCSV(os.Stdout)
 	if *diag {
 		experiments.WriteDiag(os.Stdout, "fig4 ensemble", r.Diag)
+	}
+	if *health {
+		hm := obsv.NewHealthMonitor(obsv.HealthConfig{}, nil)
+		for _, rd := range r.Diag {
+			hm.ObservePFRound(rd.Round, core.HealthFilters(rd.Filters))
+		}
+		fmt.Fprintf(os.Stdout, "# %s", hm.Report().Summary())
 	}
 }

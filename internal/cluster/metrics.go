@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -158,6 +159,18 @@ func (rt *Router) WritePrometheus(ctx context.Context, w io.Writer) error {
 			float64(m.SimsTotal), lbl)
 		p.Gauge("ecripsed_uptime_seconds", "Seconds since the shard started.",
 			m.UptimeSeconds, lbl)
+		if len(m.HealthViolations) > 0 {
+			rules := make([]string, 0, len(m.HealthViolations))
+			for rule := range m.HealthViolations {
+				rules = append(rules, rule)
+			}
+			sort.Strings(rules)
+			for _, rule := range rules {
+				p.Counter("ecripsed_health_violations_total",
+					"Statistical-health watchdog violations on the shard, by rule.",
+					float64(m.HealthViolations[rule]), lbl, [2]string{"rule", rule})
+			}
+		}
 	}
 	return p.Err()
 }

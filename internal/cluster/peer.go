@@ -150,8 +150,9 @@ func (t *target) do(ctx context.Context, method, path string, body []byte, src *
 	if src != nil {
 		// Pass the caller's credentials through: the entry point already
 		// charged the tenant, but shards that enforce auth still demand a
-		// valid key on forwarded traffic.
-		for _, h := range []string{"Authorization", "X-API-Key", "Accept"} {
+		// valid key on forwarded traffic. Traceparent propagates the
+		// distributed-trace context so shard spans join the router's tree.
+		for _, h := range []string{"Authorization", "X-API-Key", "Accept", "Traceparent"} {
 			if v := src.Header.Get(h); v != "" {
 				req.Header.Set(h, v)
 			}

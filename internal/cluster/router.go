@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ecripse/internal/obsv"
 	"ecripse/internal/service"
 )
 
@@ -99,6 +100,13 @@ type Router struct {
 	jobs  map[string]*routedJob
 	order []*routedJob // dispatch order, for listing dead-shard jobs
 
+	// sweepTraces holds the router's own span tree (route + dispatch spans)
+	// for recently dispatched sweeps, keyed by sweep ID and bounded FIFO at
+	// maxSweepTraces; GET /v1/sweeps/{id}/trace grafts the owning shard's
+	// reassembled tree under the successful dispatch span.
+	sweepTraces     map[string]*routedSweepTrace
+	sweepTraceOrder []string
+
 	// counters surface at /metrics.
 	forwards     map[string]*atomic.Int64 // dispatches per shard
 	cacheRouted  atomic.Int64             // submits steered to a cache holder
@@ -153,6 +161,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		probeStop:     make(chan struct{}),
 		jobs:          make(map[string]*routedJob),
 		forwards:      make(map[string]*atomic.Int64, len(cfg.Shards)),
+		sweepTraces:   make(map[string]*routedSweepTrace),
 	}
 	for _, s := range cfg.Shards {
 		if s.Name == "" {
@@ -191,6 +200,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/sweeps", rt.handleSweepList)
 	rt.mux.HandleFunc("GET /v1/sweeps/{id}", rt.handleSweepGet)
 	rt.mux.HandleFunc("GET /v1/sweeps/{id}/events", rt.handleSweepEvents)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}/trace", rt.handleSweepTrace)
 	rt.mux.HandleFunc("DELETE /v1/sweeps/{id}", rt.handleSweepCancel)
 	rt.mux.HandleFunc("GET /v1/cache/{key}", rt.handleCache)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -532,6 +542,10 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "marshal spec: "+err.Error())
 		return
 	}
+	// Join the caller's distributed trace, or start one at the router: the
+	// dispatched shard extracts the Traceparent header (copied by target.do)
+	// and mints its job trace under the same trace ID.
+	r.Header.Set(obsv.TraceparentHeader, rt.traceContext(r).Child().Traceparent())
 	first, _ := rt.pickTarget(r.Context(), key)
 	tgt, resp, err := rt.dispatchSubmit(r.Context(), first, key, raw, r)
 	if err != nil {
@@ -574,6 +588,10 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, acquireStatus(w, err), err.Error())
 		return
 	}
+
+	// One trace context covers the whole batch: set once before the fan-out,
+	// so every sub-batch dispatch carries the same trace ID.
+	r.Header.Set(obsv.TraceparentHeader, rt.traceContext(r).Child().Traceparent())
 
 	// Partition the batch by ring owner, fan the sub-batches out to the
 	// shards' own batch endpoints concurrently, then scatter the per-item
@@ -711,9 +729,10 @@ func rewriteTraceID(body []byte, remote, id string) []byte {
 		return body
 	}
 	var tr struct {
-		ID    string          `json:"id"`
-		State service.State   `json:"state"`
-		Spans json.RawMessage `json:"spans"`
+		ID      string          `json:"id"`
+		State   service.State   `json:"state"`
+		TraceID string          `json:"trace_id,omitempty"`
+		Spans   json.RawMessage `json:"spans"`
 	}
 	if err := json.Unmarshal(body, &tr); err != nil {
 		return body
@@ -799,16 +818,43 @@ func (rt *Router) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The sweep joins the caller's distributed trace (or starts one here).
+	// Each dispatch attempt gets its own child span ID, propagated in the
+	// Traceparent header so the owning shard records it as its root's parent.
+	tc := rt.traceContext(r)
+	routeStart := time.Now()
+	var tries []dispatchTry
+
 	tried := map[string]bool{}
 	try := func(t *target) (*bufferedResponse, error) {
 		tried[t.name] = true
 		rt.forwards[t.name].Add(1)
-		return t.do(r.Context(), http.MethodPost, "/v1/sweeps", raw, r)
+		child := tc.Child()
+		r.Header.Set(obsv.TraceparentHeader, child.Traceparent())
+		d := dispatchTry{shard: t.name, spanID: child.SpanID, start: time.Now()}
+		resp, err := t.do(r.Context(), http.MethodPost, "/v1/sweeps", raw, r)
+		d.end = time.Now()
+		if err != nil {
+			d.err = err.Error()
+		} else {
+			d.status = resp.status
+		}
+		tries = append(tries, d)
+		return resp, err
+	}
+	accept := func(resp *bufferedResponse) {
+		if resp.status == http.StatusAccepted || resp.status == http.StatusOK {
+			var view service.SweepView
+			if json.Unmarshal(resp.body, &view) == nil && view.ID != "" {
+				rt.recordSweepTrace(view.ID, tc.TraceID, routeStart, tries)
+			}
+		}
+		relay(w, resp)
 	}
 	if owner, ok := rt.ring.Owner(key); ok {
 		if t := rt.targets[owner]; t.Alive() {
 			if resp, err := try(t); err == nil {
-				relay(w, resp)
+				accept(resp)
 				return
 			} else {
 				rt.proxyErrs.Add(1)
@@ -822,7 +868,7 @@ func (rt *Router) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if resp, err := try(t); err == nil {
-			relay(w, resp)
+			accept(resp)
 			return
 		} else {
 			rt.proxyErrs.Add(1)
@@ -830,6 +876,126 @@ func (rt *Router) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeError(w, http.StatusBadGateway, "cluster: no shard reachable")
+}
+
+// traceContext returns the request's propagated trace context, or mints a
+// fresh one when the caller sent none — the router is the trace root then.
+func (rt *Router) traceContext(r *http.Request) obsv.TraceContext {
+	if tc, ok := obsv.ParseTraceparent(r.Header.Get(obsv.TraceparentHeader)); ok {
+		return tc
+	}
+	return obsv.NewTraceContext()
+}
+
+// dispatchTry records one sweep dispatch attempt for the router's trace.
+type dispatchTry struct {
+	shard      string
+	spanID     string
+	start, end time.Time
+	status     int
+	err        string
+}
+
+// routedSweepTrace is the router's own span tree for one dispatched sweep.
+type routedSweepTrace struct {
+	traceID string
+	spans   []obsv.SpanView
+	graft   int // index of the successful dispatch span (-1: none)
+}
+
+// maxSweepTraces bounds the router's per-sweep trace memory (FIFO eviction).
+const maxSweepTraces = 256
+
+// recordSweepTrace stores the router-side spans of an accepted sweep: a
+// sweep.route root plus one dispatch span per attempt, the successful one
+// marked as the graft point for the shard's tree.
+func (rt *Router) recordSweepTrace(id, traceID string, start time.Time, tries []dispatchTry) {
+	tr := obsv.NewTrace()
+	tr.SetID(traceID)
+	root := tr.Add("sweep.route", -1, start, time.Now(), obsv.S("sweep", id))
+	graft := -1
+	for _, d := range tries {
+		attrs := []obsv.Attr{obsv.S("shard", d.shard), obsv.S("span_id", d.spanID)}
+		if d.err != "" {
+			attrs = append(attrs, obsv.S("error", d.err))
+		} else {
+			attrs = append(attrs, obsv.I("status", int64(d.status)))
+		}
+		idx := tr.Add("dispatch", root, d.start, d.end, attrs...)
+		if d.err == "" && (d.status == http.StatusAccepted || d.status == http.StatusOK) {
+			graft = idx
+		}
+	}
+	st := &routedSweepTrace{traceID: traceID, spans: tr.Spans(), graft: graft}
+	rt.mu.Lock()
+	if _, exists := rt.sweepTraces[id]; !exists {
+		rt.sweepTraceOrder = append(rt.sweepTraceOrder, id)
+	}
+	rt.sweepTraces[id] = st
+	for len(rt.sweepTraceOrder) > maxSweepTraces {
+		delete(rt.sweepTraces, rt.sweepTraceOrder[0])
+		rt.sweepTraceOrder = rt.sweepTraceOrder[1:]
+	}
+	rt.mu.Unlock()
+}
+
+// handleSweepTrace reassembles the sweep's cluster-wide distributed trace:
+// the router's route/dispatch spans with the owning shard's tree — itself
+// the controller's spans plus every point job's engine spans — grafted under
+// the successful dispatch span, all sharing one trace ID.
+func (rt *Router) handleSweepTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, err := rt.routeSweep(id)
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, service.ErrSweepNotFound) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	rt.forwards[t.name].Add(1)
+	resp, err := t.do(r.Context(), http.MethodGet, "/v1/sweeps/"+id+"/trace", nil, r)
+	if err != nil {
+		rt.proxyErrs.Add(1)
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	rt.mu.Lock()
+	st := rt.sweepTraces[id]
+	rt.mu.Unlock()
+	if st == nil || resp.status != http.StatusOK {
+		// A sweep the router never dispatched (or whose trace aged out):
+		// the shard's own reassembled tree is the whole answer.
+		relay(w, resp)
+		return
+	}
+	var remote struct {
+		ID      string          `json:"id"`
+		State   service.State   `json:"state"`
+		TraceID string          `json:"trace_id"`
+		Spans   []obsv.SpanView `json:"spans"`
+	}
+	if json.Unmarshal(resp.body, &remote) != nil {
+		relay(w, resp)
+		return
+	}
+	out := append([]obsv.SpanView(nil), st.spans...)
+	off := len(out)
+	for _, sp := range remote.Spans {
+		if sp.Parent >= 0 {
+			sp.Parent += off
+		} else {
+			sp.Parent = st.graft
+		}
+		out = append(out, sp)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID      string          `json:"id"`
+		State   service.State   `json:"state"`
+		TraceID string          `json:"trace_id,omitempty"`
+		Spans   []obsv.SpanView `json:"spans"`
+	}{ID: id, State: remote.State, TraceID: st.traceID, Spans: out})
 }
 
 // routeSweep resolves a sweep ID to its shard purely by ID prefix: sweep

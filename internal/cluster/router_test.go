@@ -616,3 +616,215 @@ func TestEmbeddedPeersTopology(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterSweepTracePropagation is the distributed-tracing acceptance
+// test: a sweep submitted through an embedded-peers entry point with an
+// explicit client traceparent comes back from GET /v1/sweeps/{id}/trace as
+// one coherent tree — the router's route/dispatch spans, the owning shard's
+// sweep-controller span, and every point job's engine spans — all sharing
+// the client's trace ID.
+func TestClusterSweepTracePropagation(t *testing.T) {
+	type node struct {
+		fix   *shardFixture
+		rt    *Router
+		front *httptest.Server
+	}
+	mk := func(name string) *node { return &node{fix: newShard(t, name, nil)} }
+	n1, n2 := mk("s1"), mk("s2")
+	wire := func(self, peer *node) {
+		rt, err := NewRouter(Config{
+			Shards: []Shard{
+				{Name: self.fix.name, Local: self.fix.api},
+				{Name: peer.fix.name, URL: peer.fix.srv.URL},
+			},
+			ProbeInterval: -1,
+		})
+		if err != nil {
+			t.Fatalf("NewRouter(%s): %v", self.fix.name, err)
+		}
+		t.Cleanup(rt.Close)
+		self.rt = rt
+		self.front = httptest.NewServer(rt)
+		t.Cleanup(self.front.Close)
+	}
+	wire(n1, n2)
+	wire(n2, n1)
+
+	// Submit with a client-minted traceparent; the router must adopt the
+	// client's trace ID rather than minting its own.
+	client := obsv.NewTraceContext()
+	spec := sweepSpecFixture()
+	body, _ := json.Marshal(spec)
+	req, _ := http.NewRequest(http.MethodPost, n1.front.URL+"/v1/sweeps", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obsv.TraceparentHeader, client.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	var sv service.SweepView
+	if derr := json.NewDecoder(resp.Body).Decode(&sv); derr != nil {
+		t.Fatalf("decode sweep view: %v", derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit status = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur service.SweepView
+		if st := getJSON(t, n1.front.URL+"/v1/sweeps/"+sv.ID, "", &cur); st != http.StatusOK {
+			t.Fatalf("GET sweep: status %d", st)
+		}
+		if cur.State.Terminal() {
+			if cur.State != service.StateDone {
+				t.Fatalf("sweep ended %q", cur.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep not terminal within 10s (state %q)", cur.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var tr struct {
+		ID      string          `json:"id"`
+		TraceID string          `json:"trace_id"`
+		Spans   []obsv.SpanView `json:"spans"`
+	}
+	if st := getJSON(t, n1.front.URL+"/v1/sweeps/"+sv.ID+"/trace", "", &tr); st != http.StatusOK {
+		t.Fatalf("GET sweep trace: status %d", st)
+	}
+	if tr.TraceID != client.TraceID {
+		t.Fatalf("reassembled trace ID = %q, client sent %q", tr.TraceID, client.TraceID)
+	}
+
+	// One tree: route root -> dispatch -> shard sweep controller -> points,
+	// with the point jobs' engine spans grafted alongside.
+	routeIdx, dispatchIdx, sweepIdx := -1, -1, -1
+	points, runs := 0, 0
+	for i, sp := range tr.Spans {
+		switch sp.Name {
+		case "sweep.route":
+			if routeIdx != -1 {
+				t.Fatalf("two sweep.route spans: %+v", tr.Spans)
+			}
+			routeIdx = i
+			if sp.Parent != -1 {
+				t.Errorf("sweep.route parent = %d, want root", sp.Parent)
+			}
+		case "dispatch":
+			dispatchIdx = i
+			if _, ok := sp.Attrs["span_id"].(string); !ok {
+				t.Errorf("dispatch span lacks span_id attr: %+v", sp)
+			}
+		case "sweep":
+			sweepIdx = i
+		case "point":
+			points++
+		case "run":
+			runs++
+		}
+	}
+	if routeIdx == -1 || dispatchIdx == -1 || sweepIdx == -1 {
+		t.Fatalf("missing route/dispatch/sweep spans (route=%d dispatch=%d sweep=%d)", routeIdx, dispatchIdx, sweepIdx)
+	}
+	if got := tr.Spans[dispatchIdx].Parent; got != routeIdx {
+		t.Errorf("dispatch span parent = %d, want route span %d", got, routeIdx)
+	}
+	if got := tr.Spans[sweepIdx].Parent; got != dispatchIdx {
+		t.Errorf("shard sweep span parent = %d, want dispatch span %d", got, dispatchIdx)
+	}
+	if want := 3; points != want || runs != want {
+		t.Errorf("trace has %d point / %d run spans, want %d of each", points, runs, want)
+	}
+
+	// Propagation proof: the owning shard's own trace endpoint answers with
+	// the same client trace ID — it adopted the routed traceparent instead
+	// of minting one.
+	var direct struct {
+		TraceID string `json:"trace_id"`
+	}
+	owner := n1.fix
+	if sweepShardPrefix(sv.ID) == n2.fix.name {
+		owner = n2.fix
+	}
+	if st := getJSON(t, owner.srv.URL+"/v1/sweeps/"+sv.ID+"/trace", "", &direct); st != http.StatusOK {
+		t.Fatalf("direct shard trace: status %d", st)
+	}
+	if direct.TraceID != client.TraceID {
+		t.Errorf("shard-side trace ID = %q, want the client's %q", direct.TraceID, client.TraceID)
+	}
+
+	// The repeat through the other entry point reaches the same owner, so
+	// the trace stays reachable cluster-wide.
+	var tr2 struct {
+		TraceID string `json:"trace_id"`
+	}
+	if st := getJSON(t, n2.front.URL+"/v1/sweeps/"+sv.ID+"/trace", "", &tr2); st != http.StatusOK {
+		t.Fatalf("GET sweep trace via peer: status %d", st)
+	}
+	if tr2.TraceID != client.TraceID {
+		t.Errorf("peer-side trace ID = %q, want %q", tr2.TraceID, client.TraceID)
+	}
+}
+
+// sweepSpecFixture is the 3-point temperature sweep the trace tests submit.
+func sweepSpecFixture() service.SweepSpec {
+	return service.SweepSpec{
+		Base:  service.JobSpec{Estimator: "naive", N: 100, Seed: 5},
+		TempK: &service.Axis{Values: []float64{300, 310, 320}},
+	}
+}
+
+// TestRouterHealthRollup runs a real degenerate estimator job on one shard
+// of a two-shard cluster and requires the router's Prometheus roll-up to
+// re-emit that shard's watchdog counters — shard-labeled, lint-clean.
+func TestRouterHealthRollup(t *testing.T) {
+	mkReal := func(name string) *shardFixture {
+		svc := service.New(service.Config{
+			Workers: 1, QueueCapacity: 16, CacheCapacity: 16, NodeID: name,
+		})
+		api := service.NewServer(svc)
+		srv := httptest.NewServer(api)
+		t.Cleanup(srv.Close)
+		t.Cleanup(func() { _ = svc.Drain(context.Background()) })
+		return &shardFixture{name: name, svc: svc, api: api, srv: srv}
+	}
+	shards := []*shardFixture{mkReal("s1"), mkReal("s2")}
+	cfg := Config{ProbeInterval: -1}
+	for _, s := range shards {
+		cfg.Shards = append(cfg.Shards, Shard{Name: s.name, URL: s.srv.URL})
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	// The degenerate hold-mode spec: its particle filters collapse mid-run,
+	// so whichever shard owns it records ess_collapse violations.
+	spec := service.JobSpec{Mode: "hold", Vdd: 0.45, N: 2000, Seed: 3}
+	var view service.View
+	if st, _ := postJSON(t, front.URL+"/v1/jobs", "", spec, &view); st != http.StatusAccepted && st != http.StatusOK {
+		t.Fatalf("submit: status %d", st)
+	}
+	waitDone(t, front.URL, "", view.ID, 30*time.Second)
+
+	var buf bytes.Buffer
+	if err := rt.WritePrometheus(context.Background(), &buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	if problems := obsv.LintProm(text); len(problems) > 0 {
+		t.Errorf("roll-up with health counters fails lint:\n%s", strings.Join(problems, "\n"))
+	}
+	want := `ecripsed_health_violations_total{shard="` + shardPrefix(view.ID) + `",rule="` + obsv.RuleESSCollapse + `"}`
+	if !strings.Contains(text, want) {
+		t.Errorf("roll-up missing the shard-labeled watchdog counter %q in:\n%s", want, text)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ecripse/internal/obsv"
 	"ecripse/internal/pfilter"
 	"ecripse/internal/stats"
 )
@@ -23,6 +24,9 @@ type FilterDiag struct {
 	// Unique is the number of distinct candidates surviving resampling
 	// (0 on a degenerate round where the previous cloud was kept).
 	Unique int `json:"unique"`
+	// WeightSum is the round's positive weight mass; zero marks a starved
+	// lobe (no candidate saw failure probability, the cloud froze).
+	WeightSum float64 `json:"weight_sum"`
 }
 
 // PFRoundDiag aggregates one stage-1 round across the ensemble.
@@ -64,7 +68,24 @@ func NewFilterDiag(rec pfilter.StepRecord) FilterDiag {
 		ESS:           pfilter.ESS(rec.Weights),
 		MaxWeightFrac: frac,
 		Unique:        rec.Unique,
+		WeightSum:     rec.WeightSum,
 	}
+}
+
+// HealthFilters converts a round's diagnostics into the watchdog's input
+// form (obsv cannot import core — the dependency points the other way).
+// Exported so CLIs can replay recorded diagnostics through a monitor.
+func HealthFilters(fs []FilterDiag) []obsv.FilterHealth {
+	out := make([]obsv.FilterHealth, len(fs))
+	for i, f := range fs {
+		out[i] = obsv.FilterHealth{
+			Particles:     f.Particles,
+			ESS:           f.ESS,
+			MaxWeightFrac: f.MaxWeightFrac,
+			Unique:        f.Unique,
+		}
+	}
+	return out
 }
 
 // newISBatchDiag converts a stage-2 barrier point into its diagnostic form.

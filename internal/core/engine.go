@@ -310,10 +310,14 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 	solvesStart, itersStart := e.solver.Totals()
 	laneSlotsStart, laneOccStart := e.solver.LaneTotals()
 	// Telemetry carriers, resolved once: spans record the phase timeline,
-	// the emitter streams convergence diagnostics. Both are nil/no-op when
-	// the context carries neither, and both operate strictly at phase/round/
-	// batch barriers — never inside the sample loops.
+	// the emitter streams convergence diagnostics, the health monitor
+	// evaluates the statistical watchdog rules. All are nil/no-op when the
+	// context carries none, and all operate strictly at phase/round/batch
+	// barriers — never inside the sample loops. Health evaluation reads
+	// deterministic diagnostics only and consumes no randomness, so result
+	// bits are identical with or without a monitor attached.
 	emit := obsv.EmitterFrom(ctx)
+	hm := obsv.HealthFrom(ctx)
 	e.InitCtx(ctx, rng)
 
 	m := 1
@@ -322,6 +326,7 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 	}
 	workers := e.Opts.Parallelism
 	lab := newBatchLabeler(e)
+	lab.countFlips = hm != nil
 
 	// Stage 1: particle-filter estimation of the alternative distribution.
 	// Each round is one batch: candidates are predicted and measured in
@@ -371,6 +376,7 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		sv1 = newStagedEval(e, lab, sampler, m, true, perRound)
 	}
 	var pfRounds []PFRoundDiag
+	var flipRep, flipDis int64 // labeler flip counters as of the last boundary
 	for it := 0; it < e.Opts.PFIters && ctx.Err() == nil; it++ {
 		roundSeed := rng.Int63()
 		lab.begin(perRound)
@@ -399,6 +405,11 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		if emit != nil {
 			emit("pf_round", diag)
 		}
+		if hm != nil {
+			hm.ObservePFRound(it, HealthFilters(diag.Filters))
+			hm.ObserveFlips("pf", it, lab.flipReplayed-flipRep, lab.flipDisagree-flipDis)
+			flipRep, flipDis = lab.flipReplayed, lab.flipDisagree
+		}
 	}
 	stage1Sims := e.Counter.Count() - stage1Start
 
@@ -418,9 +429,20 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 	}
 	_, s2span := obsv.StartSpan(ctx, "stage2.is", obsv.I("n_is", int64(e.Opts.NIS)))
 	var onBatch func(samples int, pt stats.Point)
-	if emit != nil {
+	if emit != nil || hm != nil {
+		barrier := 0
 		onBatch = func(samples int, pt stats.Point) {
-			emit("is_batch", newISBatchDiag(samples, pt))
+			// Barrier code: single-threaded in every driver, always after the
+			// batch's Flush, so the flip deltas line up across paths.
+			if emit != nil {
+				emit("is_batch", newISBatchDiag(samples, pt))
+			}
+			if hm != nil {
+				hm.ObserveISBatch(samples, pt.P, pt.CI95)
+				hm.ObserveFlips("is", barrier, lab.flipReplayed-flipRep, lab.flipDisagree-flipDis)
+				flipRep, flipDis = lab.flipReplayed, lab.flipDisagree
+			}
+			barrier++
 		}
 	}
 	po := montecarlo.ParOptions{
@@ -448,6 +470,11 @@ func (e *Engine) RunCtx(ctx context.Context, rng *rand.Rand, sampler *rtn.Sample
 		series = montecarlo.ImportanceSampleParPipelined(ctx, proposal, pv, e.Opts.NIS, po, e.Counter, e.Opts.RecordEvery)
 	}
 	stage2Sims := e.Counter.Count() - stage2Start
+	if hm != nil && pipe.Batches > 0 {
+		// Wall-clock rule: flows to the observer/metrics only, never into
+		// the deterministic report (see obsv.HealthMonitor.ObservePipeline).
+		hm.ObservePipeline(pipe.Batches, pipe.GenNS, pipe.StallNS)
+	}
 	if s2span != nil {
 		fin := series.Final()
 		s2span.SetAttr(obsv.F("p", fin.P), obsv.F("ci_half", fin.CI95), obsv.I("sims", stage2Sims))

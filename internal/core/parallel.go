@@ -36,6 +36,15 @@ type batchLabeler struct {
 	pending [][]labelObs
 	scorers sync.Pool     // *svm.Scorer; per-goroutine feature scratch
 	perW    []*svm.Scorer // per-worker scorers for worker-indexed callers
+
+	// Flip accounting for the health watchdog (countFlips gates the extra
+	// barrier-time Score per replayed observation). Both counters advance
+	// only inside flushRange — single-threaded, index-ordered — so they are
+	// identical on every execution path and at any worker count. Cumulative;
+	// the engine reads deltas at round/barrier boundaries.
+	countFlips   bool
+	flipReplayed int64 // observations replayed with a trained classifier
+	flipDisagree int64 // replays whose simulated label contradicted the prediction
 }
 
 func newBatchLabeler(e *Engine) *batchLabeler {
@@ -72,6 +81,16 @@ func (l *batchLabeler) flushRange(lo, hi int) {
 	}
 	for idx := lo; idx < hi; idx++ {
 		for _, o := range l.pending[idx] {
+			if l.countFlips && l.e.classifier.Trained() {
+				// Score against the classifier state the replay has evolved
+				// so far — the same deterministic index-ordered sequence on
+				// every path. Scoring reads weights only; it cannot perturb
+				// the update below.
+				l.flipReplayed++
+				if (l.e.classifier.Score(o.u) > 0) != o.failed {
+					l.flipDisagree++
+				}
+			}
 			l.e.classifier.Update(o.u, o.failed)
 		}
 		l.pending[idx] = l.pending[idx][:0]

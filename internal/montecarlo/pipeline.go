@@ -61,6 +61,17 @@ func (p PipelineStats) OverlapFraction() float64 {
 	return math.Min(1, math.Max(0, f))
 }
 
+// StallFraction is the complementary view OverlapFraction hides: wall-clock
+// the barrier spent waiting on generation, as a share of generation time.
+// Zero when no generation ran; can exceed 1 on a badly starved pipeline.
+// The health watchdog's pipeline_stall rule thresholds this number.
+func (p PipelineStats) StallFraction() float64 {
+	if p.GenNS <= 0 {
+		return 0
+	}
+	return float64(p.StallNS) / float64(p.GenNS)
+}
+
 // add folds another tally in.
 func (p *PipelineStats) add(o PipelineStats) {
 	p.Batches += o.Batches

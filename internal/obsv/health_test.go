@@ -1,0 +1,244 @@
+package obsv
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collapsed returns a FilterHealth far below every per-filter threshold.
+func collapsed() FilterHealth {
+	return FilterHealth{Particles: 40, ESS: 1.2, MaxWeightFrac: 0.97, Unique: 1}
+}
+
+// healthyFilter returns a FilterHealth that violates nothing.
+func healthyFilter() FilterHealth {
+	return FilterHealth{Particles: 40, ESS: 18, MaxWeightFrac: 0.12, Unique: 21}
+}
+
+// TestHealthGraceRoundsSkipped pins the warm-up exemption: the structurally
+// collapsed first round (the cloud right after boundary-search init) must not
+// flag, count checks, or pre-charge the ESS persistence counter.
+func TestHealthGraceRoundsSkipped(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{}, nil)
+	m.ObservePFRound(0, []FilterHealth{collapsed()})
+	r := m.Report()
+	if !r.Healthy || r.Checks != 0 {
+		t.Fatalf("grace round evaluated: %+v", r)
+	}
+	// One sub-threshold round after grace is a dip, not a collapse
+	// (ESSPersist defaults to 2) — but the acute rules fire immediately.
+	m.ObservePFRound(1, []FilterHealth{{Particles: 40, ESS: 2, MaxWeightFrac: 0.5, Unique: 10}})
+	if r := m.Report(); !r.Healthy {
+		t.Fatalf("single post-grace ESS dip flagged: %+v", r)
+	}
+	// A recovery resets the run; two later consecutive dips fire once each
+	// from the second dip on.
+	m.ObservePFRound(2, []FilterHealth{healthyFilter()})
+	m.ObservePFRound(3, []FilterHealth{{Particles: 40, ESS: 2, MaxWeightFrac: 0.5, Unique: 10}})
+	m.ObservePFRound(4, []FilterHealth{{Particles: 40, ESS: 2, MaxWeightFrac: 0.5, Unique: 10}})
+	r = m.Report()
+	if r.Healthy || len(r.Violations) != 1 {
+		t.Fatalf("persistent collapse not flagged exactly once: %+v", r)
+	}
+	v := r.Violations[0]
+	if v.Rule != RuleESSCollapse || v.Round != 4 || v.Filter != 0 {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+// TestHealthAcuteRulesFireImmediately: max-weight spikes and lobe starvation
+// have no persistence requirement — one occurrence after grace flags.
+func TestHealthAcuteRulesFireImmediately(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{}, nil)
+	m.ObservePFRound(1, []FilterHealth{{Particles: 40, ESS: 20, MaxWeightFrac: 0.95, Unique: 2}})
+	r := m.Report()
+	if len(r.Violations) != 2 {
+		t.Fatalf("violations = %+v", r.Violations)
+	}
+	rules := map[string]bool{}
+	for _, v := range r.Violations {
+		rules[v.Rule] = true
+	}
+	if !rules[RuleMaxWeight] || !rules[RuleLobeStarvation] {
+		t.Fatalf("rules fired = %v", rules)
+	}
+}
+
+// TestHealthConfigNegativeDisables pins the explicit-zero semantics: negative
+// GraceRounds means no grace, negative ESSPersist means fire on first dip.
+func TestHealthConfigNegativeDisables(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{GraceRounds: -1, ESSPersist: -1}, nil)
+	m.ObservePFRound(0, []FilterHealth{{Particles: 40, ESS: 2, MaxWeightFrac: 0.5, Unique: 10}})
+	r := m.Report()
+	if r.Healthy || len(r.Violations) != 1 || r.Violations[0].Rule != RuleESSCollapse {
+		t.Fatalf("round-0 dip with grace disabled: %+v", r)
+	}
+}
+
+// TestHealthCIStall drives the stage-2 barrier rule: a CI half-width that
+// stops shrinking for CIStallWindow consecutive barriers fires exactly once.
+func TestHealthCIStall(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{CIStallWindow: 4}, nil)
+	ci := 1.0
+	for i := 0; i < 3; i++ { // healthy shrink
+		m.ObserveISBatch(256*(i+1), 1e-7, ci)
+		ci *= 0.8
+	}
+	for i := 3; i < 12; i++ { // flat from here on
+		m.ObserveISBatch(256*(i+1), 1e-7, ci)
+	}
+	r := m.Report()
+	if len(r.Violations) != 1 || r.Violations[0].Rule != RuleCIStall {
+		t.Fatalf("CI stall violations = %+v", r.Violations)
+	}
+	if !strings.Contains(r.Violations[0].Detail, "flat") {
+		t.Fatalf("detail = %q", r.Violations[0].Detail)
+	}
+}
+
+// TestHealthFlipDrift: once a baseline disagreement rate exists, a window
+// drifting above it by more than FlipRateDrift flags.
+func TestHealthFlipDrift(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{}, nil)
+	m.ObserveFlips("is", 0, 100, 2) // builds the 2% baseline (>= FlipMinObs)
+	m.ObserveFlips("is", 1, 100, 3) // within drift
+	if r := m.Report(); !r.Healthy {
+		t.Fatalf("in-band flip rate flagged: %+v", r)
+	}
+	m.ObserveFlips("is", 2, 100, 40) // 40% vs ~2.5% baseline
+	r := m.Report()
+	if len(r.Violations) != 1 || r.Violations[0].Rule != RuleFlipDrift {
+		t.Fatalf("flip drift violations = %+v", r.Violations)
+	}
+}
+
+// TestHealthWallClockSeparation pins the determinism contract: the pipeline
+// stall rule reaches the observer and WallViolations but never Report.
+func TestHealthWallClockSeparation(t *testing.T) {
+	var observed []HealthViolation
+	m := NewHealthMonitor(HealthConfig{}, func(v HealthViolation) { observed = append(observed, v) })
+	m.ObservePipeline(10, 1000, 900) // 90% stall fraction
+	if r := m.Report(); !r.Healthy || len(r.Violations) != 0 {
+		t.Fatalf("wall-clock verdict leaked into Report: %+v", r)
+	}
+	wall := m.WallViolations()
+	if len(wall) != 1 || wall[0].Rule != RulePipelineStall {
+		t.Fatalf("WallViolations = %+v", wall)
+	}
+	if len(observed) != 1 || observed[0].Rule != RulePipelineStall {
+		t.Fatalf("observer saw %+v", observed)
+	}
+}
+
+// TestHealthViolationCap: a pathological run firing every round keeps the
+// stored list bounded, with the overflow counted in Suppressed.
+func TestHealthViolationCap(t *testing.T) {
+	m := NewHealthMonitor(HealthConfig{}, nil)
+	for round := 1; round <= maxViolations+50; round++ {
+		m.ObservePFRound(round, []FilterHealth{{Particles: 40, ESS: 20, MaxWeightFrac: 0.99, Unique: 20}})
+	}
+	r := m.Report()
+	if len(r.Violations) != maxViolations || r.Suppressed != 50 {
+		t.Fatalf("cap: %d stored, %d suppressed", len(r.Violations), r.Suppressed)
+	}
+	if r.Healthy {
+		t.Fatal("suppressed violations reported healthy")
+	}
+}
+
+// TestHealthSummaryRendering covers the three Summary shapes.
+func TestHealthSummaryRendering(t *testing.T) {
+	if got := (*HealthReport)(nil).Summary(); !strings.Contains(got, "not evaluated") {
+		t.Fatalf("nil summary = %q", got)
+	}
+	m := NewHealthMonitor(HealthConfig{}, nil)
+	m.ObservePFRound(1, []FilterHealth{healthyFilter()})
+	if got := m.Report().Summary(); !strings.HasPrefix(got, "health: OK") {
+		t.Fatalf("healthy summary = %q", got)
+	}
+	m.ObservePFRound(2, []FilterHealth{{Particles: 40, ESS: 20, MaxWeightFrac: 0.95, Unique: 20}})
+	got := m.Report().Summary()
+	if !strings.Contains(got, "1 violation") || !strings.Contains(got, RuleMaxWeight) {
+		t.Fatalf("unhealthy summary = %q", got)
+	}
+}
+
+// TestTraceSpanCap is the regression test for the persisted-trace bound: the
+// cap drops overflow spans, counts them, and surfaces the count as a
+// `truncated` attribute on the final rendered span.
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace()
+	tr.SetMaxSpans(3)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		if idx := tr.Add("kept", -1, now, now); idx != i {
+			t.Fatalf("Add %d returned %d", i, idx)
+		}
+	}
+	// Overflow via both recording paths: Add and StartSpan.
+	if idx := tr.Add("dropped", -1, now, now); idx != -1 {
+		t.Fatalf("over-cap Add returned %d, want -1", idx)
+	}
+	ctx := WithTrace(context.Background(), tr)
+	if _, sp := StartSpan(ctx, "dropped2"); sp != nil {
+		t.Fatal("over-cap StartSpan returned a live span")
+	}
+	if tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", tr.Len(), tr.Dropped())
+	}
+	views := tr.Spans()
+	if len(views) != 3 {
+		t.Fatalf("rendered %d spans", len(views))
+	}
+	if got := views[2].Attrs["truncated"]; got != int64(2) {
+		t.Fatalf("truncated attr = %v (%T), want int64(2)", got, got)
+	}
+	if _, ok := views[0].Attrs["truncated"]; ok {
+		t.Fatal("truncated attr leaked onto a non-final span")
+	}
+	// SetMaxSpans(0) restores the default cap.
+	tr2 := NewTrace()
+	tr2.SetMaxSpans(0)
+	if got := tr2.capLocked(); got != DefaultMaxSpans {
+		t.Fatalf("default cap = %d", got)
+	}
+}
+
+// TestTraceparentRoundTrip pins the W3C serialization and its parser.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("minted context invalid: %+v", tc)
+	}
+	h := tc.Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent = %q", h)
+	}
+	back, ok := ParseTraceparent(h)
+	if !ok || back != tc {
+		t.Fatalf("round trip: %+v ok=%v, want %+v", back, ok, tc)
+	}
+	child := tc.Child()
+	if child.TraceID != tc.TraceID || child.SpanID == tc.SpanID {
+		t.Fatalf("child = %+v from %+v", child, tc)
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace ID
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // all-zero span ID
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // reserved version
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+	// Future versions with trailing fields still parse.
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future-version traceparent rejected")
+	}
+}

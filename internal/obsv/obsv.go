@@ -47,15 +47,79 @@ type spanData struct {
 	attrs  []Attr
 }
 
+// DefaultMaxSpans bounds how many spans a Trace records before it starts
+// dropping: a pathological job (millions of PF rounds, a runaway sweep) must
+// not bloat the journal or the trace endpoint responses. Dropped spans are
+// counted and surfaced as a `truncated` attribute on the final span view.
+const DefaultMaxSpans = 4096
+
 // Trace is an append-only recorder of finished and in-flight spans,
-// typically one per job. Safe for concurrent use.
+// typically one per job. Safe for concurrent use. A Trace may carry a
+// distributed trace ID (see TraceContext); spans recorded here are one
+// node's fragment of that trace, reassembled by ID at the sweep-trace
+// endpoint.
 type Trace struct {
-	mu    sync.Mutex
-	spans []spanData
+	mu       sync.Mutex
+	id       string // 32-hex distributed trace ID; "" for purely local traces
+	spans    []spanData
+	maxSpans int   // 0 means DefaultMaxSpans
+	dropped  int64 // spans rejected by the cap
 }
 
 // NewTrace creates an empty trace.
 func NewTrace() *Trace { return &Trace{} }
+
+// SetID installs the distributed trace ID. Typically called once at job
+// creation, before any propagation.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the distributed trace ID ("" when unset).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// SetMaxSpans overrides the span cap (n <= 0 restores DefaultMaxSpans).
+func (t *Trace) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if n <= 0 {
+		n = 0
+	}
+	t.maxSpans = n
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans the cap has rejected so far.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// capLocked returns the effective span cap. Callers hold t.mu.
+func (t *Trace) capLocked() int {
+	if t.maxSpans > 0 {
+		return t.maxSpans
+	}
+	return DefaultMaxSpans
+}
 
 // Span is a handle to one recorded span. The zero/nil span is a no-op, which
 // is what StartSpan returns when the context carries no trace.
@@ -64,9 +128,16 @@ type Span struct {
 	idx int
 }
 
-// start appends an in-flight span and returns its handle.
+// start appends an in-flight span and returns its handle, or nil once the
+// span cap is reached (the caller's nil-safe Span methods make the drop
+// free).
 func (t *Trace) start(name string, parent int, attrs []Attr) *Span {
 	t.mu.Lock()
+	if len(t.spans) >= t.capLocked() {
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
 	idx := len(t.spans)
 	t.spans = append(t.spans, spanData{name: name, parent: parent, start: time.Now(), attrs: attrs})
 	t.mu.Unlock()
@@ -81,6 +152,11 @@ func (t *Trace) Add(name string, parent int, start, end time.Time, attrs ...Attr
 		return -1
 	}
 	t.mu.Lock()
+	if len(t.spans) >= t.capLocked() {
+		t.dropped++
+		t.mu.Unlock()
+		return -1
+	}
 	idx := len(t.spans)
 	t.spans = append(t.spans, spanData{name: name, parent: parent, start: start, end: end, attrs: attrs})
 	t.mu.Unlock()
@@ -140,7 +216,8 @@ type SpanView struct {
 }
 
 // Spans renders the timeline in recording order. The Parent indices refer to
-// positions within the returned slice.
+// positions within the returned slice. When the span cap dropped spans, the
+// final view carries a `truncated` attribute with the drop count.
 func (t *Trace) Spans() []SpanView {
 	if t == nil {
 		return nil
@@ -165,6 +242,13 @@ func (t *Trace) Spans() []SpanView {
 			}
 		}
 		out[i] = v
+	}
+	if t.dropped > 0 && len(out) > 0 {
+		last := &out[len(out)-1]
+		if last.Attrs == nil {
+			last.Attrs = make(map[string]any, 1)
+		}
+		last.Attrs["truncated"] = t.dropped
 	}
 	return out
 }
@@ -260,6 +344,11 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 		parent = ps.idx
 	}
 	sp := t.start(name, parent, attrs)
+	if sp == nil {
+		// Span cap reached: keep the caller's current-span context so later
+		// (possibly un-dropped) children still attach somewhere sensible.
+		return ctx, nil
+	}
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 

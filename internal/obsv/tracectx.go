@@ -1,0 +1,167 @@
+package obsv
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is the propagatable identity of a distributed trace: the
+// 128-bit trace ID shared by every span in the tree, plus the 64-bit ID of
+// the span that parents whatever the receiving node records next. It
+// serializes as a W3C-style traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-span-id>-01") so the cluster router
+// can inject it on proxied submits and the service can extract it, stitching
+// router → dispatch → engine spans into one tree.
+//
+// Trace identifiers are observability-only: they are derived from a private
+// process-local generator, never from an estimator RNG, so minting them
+// cannot perturb result bits.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex chars
+	SpanID  string // 16 lowercase hex chars
+}
+
+// TraceparentHeader is the canonical header name carrying a TraceContext.
+const TraceparentHeader = "Traceparent"
+
+// idGen is the process-local generator behind NewTraceID/NewSpanID: a
+// splitmix64 walk over an atomic counter seeded from the wall clock at
+// startup. Uniqueness matters; unpredictability does not.
+var idGen atomic.Uint64
+
+func init() {
+	idGen.Store(uint64(time.Now().UnixNano()) ^ 0x9e3779b97f4a7c15)
+}
+
+// nextID advances the generator one splitmix64 step.
+func nextID() uint64 {
+	z := idGen.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hex64 renders v as 16 lowercase hex chars.
+func hex64(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// NewTraceID mints a fresh 32-hex-char trace ID (guaranteed non-zero).
+func NewTraceID() string {
+	hi, lo := nextID(), nextID()
+	if hi == 0 && lo == 0 {
+		hi = 1
+	}
+	return hex64(hi) + hex64(lo)
+}
+
+// NewSpanID mints a fresh 16-hex-char span ID (guaranteed non-zero).
+func NewSpanID() string {
+	v := nextID()
+	if v == 0 {
+		v = 1
+	}
+	return hex64(v)
+}
+
+// NewTraceContext mints a root trace context: fresh trace ID, fresh span ID.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}
+
+// Child derives a context in the same trace under a fresh span ID.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: NewSpanID()}
+}
+
+// isHex reports whether s is entirely lowercase-hex (uppercase rejected, per
+// the W3C grammar) and not all zeros.
+func isHex(s string) bool {
+	nonzero := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			nonzero = true
+		}
+	}
+	return nonzero
+}
+
+// Valid reports whether the context carries a well-formed, non-zero trace ID
+// and span ID.
+func (tc TraceContext) Valid() bool {
+	return len(tc.TraceID) == 32 && isHex(tc.TraceID) &&
+		len(tc.SpanID) == 16 && isHex(tc.SpanID)
+}
+
+// Traceparent renders the W3C serialization, version 00, sampled flag set.
+// Invalid contexts render as "".
+func (tc TraceContext) Traceparent() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// ParseTraceparent decodes a traceparent header value. It accepts any
+// version except the reserved "ff", ignores trailing fields beyond the
+// flags (future versions may append), and rejects malformed or all-zero
+// IDs — returning ok=false rather than a partial context.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	ver, tid, sid := parts[0], parts[1], parts[2]
+	if len(ver) != 2 || !isHexByte(ver) || ver == "ff" {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: tid, SpanID: sid}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// isHexByte reports whether s is exactly two lowercase-hex digits (zeros
+// allowed — "00" is the current traceparent version).
+func isHexByte(s string) bool {
+	if len(s) != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying the trace context (e.g. one
+// extracted from an inbound traceparent header).
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the context's trace context; the zero value (not
+// Valid) when none was attached.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

@@ -237,6 +237,7 @@ func (e *Ensemble) resampleTail(seed int64, offs []int, cands []linalg.Vector, w
 		unique := 0
 		if sum <= 0 || math.IsNaN(sum) {
 			next = e.filters[fi] // degenerate round: keep previous cloud
+			sum = 0
 		} else {
 			idx := randx.SystematicResample(randx.Stream(seed, uint64(total+fi)), fw, n)
 			next = make([]linalg.Vector, n)
@@ -245,7 +246,7 @@ func (e *Ensemble) resampleTail(seed int64, offs []int, cands []linalg.Vector, w
 			}
 			unique = e.uniqueSources(idx)
 		}
-		records[fi] = StepRecord{Candidates: fc, Weights: fw, Resampled: next, Unique: unique}
+		records[fi] = StepRecord{Candidates: fc, Weights: fw, Resampled: next, Unique: unique, WeightSum: sum}
 		e.filters[fi] = next
 		// Pool positively-weighted candidates in index order, matching Step.
 		for i, w := range fw {

@@ -174,6 +174,9 @@ type StepRecord struct {
 	// a collapse diagnostic (Unique=1 means the filter sits on one point).
 	// Zero on a degenerate round where the previous cloud was kept.
 	Unique int
+	// WeightSum is the round's positive weight mass. Zero marks a starved
+	// lobe: no candidate found failure probability, the cloud was kept.
+	WeightSum float64
 }
 
 // uniqueSources counts the distinct source indices in a resampling index
@@ -228,6 +231,7 @@ func (e *Ensemble) Step(rng *rand.Rand, weight Weight) []StepRecord {
 		unique := 0
 		if total <= 0 || math.IsNaN(total) {
 			next = particles // degenerate round: keep previous cloud
+			total = 0
 		} else {
 			idx := randx.SystematicResample(rng, ws, n)
 			next = make([]linalg.Vector, n)
@@ -236,7 +240,7 @@ func (e *Ensemble) Step(rng *rand.Rand, weight Weight) []StepRecord {
 			}
 			unique = e.uniqueSources(idx)
 		}
-		records[fi] = StepRecord{Candidates: cands, Weights: ws, Resampled: next, Unique: unique}
+		records[fi] = StepRecord{Candidates: cands, Weights: ws, Resampled: next, Unique: unique, WeightSum: total}
 		e.filters[fi] = next
 		for i, w := range ws {
 			if w > 0 {

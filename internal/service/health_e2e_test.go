@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ecripse/internal/obsv"
+)
+
+// degenerateSpec is a deliberately degenerate PF configuration: hold-mode
+// failure analysis at an ultra-low supply voltage, where the hold-SNM
+// boundary geometry starves the particle filters and their ESS stays
+// collapsed for consecutive rounds. The watchdog must flag it; the nominal
+// read-mode specs used across this suite must stay healthy.
+const degenerateSpec = `{"mode": "hold", "vdd": 0.45, "n": 2000, "seed": 3}`
+
+// TestWatchdogFlagsDegeneratePF is the end-to-end acceptance test for the
+// statistical-health watchdog: one real degenerate estimator run must
+// surface its violations in all three places — the result's `health` block,
+// the job's SSE stream (as `health` events), and the Prometheus exposition
+// (as ecripsed_health_violations_total counters).
+func TestWatchdogFlagsDegeneratePF(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCapacity: 4})
+	defer svc.Drain(context.Background())
+	srv := NewServer(svc)
+	srv.EventInterval = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	v, status := postJob(t, ts.URL, degenerateSpec)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	waitJobHTTP(t, ts.URL, v.ID, StateDone, 2*time.Minute)
+
+	// 1. The result payload carries the deterministic verdict block.
+	done := getJob(t, ts.URL, v.ID)
+	var res struct {
+		Health *obsv.HealthReport `json:"health"`
+	}
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Health == nil {
+		t.Fatal("result has no health block")
+	}
+	if res.Health.Healthy || len(res.Health.Violations) == 0 {
+		t.Fatalf("degenerate run reported healthy: %+v", res.Health)
+	}
+	sawESS := false
+	for _, viol := range res.Health.Violations {
+		if viol.Rule == obsv.RuleESSCollapse {
+			sawESS = true
+		}
+		if viol.Rule == obsv.RulePipelineStall {
+			t.Fatalf("wall-clock rule leaked into the cached health block: %+v", viol)
+		}
+	}
+	if !sawESS {
+		t.Fatalf("no %s violation in %+v", obsv.RuleESSCollapse, res.Health.Violations)
+	}
+
+	// 2. The violations streamed over SSE as `health` events (the ring
+	// replays them to late subscribers, so connecting after completion sees
+	// the full history).
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	// SSE carries every violation the observer saw: the deterministic ones
+	// (matching the result block exactly) plus any wall-clock-only verdicts
+	// (pipeline stalls), which are allowed on the stream but not in the
+	// cached block.
+	deterministic := 0
+	for _, ev := range readSSE(t, resp.Body) {
+		if ev.event != "health" {
+			continue
+		}
+		var de struct {
+			Kind string               `json:"kind"`
+			Data obsv.HealthViolation `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(ev.data), &de); err != nil {
+			t.Fatalf("decode health event %q: %v", ev.data, err)
+		}
+		if de.Data.Rule == "" || de.Data.Detail == "" {
+			t.Fatalf("health event lacks rule/detail: %q", ev.data)
+		}
+		if de.Data.Rule != obsv.RulePipelineStall {
+			deterministic++
+		}
+	}
+	if deterministic != len(res.Health.Violations) {
+		t.Fatalf("SSE delivered %d deterministic health events, result block has %d violations",
+			deterministic, len(res.Health.Violations))
+	}
+
+	// 3. The per-rule counters surface in the Prometheus exposition and the
+	// JSON metrics snapshot.
+	mResp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer mResp.Body.Close()
+	body, _ := io.ReadAll(mResp.Body)
+	text := string(body)
+	if problems := obsv.LintProm(text); len(problems) > 0 {
+		t.Fatalf("exposition fails lint:\n%s", strings.Join(problems, "\n"))
+	}
+	if !strings.Contains(text, `ecripsed_health_violations_total{rule="`+obsv.RuleESSCollapse+`"}`) {
+		t.Fatalf("exposition lacks the health violation counter:\n%s", text)
+	}
+	var m Metrics
+	if st := func() int {
+		r2, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("GET metrics json: %v", err)
+		}
+		defer r2.Body.Close()
+		if err := json.NewDecoder(r2.Body).Decode(&m); err != nil {
+			t.Fatalf("decode metrics: %v", err)
+		}
+		return r2.StatusCode
+	}(); st != http.StatusOK {
+		t.Fatalf("GET metrics json status = %d", st)
+	}
+	if m.HealthViolations[obsv.RuleESSCollapse] == 0 {
+		t.Fatalf("JSON metrics lack health violation counters: %+v", m.HealthViolations)
+	}
+}
+
+// TestHealthBlockDeterministicAcrossParallelism pins the cache-soundness
+// contract for the watchdog: the health block — like every other result
+// field — must be bit-identical at any intra-job parallelism, because it
+// lands in the content-addressed result cache.
+func TestHealthBlockDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real estimator runs skipped in -short mode")
+	}
+	var spec1, spec4 JobSpec
+	if err := json.Unmarshal([]byte(degenerateSpec), &spec1); err != nil {
+		t.Fatal(err)
+	}
+	spec4 = spec1
+	spec1.Parallelism = 1
+	spec4.Parallelism = 4
+	r1, err := RunSpec(context.Background(), spec1, nil)
+	if err != nil {
+		t.Fatalf("run at parallelism 1: %v", err)
+	}
+	r4, err := RunSpec(context.Background(), spec4, nil)
+	if err != nil {
+		t.Fatalf("run at parallelism 4: %v", err)
+	}
+	if r1.Health == nil || r4.Health == nil {
+		t.Fatalf("missing health block: p1=%v p4=%v", r1.Health, r4.Health)
+	}
+	if !reflect.DeepEqual(r1.Health, r4.Health) {
+		t.Fatalf("health block differs across parallelism:\n p=1: %+v\n p=4: %+v", r1.Health, r4.Health)
+	}
+	b1, _ := json.Marshal(r1)
+	b4, _ := json.Marshal(r4)
+	if string(b1) != string(b4) {
+		t.Fatalf("result payload differs across parallelism:\n p=1: %s\n p=4: %s", b1, b4)
+	}
+}

@@ -70,9 +70,13 @@ type Job struct {
 	finished time.Time
 }
 
-// newJob creates a queued job whose run context descends from parent.
+// newJob creates a queued job whose run context descends from parent. Every
+// job's trace is minted with a fresh distributed trace ID; SubmitTraced
+// overwrites it with a propagated one.
 func newJob(parent context.Context, id string, spec JobSpec, key string, eventCap int) *Job {
 	ctx, cancel := context.WithCancel(parent)
+	tr := obsv.NewTrace()
+	tr.SetID(obsv.NewTraceID())
 	return &Job{
 		ID:      id,
 		Spec:    spec,
@@ -81,7 +85,7 @@ func newJob(parent context.Context, id string, spec JobSpec, key string, eventCa
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
-		trace:   obsv.NewTrace(),
+		trace:   tr,
 		events:  newEventRing(eventCap),
 		state:   StateQueued,
 		created: time.Now(),
@@ -134,6 +138,13 @@ func (j *Job) State() State {
 
 // Sims returns the transistor-level simulations consumed so far.
 func (j *Job) Sims() int64 { return j.counter.Count() }
+
+// IsCached reports whether the job was answered from the result cache.
+func (j *Job) IsCached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -227,9 +238,10 @@ func (j *Job) DiagSince(cursor uint64) (events []DiagEvent, dropped uint64, next
 	return j.events.since(cursor)
 }
 
-// TracePayload renders the job's span timeline as JSON: the live trace for
-// jobs run by this process, or the persisted timeline of a recovered job.
-// Nil when neither exists yet.
+// TracePayload renders the job's span timeline as JSON — an object carrying
+// the distributed trace ID plus the spans ({"trace_id": ..., "spans": [...]})
+// — using the live trace for jobs run by this process, or the persisted
+// timeline of a recovered job. Nil when neither exists yet.
 func (j *Job) TracePayload() json.RawMessage {
 	j.mu.Lock()
 	raw := j.rawTrace
@@ -240,7 +252,7 @@ func (j *Job) TracePayload() json.RawMessage {
 	if j.trace.Len() == 0 {
 		return nil
 	}
-	b, err := json.Marshal(j.trace.Spans())
+	b, err := json.Marshal(tracePayload{TraceID: j.trace.ID(), Spans: j.trace.Spans()})
 	if err != nil {
 		return nil
 	}

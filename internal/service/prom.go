@@ -73,6 +73,19 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 	p.Counter("ecripsed_sweep_sims_saved_total",
 		"Estimated simulations avoided by sweep warm starts.", float64(m.SweepSimsSaved))
 
+	if len(m.HealthViolations) > 0 {
+		rules := make([]string, 0, len(m.HealthViolations))
+		for rule := range m.HealthViolations {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		for _, rule := range rules {
+			p.Counter("ecripsed_health_violations_total",
+				"Statistical-health watchdog violations, by rule.",
+				float64(m.HealthViolations[rule]), [2]string{"rule", rule})
+		}
+	}
+
 	p.Counter("ecripsed_sims_total",
 		"Transistor-level simulations consumed across all known jobs.", float64(m.SimsTotal))
 	p.Counter("ecripsed_solver_root_solves_total",

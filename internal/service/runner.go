@@ -36,6 +36,12 @@ type RunResult struct {
 	// and are seeded from it. Deterministic like everything else here, so it
 	// caches soundly.
 	Warm *core.WarmState `json:"warm,omitempty"`
+	// Health is the statistical-health watchdog's verdict block (present
+	// when the estimator evaluated any rule). Only deterministic,
+	// scheduling-independent rules contribute, so the block is identical at
+	// any parallelism and safe inside the content-addressed cache;
+	// wall-clock verdicts (pipeline stalls) go to SSE/metrics only.
+	Health *obsv.HealthReport `json:"health,omitempty"`
 }
 
 // runHooks carries the service's observational instruments into the runner.
@@ -190,6 +196,15 @@ func RunSpec(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (*RunR
 // completion (the budget is part of the content address, so the partial
 // series is the deterministic result of that spec).
 func runSpec(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (*RunResult, error) {
+	// Every run gets a health monitor: the service installs one wired to
+	// SSE/metrics; the CLI path falls back to a silent default here so the
+	// result's health block is present either way (and identical — the
+	// rules read only deterministic diagnostics).
+	hm := obsv.HealthFrom(ctx)
+	if hm == nil {
+		hm = obsv.NewHealthMonitor(obsv.HealthConfig{}, nil)
+		ctx = obsv.WithHealth(ctx, hm)
+	}
 	runCtx := ctx
 	if s.MaxSims > 0 {
 		bctx, cancel := context.WithCancel(ctx)
@@ -205,6 +220,9 @@ func runSpec(ctx context.Context, s JobSpec, counter *montecarlo.Counter) (*RunR
 	}
 	if res != nil {
 		res.Cost.Total = counter.Count()
+		if rep := hm.Report(); rep.Checks > 0 {
+			res.Health = rep
+		}
 	}
 	return res, err
 }

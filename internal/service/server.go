@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ecripse/internal/obsv"
 )
 
 // ForwardedHeader marks a request proxied by a cluster peer or router. The
@@ -34,6 +36,7 @@ func isForwarded(r *http.Request) bool { return r.Header.Get(ForwardedHeader) !=
 //	GET    /v1/sweeps           list sweeps             → 200 [view...]
 //	GET    /v1/sweeps/{id}      status, points, result  → 200 view
 //	GET    /v1/sweeps/{id}/events per-point SSE         → text/event-stream
+//	GET    /v1/sweeps/{id}/trace  reassembled trace     → 200 {id, state, trace_id, spans}
 //	DELETE /v1/sweeps/{id}      cancel                  → 202 view (409 if already terminal)
 //	GET    /v1/cache/{key}      result by content key   → 200 payload (peer cache lookups)
 //	GET    /metrics             expvar-style JSON (?format=prometheus for text exposition)
@@ -87,6 +90,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleSweepTrace)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -105,6 +109,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		r = r.WithContext(WithTenant(r.Context(), t))
+	}
+	// Propagated distributed-trace context (W3C traceparent). Invalid or
+	// absent headers leave the zero TraceContext, and submits mint fresh IDs.
+	if tc, ok := obsv.ParseTraceparent(r.Header.Get(obsv.TraceparentHeader)); ok {
+		r = r.WithContext(obsv.WithTraceContext(r.Context(), tc))
 	}
 	s.mux.ServeHTTP(w, r)
 }
@@ -181,7 +190,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := s.svc.SubmitAs(tenant.Name(), spec)
+	j, err := s.svc.SubmitTraced(tenant.Name(), spec, obsv.TraceContextFrom(r.Context()))
 	switch {
 	case err != nil:
 		writeError(w, submitErrStatus(w, err), err.Error())
@@ -239,8 +248,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	items := make([]BatchItem, len(specs))
+	tc := obsv.TraceContextFrom(r.Context())
 	for i, spec := range specs {
-		j, err := s.svc.SubmitAs(tenant.Name(), spec)
+		j, err := s.svc.SubmitTraced(tenant.Name(), spec, tc)
 		if err != nil {
 			items[i] = BatchItem{Status: submitErrStatus(nil, err), Error: err.Error()}
 			continue
@@ -288,7 +298,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sw, err := s.svc.SubmitSweepAs(tenant.Name(), spec)
+	sw, err := s.svc.SubmitSweepTraced(tenant.Name(), spec, obsv.TraceContextFrom(r.Context()))
 	if err != nil {
 		writeError(w, submitErrStatus(w, err), err.Error())
 		return
@@ -365,7 +375,9 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 			emit("dropped", map[string]uint64{"missed": dropped})
 		}
 		for _, ev := range events {
-			emit("point", ev)
+			// Dispatch by ring kind: per-point progress streams as "point",
+			// the terminal transition as "sweep" (always ahead of "done").
+			emit(ev.Kind, ev)
 		}
 	}
 	ticker := time.NewTicker(s.EventInterval)
@@ -384,6 +396,27 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 				NumPoints: len(sw.points), PointsDone: sw.PointsDone()})
 		}
 	}
+}
+
+// handleSweepTrace serves the sweep's reassembled distributed trace: the
+// controller's spans with every point job's timeline grafted under its
+// point span, all sharing one trace ID.
+func (s *Server) handleSweepTrace(w http.ResponseWriter, r *http.Request) {
+	sw, err := s.svc.GetSweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	traceID, spans := s.svc.AssembleSweepTrace(sw)
+	if spans == nil {
+		spans = []obsv.SpanView{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID      string          `json:"id"`
+		State   State           `json:"state"`
+		TraceID string          `json:"trace_id,omitempty"`
+		Spans   []obsv.SpanView `json:"spans"`
+	}{ID: sw.ID, State: sw.State(), TraceID: traceID, Spans: spans})
 }
 
 // handleCacheLookup answers a peer shard's read-through probe: the raw
@@ -474,6 +507,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			emit("dropped", map[string]uint64{"missed": dropped})
 		}
 		for _, ev := range events {
+			// Statistical-health verdicts get their own SSE event name so
+			// dashboards can subscribe to violations without parsing every
+			// convergence diagnostic.
+			if ev.Kind == "health" {
+				emit("health", ev)
+				continue
+			}
 			emit("diag", ev)
 		}
 	}
@@ -502,15 +542,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	spans := j.TracePayload()
-	if spans == nil {
-		spans = json.RawMessage("[]")
+	tp, _ := decodeTrace(j.TracePayload())
+	if tp.Spans == nil {
+		tp.Spans = []obsv.SpanView{}
 	}
 	writeJSON(w, http.StatusOK, struct {
-		ID    string          `json:"id"`
-		State State           `json:"state"`
-		Spans json.RawMessage `json:"spans"`
-	}{ID: j.ID, State: j.State(), Spans: spans})
+		ID      string          `json:"id"`
+		State   State           `json:"state"`
+		TraceID string          `json:"trace_id,omitempty"`
+		Spans   []obsv.SpanView `json:"spans"`
+	}{ID: j.ID, State: j.State(), TraceID: tp.TraceID, Spans: tp.Spans})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -74,6 +74,12 @@ type Config struct {
 	// consumers (default 256). A consumer that falls further behind loses
 	// the oldest events and is told how many it missed.
 	EventBuffer int
+
+	// TraceMaxSpans bounds each job's and sweep's persisted span count
+	// (default obsv.DefaultMaxSpans). Overflowing spans are dropped and
+	// counted in a final `truncated` attribute instead of growing the
+	// journal without bound.
+	TraceMaxSpans int
 }
 
 func (c *Config) fill() {
@@ -106,16 +112,45 @@ func (c *Config) fill() {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
 	}
+	if c.TraceMaxSpans <= 0 {
+		c.TraceMaxSpans = obsv.DefaultMaxSpans
+	}
 }
 
 // telemetry bundles the service's fixed-bucket histograms. All four are
 // allocation-free atomic observers; the solver histogram is additionally
-// registered as the process-wide sram solve observer.
+// registered as the process-wide sram solve observer. healthViolations
+// counts watchdog rule firings by rule name (the
+// ecripsed_health_violations_total families).
 type telemetry struct {
 	jobDuration *obsv.Histogram // run wall time, seconds
 	queueWait   *obsv.Histogram // queued → running, seconds
 	indicator   *obsv.Histogram // one true-indicator evaluation, seconds
 	rootIters   *obsv.Histogram // Illinois iterations per root solve
+
+	healthMu         sync.Mutex
+	healthViolations map[string]int64
+}
+
+// healthViolation counts one watchdog rule firing.
+func (t *telemetry) healthViolation(rule string) {
+	t.healthMu.Lock()
+	t.healthViolations[rule]++
+	t.healthMu.Unlock()
+}
+
+// healthSnapshot copies the per-rule counters (nil when none fired).
+func (t *telemetry) healthSnapshot() map[string]int64 {
+	t.healthMu.Lock()
+	defer t.healthMu.Unlock()
+	if len(t.healthViolations) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(t.healthViolations))
+	for k, v := range t.healthViolations {
+		out[k] = v
+	}
+	return out
 }
 
 func newTelemetry() *telemetry {
@@ -132,6 +167,7 @@ func newTelemetry() *telemetry {
 		rootIters: obsv.NewHistogram("ecripsed_root_solve_iterations",
 			"Illinois iterations per half-cell root solve (per-curve average).",
 			obsv.LinearBuckets(4, 4, 12)),
+		healthViolations: make(map[string]int64),
 	}
 }
 
@@ -381,6 +417,16 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) { return s.SubmitAs("", spe
 // API client); its finished simulations are charged against the tenant's
 // quota. Rate limiting itself happens at the HTTP layer, before this call.
 func (s *Service) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
+	return s.SubmitTraced(tenant, spec, obsv.TraceContext{})
+}
+
+// SubmitTraced is SubmitAs with a propagated distributed trace context: when
+// tc carries a valid trace ID (extracted from an inbound traceparent header,
+// or a sweep controller threading its own ID through its point jobs), the
+// job's trace joins that distributed trace instead of minting a fresh ID —
+// which is what lets the sweep-trace endpoint reassemble one tree with
+// consistent IDs across router, shards, and engine spans.
+func (s *Service) SubmitTraced(tenant string, spec JobSpec, tc obsv.TraceContext) (*Job, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, err
 	}
@@ -410,6 +456,7 @@ func (s *Service) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
 		j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
 		j.Tenant = tenant
 		j.onState = s.onJobState
+		s.adoptTrace(j, tc)
 		j.trace.Add("cache.hit", -1, j.created, time.Now())
 		s.persistSubmit(j, raw, true)
 		j.finishCached(payload)
@@ -431,6 +478,7 @@ func (s *Service) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
 			j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
 			j.Tenant = tenant
 			j.onState = s.onJobState
+			s.adoptTrace(j, tc)
 			j.trace.Add("cache.remote_hit", -1, j.created, time.Now())
 			s.remoteHits.Add(1)
 			s.persistSubmit(j, raw, true)
@@ -446,6 +494,7 @@ func (s *Service) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
 	j := newJob(s.baseCtx, id, spec, key, s.cfg.EventBuffer)
 	j.Tenant = tenant
 	j.onState = s.onJobState
+	s.adoptTrace(j, tc)
 	// The submit record goes to the journal before the job can reach a
 	// worker, so replay never sees a transition for an unknown job. A
 	// rejected enqueue is voided with a drop record; a crash between the
@@ -473,6 +522,14 @@ func (s *Service) SubmitSweep(spec SweepSpec) (*Sweep, error) { return s.SubmitS
 // whole grid (one token per point) is charged at the HTTP layer before this
 // call, exactly like batch submits.
 func (s *Service) SubmitSweepAs(tenant string, spec SweepSpec) (*Sweep, error) {
+	return s.SubmitSweepTraced(tenant, spec, obsv.TraceContext{})
+}
+
+// SubmitSweepTraced is SubmitSweepAs joining a propagated distributed trace:
+// the sweep (and through it every point job) adopts tc's trace ID, and tc's
+// span ID — the router's dispatch span — is recorded on the root sweep span
+// so the router-side reassembly can graft this shard's tree in place.
+func (s *Service) SubmitSweepTraced(tenant string, spec SweepSpec, tc obsv.TraceContext) (*Sweep, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, err
 	}
@@ -503,6 +560,11 @@ func (s *Service) SubmitSweepAs(tenant string, spec SweepSpec) (*Sweep, error) {
 		return nil, fmt.Errorf("service: marshal sweep spec: %w", err)
 	}
 	sw := newSweep(s.baseCtx, id, spec, key, tenant, points, s.cfg.EventBuffer)
+	sw.trace.SetMaxSpans(s.cfg.TraceMaxSpans)
+	if len(tc.TraceID) == 32 {
+		sw.trace.SetID(tc.TraceID)
+		sw.parentSpan = tc.SpanID
+	}
 	sw.onState = s.onSweepState
 	if perr := s.st.AppendSweep(id, raw, key, tenant, sw.created); perr != nil {
 		s.appendErrs.Add(1)
@@ -563,7 +625,28 @@ func (s *Service) CancelSweep(id string) (*Sweep, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return sw, sw.Cancel(), nil
+	changed := sw.Cancel()
+	if changed {
+		// Tear down the in-flight point jobs directly instead of waiting for
+		// the controller to observe the cancellation: queued points flip
+		// terminal at once, closing their per-point SSE streams immediately.
+		for _, jobID := range sw.pointJobIDs() {
+			if j, jerr := s.Get(jobID); jerr == nil {
+				j.Cancel()
+			}
+		}
+	}
+	return sw, changed, nil
+}
+
+// adoptTrace applies the configured span cap to a freshly minted job's trace
+// and joins it to a propagated distributed trace context, replacing the
+// job's own trace ID. A zero/invalid context leaves the minted ID in place.
+func (s *Service) adoptTrace(j *Job, tc obsv.TraceContext) {
+	j.trace.SetMaxSpans(s.cfg.TraceMaxSpans)
+	if len(tc.TraceID) == 32 {
+		j.trace.SetID(tc.TraceID)
+	}
 }
 
 // persistSubmit appends the job's submit record, logging (not failing) on
@@ -678,11 +761,17 @@ func (s *Service) execute(j *Job) {
 	}()
 
 	// Thread the telemetry carriers into the runner: the span trace, the
-	// diagnostic-event emitter (feeding the job's SSE ring), and the
-	// service histograms the estimator observes into. None of them affect
-	// the computed result.
+	// diagnostic-event emitter (feeding the job's SSE ring), the health
+	// monitor (violations stream to SSE as `health` events and count into
+	// /metrics as they fire; the deterministic report lands in the result),
+	// and the service histograms the estimator observes into. None of them
+	// affect the computed result.
 	ctx := obsv.WithTrace(j.ctx, j.trace)
 	ctx = obsv.WithEmitter(ctx, j.publish)
+	ctx = obsv.WithHealth(ctx, obsv.NewHealthMonitor(obsv.HealthConfig{}, func(v obsv.HealthViolation) {
+		j.publish("health", v)
+		s.tel.healthViolation(v.Rule)
+	}))
 	ctx = withRunHooks(ctx, runHooks{
 		indicatorHist: s.tel.indicator,
 		// Warm-chained points resolve their predecessor's payload from the
@@ -788,7 +877,11 @@ type Metrics struct {
 	PipelineStallSeconds  float64 `json:"pipeline_stall_seconds"`
 	PipelineSettleSeconds float64 `json:"pipeline_settle_seconds"`
 	PipelineOverlapFrac   float64 `json:"pipeline_overlap_frac"`
-	Draining              bool    `json:"draining"`
+	// HealthViolations counts statistical-health watchdog rule firings by
+	// rule name since process start (deterministic and wall-clock rules
+	// alike — this is the alerting surface, not the cached verdict).
+	HealthViolations map[string]int64 `json:"health_violations,omitempty"`
+	Draining         bool             `json:"draining"`
 	// UptimeSeconds and Build identify the serving process.
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	Build         BuildInfo `json:"build"`
@@ -876,6 +969,7 @@ func (s *Service) Snapshot() Metrics {
 	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
 	}
+	m.HealthViolations = s.tel.healthSnapshot()
 	m.SolverRootSolves, m.SolverIters = sram.TotalSolveTelemetry()
 	m.LaneSlots, m.LaneOccupied = sram.TotalLaneTelemetry()
 	ps := montecarlo.TotalPipelineStats()

@@ -33,6 +33,10 @@ type Sweep struct {
 	done   chan struct{}
 	events *eventRing
 	trace  *obsv.Trace
+	// parentSpan is the remote parent span ID propagated with the sweep
+	// (the router's dispatch span); recorded on the root span so the
+	// router can graft this shard's tree into its own.
+	parentSpan string
 
 	// onState observes committed sweep transitions (the service persists
 	// them); result rides the terminal record so the aggregate — which
@@ -96,8 +100,12 @@ type SweepResult struct {
 }
 
 // newSweep creates a running-ready sweep whose context descends from parent.
+// The sweep's trace is minted with a fresh distributed trace ID (overridden
+// when a traceparent propagated in); every point job joins the same ID.
 func newSweep(parent context.Context, id string, spec SweepSpec, key, tenant string, points []PointPlan, eventCap int) *Sweep {
 	ctx, cancel := context.WithCancel(parent)
+	tr := obsv.NewTrace()
+	tr.SetID(obsv.NewTraceID())
 	sw := &Sweep{
 		ID:      id,
 		Spec:    spec,
@@ -108,7 +116,7 @@ func newSweep(parent context.Context, id string, spec SweepSpec, key, tenant str
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		events:  newEventRing(eventCap),
-		trace:   obsv.NewTrace(),
+		trace:   tr,
 		state:   StateQueued,
 		created: time.Now(),
 		pstate:  make([]SweepPointStatus, len(points)),
@@ -212,10 +220,39 @@ func (sw *Sweep) finish(state State, res *SweepResult, errMsg string) {
 	if res != nil {
 		raw, _ = json.Marshal(res)
 	}
+	// Publish the terminal transition into the event ring BEFORE closing the
+	// done channel: SSE consumers drain the ring once more when done closes,
+	// so every subscriber observes the terminal "sweep" event ahead of the
+	// final "done" — including subscribers to a sweep torn down by DELETE.
+	sw.events.publish("sweep", sweepTerminal{
+		ID: sw.ID, State: state, Error: errMsg, PointsDone: sw.PointsDone(), NumPoints: len(sw.points),
+	})
 	close(sw.done)
 	if sw.onState != nil {
 		sw.onState(sw, state, errMsg, raw, at)
 	}
+}
+
+// sweepTerminal is the payload of the terminal "sweep" SSE event.
+type sweepTerminal struct {
+	ID         string `json:"id"`
+	State      State  `json:"state"`
+	Error      string `json:"error,omitempty"`
+	PointsDone int    `json:"points_done"`
+	NumPoints  int    `json:"num_points"`
+}
+
+// pointJobIDs returns the job IDs of points not yet terminal.
+func (sw *Sweep) pointJobIDs() []string {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ids := make([]string, 0, len(sw.pstate))
+	for _, p := range sw.pstate {
+		if p.JobID != "" && !p.State.Terminal() {
+			ids = append(ids, p.JobID)
+		}
+	}
+	return ids
 }
 
 // setPoint commits one point's progress and publishes it to SSE consumers.
@@ -314,6 +351,9 @@ func (s *Service) runSweep(sw *Sweep) {
 	sw.markRunning()
 	tctx := obsv.WithTrace(context.Background(), sw.trace)
 	_, span := obsv.StartSpan(tctx, "sweep", obsv.S("sweep", sw.ID), obsv.I("points", int64(len(sw.points))))
+	if sw.parentSpan != "" {
+		span.SetAttr(obsv.S("parent_span", sw.parentSpan))
+	}
 
 	var jobs []*Job
 	var firstErr error
@@ -383,7 +423,9 @@ func (s *Service) submitPoint(sw *Sweep, i int) (*Job, error) {
 		return j, nil
 	}
 	for {
-		j, err := s.SubmitAs(sw.Tenant, p.Spec)
+		// Point jobs join the sweep's distributed trace, so the reassembled
+		// tree carries one consistent trace ID from router to engine spans.
+		j, err := s.SubmitTraced(sw.Tenant, p.Spec, obsv.TraceContext{TraceID: sw.trace.ID()})
 		if err == nil {
 			sw.setPoint(i, SweepPointStatus{Index: i, State: j.State(), JobID: j.ID})
 			return j, nil

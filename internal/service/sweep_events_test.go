@@ -1,0 +1,188 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ecripse/internal/montecarlo"
+)
+
+// TestSweepCancelEventsOrdering pins the DELETE /v1/sweeps/{id} contract:
+// cancellation tears down the in-flight point jobs (so their SSE streams
+// close rather than hang), and the sweep's own stream delivers a terminal
+// "sweep" event strictly before the closing "done" event.
+func TestSweepCancelEventsOrdering(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueCapacity: 16})
+	defer svc.Drain(context.Background())
+	var startOnce sync.Once
+	started := make(chan struct{})
+	svc.runFn = func(ctx context.Context, s JobSpec, c *montecarlo.Counter) (*RunResult, error) {
+		startOnce.Do(func() { close(started) })
+		<-ctx.Done() // hold the point until the sweep is canceled
+		return nil, ctx.Err()
+	}
+	srv := NewServer(svc)
+	srv.EventInterval = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"base":{"estimator":"naive","n":100,"seed":5},"temp_k":{"values":[300,310,320]}}`))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	var sv SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&sv); err != nil {
+		t.Fatalf("decode sweep view: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit status = %d", resp.StatusCode)
+	}
+	<-started
+
+	// The first point job is running and blocked; subscribe to its SSE
+	// stream AND the sweep's before canceling.
+	detail := getSweepHTTP(t, ts.URL, sv.ID)
+	if len(detail.Points) == 0 || detail.Points[0].JobID == "" {
+		t.Fatalf("sweep detail lacks the running point's job ID: %+v", detail.Points)
+	}
+	jobID := detail.Points[0].JobID
+
+	jobResp, err := http.Get(ts.URL + "/v1/jobs/" + jobID + "/events")
+	if err != nil {
+		t.Fatalf("GET job events: %v", err)
+	}
+	defer jobResp.Body.Close()
+	sweepResp, err := http.Get(ts.URL + "/v1/sweeps/" + sv.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET sweep events: %v", err)
+	}
+	defer sweepResp.Body.Close()
+
+	type streamResult struct {
+		events []sseEvent
+	}
+	jobCh := make(chan streamResult, 1)
+	sweepCh := make(chan streamResult, 1)
+	go func() { jobCh <- streamResult{readSSE(t, jobResp.Body)} }()
+	go func() { sweepCh <- streamResult{readSSE(t, sweepResp.Body)} }()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+sv.ID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE sweep: %v", err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status = %d, want 202", delResp.StatusCode)
+	}
+
+	// Both streams must terminate on their own — the canceled point job's
+	// subscription is torn down, not left hanging until a client timeout.
+	var jobEvents, sweepEvents []sseEvent
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-jobCh:
+			jobEvents = r.events
+		case r := <-sweepCh:
+			sweepEvents = r.events
+		case <-time.After(10 * time.Second):
+			t.Fatal("SSE streams still open 10s after DELETE")
+		}
+	}
+	if len(jobEvents) == 0 || jobEvents[len(jobEvents)-1].event != "done" {
+		t.Fatalf("point job stream did not close with done: %v", jobEvents)
+	}
+
+	// Sweep stream ordering: ... point* ... sweep (terminal) ... done (last).
+	if len(sweepEvents) == 0 {
+		t.Fatal("no sweep events received")
+	}
+	if last := sweepEvents[len(sweepEvents)-1]; last.event != "done" {
+		t.Fatalf("last sweep event = %q, want done", last.event)
+	}
+	sweepIdx := -1
+	for i, ev := range sweepEvents {
+		if ev.event != "sweep" {
+			continue
+		}
+		if sweepIdx != -1 {
+			t.Fatalf("terminal sweep event delivered twice: %v", sweepEvents)
+		}
+		sweepIdx = i
+		var de struct {
+			Kind string `json:"kind"`
+			Data struct {
+				ID    string `json:"id"`
+				State State  `json:"state"`
+			} `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(ev.data), &de); err != nil {
+			t.Fatalf("decode sweep event %q: %v", ev.data, err)
+		}
+		if de.Data.ID != sv.ID || de.Data.State != StateCanceled {
+			t.Fatalf("terminal sweep event = %+v", de)
+		}
+	}
+	if sweepIdx == -1 {
+		t.Fatalf("no terminal sweep event before done: %v", sweepEvents)
+	}
+	for _, ev := range sweepEvents[sweepIdx+1:] {
+		if ev.event == "point" || ev.event == "progress" {
+			t.Fatalf("%q event after the terminal sweep event: %v", ev.event, sweepEvents)
+		}
+	}
+
+	// The sweep itself is terminal; a second DELETE conflicts.
+	if st := getSweepHTTP(t, ts.URL, sv.ID).State; st != StateCanceled {
+		t.Fatalf("sweep state = %q, want canceled", st)
+	}
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+sv.ID, nil)
+	del2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatalf("second DELETE: %v", err)
+	}
+	del2.Body.Close()
+	if del2.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE status = %d, want 409", del2.StatusCode)
+	}
+}
+
+// getSweepHTTP fetches one sweep's detailed view.
+func getSweepHTTP(t *testing.T, base, id string) SweepView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatalf("GET sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET sweep status = %d", resp.StatusCode)
+	}
+	var v SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode sweep view: %v", err)
+	}
+	return v
+}
+
+// waitSweepDone polls until the sweep is terminal.
+func waitSweepDone(t *testing.T, base, id string, within time.Duration) SweepView {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if v := getSweepHTTP(t, base, id); v.State.Terminal() {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s not terminal within %v", id, within)
+	return SweepView{}
+}

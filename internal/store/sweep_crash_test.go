@@ -205,6 +205,37 @@ func TestSweepRecoveryAfterSIGKILL(t *testing.T) {
 		t.Errorf("cached_points = %d, want >= %d recovered results served from cache", res.CachedPoints, len(doneAlpha))
 	}
 
+	// The reassembled sweep trace survives the crash: the resumed controller
+	// minted a fresh trace for its own spans, but every pre-kill point's
+	// engine timeline — restored from the original jobs' OpTrace journal
+	// records — is grafted back into the tree and labeled with the job that
+	// actually computed it.
+	traceID, spans := svc.AssembleSweepTrace(sw)
+	if len(traceID) != 32 {
+		t.Fatalf("reassembled trace ID = %q, want 32 hex chars", traceID)
+	}
+	pointSpans, runSpans, grafted := 0, 0, 0
+	for _, sp := range spans {
+		switch sp.Name {
+		case "point":
+			pointSpans++
+			if jobAttr, _ := sp.Attrs["job"].(string); jobAttr == "" {
+				t.Errorf("point span lacks a job attr: %+v", sp)
+			}
+		case "run":
+			runSpans++
+			if _, ok := sp.Attrs["source_job"]; ok {
+				grafted++
+			}
+		}
+	}
+	if pointSpans != 40 || runSpans != 40 {
+		t.Errorf("reassembled trace has %d point / %d run spans, want 40/40", pointSpans, runSpans)
+	}
+	if grafted < len(doneAlpha) {
+		t.Errorf("only %d engine spans grafted from recovered journal records, want >= %d pre-kill points", grafted, len(doneAlpha))
+	}
+
 	// The resumed aggregate matches an uninterrupted run of the same spec
 	// point for point (IDs and cache provenance aside — those are the only
 	// fields allowed to differ).

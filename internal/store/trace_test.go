@@ -45,12 +45,18 @@ func TestTracePersistenceAndRecovery(t *testing.T) {
 	if live == nil {
 		t.Fatal("finished job has no trace payload")
 	}
-	var spans []obsv.SpanView
-	if err := json.Unmarshal(live, &spans); err != nil {
+	var tp struct {
+		TraceID string          `json:"trace_id"`
+		Spans   []obsv.SpanView `json:"spans"`
+	}
+	if err := json.Unmarshal(live, &tp); err != nil {
 		t.Fatalf("decode live trace: %v", err)
 	}
+	if len(tp.TraceID) != 32 {
+		t.Fatalf("trace payload carries trace ID %q, want 32 hex chars", tp.TraceID)
+	}
 	names := map[string]bool{}
-	for _, sp := range spans {
+	for _, sp := range tp.Spans {
 		names[sp.Name] = true
 	}
 	for _, want := range []string{"queue.wait", "run", "persist"} {

@@ -94,6 +94,33 @@ echo "ring spread: $S1_JOBS jobs on s1, $S2_JOBS on s2"
 [ "$S1_JOBS" -gt 0 ] && [ "$S2_JOBS" -gt 0 ] \
     || fail "ring placed nothing on one shard — the kill would exercise nothing"
 
+echo "== trace propagation: client traceparent -> router -> shard =="
+TP_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+TRESP=$(curl -fsS -XPOST -H 'Content-Type: application/json' \
+    -H "Traceparent: 00-$TP_ID-00f067aa0ba902b7-01" \
+    -d '{"estimator":"naive","n":200,"seed":4242}' "$ROUTER/v1/jobs") \
+    || fail "traced submit"
+TID=$(echo "$TRESP" | json 'd["id"]') || fail "traced submit response malformed: $TRESP"
+for _ in $(seq 1 100); do
+    TSTATE=$(curl -fsS "$ROUTER/v1/jobs/$TID" | json 'd["state"]' 2>/dev/null || echo "?")
+    [ "$TSTATE" = "done" ] && break
+    sleep 0.2
+done
+[ "$TSTATE" = "done" ] || fail "traced job $TID stuck in '$TSTATE'"
+# The trace served through the router carries the client's trace ID and the
+# shard-side engine span — one tree, one ID, across the dispatch hop.
+TJSON=$(curl -fsS "$ROUTER/v1/jobs/$TID/trace") || fail "router trace fetch"
+[ "$(echo "$TJSON" | json 'd["trace_id"]')" = "$TP_ID" ] \
+    || fail "router-served trace lost the client trace ID: $TJSON"
+[ "$(echo "$TJSON" | json 'any(s["name"]=="run" for s in d["spans"])')" = "True" ] \
+    || fail "router-served trace lacks the shard engine span: $TJSON"
+# And the owning shard itself adopted the same ID rather than minting one.
+case "$TID" in s1-*) SHARD_URL="http://127.0.0.1:$S1_PORT" ;; *) SHARD_URL="http://127.0.0.1:$S2_PORT" ;; esac
+DIRECT_ID=$(curl -fsS "$SHARD_URL/v1/jobs/$TID/trace" | json 'd["trace_id"]') \
+    || fail "direct shard trace fetch"
+[ "$DIRECT_ID" = "$TP_ID" ] || fail "shard minted its own trace ID $DIRECT_ID, want $TP_ID"
+echo "trace $TP_ID propagated router -> $(echo "$TID" | cut -d- -f1)"
+
 echo "== SIGKILL s1 mid-run =="
 sleep 1 # let s1 start running its share
 kill -9 "$S1_PID" || fail "kill s1"
